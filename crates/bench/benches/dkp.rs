@@ -1,0 +1,56 @@
+//! Aggregation-first vs combination-first, measured as *real CPU time*:
+//! the crossover DKP exploits (§V-A) exists on the host too, because both
+//! orders do genuinely different amounts of arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_core::data::GraphData;
+use gt_core::napa::Pull;
+use gt_core::prepro::run_prepro;
+use gt_sample::SamplerConfig;
+use gt_tensor::dense::Matrix;
+use gt_tensor::init::xavier;
+use gt_tensor::sparse::Reduce;
+use std::sync::Arc;
+
+fn bench_orders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dkp_order");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // Light (64-dim) vs heavy (1024-dim) feature widths, hidden = 64.
+    for feat in [64usize, 1024] {
+        let data = GraphData::synthetic(4_000, 40_000, feat, 4, 7);
+        let batch: Vec<u32> = (0..200).collect();
+        let pr = run_prepro(
+            &data,
+            &batch,
+            &SamplerConfig {
+                fanout: 15,
+                layers: 2,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let layer = Arc::clone(&pr.layers[0]);
+        let x = pr.features;
+        let w = xavier(feat, 64, 1);
+        let pull = Pull::new(Arc::clone(&layer), Reduce::Mean);
+        g.bench_with_input(BenchmarkId::new("aggregation_first", feat), &feat, |b, _| {
+            b.iter(|| {
+                let a = pull.compute(&x, None);
+                a.matmul(&w)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("combination_first", feat), &feat, |b, _| {
+            b.iter(|| {
+                let t = x.matmul(&w);
+                pull.compute(&t, None)
+            })
+        });
+        let _ = Matrix::zeros(1, 1);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end train-batch wall time per framework (real CPU execution:
+//! preprocessing + kernels + autodiff + SGD on one small workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_baselines::{Baseline, BaselineKind};
+use gt_core::config::ModelConfig;
+use gt_core::data::GraphData;
+use gt_core::framework::Framework;
+use gt_core::trainer::{GraphTensor, GtVariant};
+use gt_sample::SamplerConfig;
+use gt_sim::SystemSpec;
+
+fn sampler() -> SamplerConfig {
+    SamplerConfig {
+        fanout: 10,
+        layers: 2,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn bench_frameworks(c: &mut Criterion) {
+    let data = GraphData::synthetic(4_000, 50_000, 128, 8, 3);
+    let batch: Vec<u32> = (0..200).collect();
+    let model = ModelConfig::gcn(2, 64, 8);
+    let mut g = c.benchmark_group("train_batch");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for variant in [GtVariant::Base, GtVariant::Dynamic, GtVariant::Prepro] {
+        let mut t = GraphTensor::new(variant, model.clone(), SystemSpec::paper_testbed());
+        t.sampler = sampler();
+        let name = t.name();
+        g.bench_with_input(BenchmarkId::new("graphtensor", name), &0, |b, _| {
+            b.iter(|| t.train_batch(&data, &batch))
+        });
+    }
+
+    for kind in [BaselineKind::Pyg, BaselineKind::Dgl, BaselineKind::GnnAdvisor] {
+        let mut bl = Baseline::new(kind, model.clone(), SystemSpec::paper_testbed());
+        bl.sampler = sampler();
+        g.bench_with_input(BenchmarkId::new("baseline", kind.label()), &0, |b, _| {
+            b.iter(|| bl.train_batch(&data, &batch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Format-translation microbenchmarks (COO↔CSR/CSC) — the per-batch cost
+//! Graph-approach frameworks pay (§III, Fig 5c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_graph::convert::{coo_to_csc, coo_to_csr, csr_to_coo, csr_to_csc};
+use gt_graph::generators::rmat;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("format_translation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for edges in [10_000usize, 100_000] {
+        let coo = rmat(8_192, edges, 5);
+        g.bench_with_input(BenchmarkId::new("coo_to_csr", edges), &edges, |b, _| {
+            b.iter(|| coo_to_csr(&coo))
+        });
+        g.bench_with_input(BenchmarkId::new("coo_to_csc", edges), &edges, |b, _| {
+            b.iter(|| coo_to_csc(&coo))
+        });
+        let (csr, _) = coo_to_csr(&coo);
+        g.bench_with_input(BenchmarkId::new("csr_to_coo", edges), &edges, |b, _| {
+            b.iter(|| csr_to_coo(&csr))
+        });
+        g.bench_with_input(BenchmarkId::new("csr_to_csc", edges), &edges, |b, _| {
+            b.iter(|| csr_to_csc(&csr))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! VID hash-table microbenchmarks: the shared structure whose contention
+//! Fig 14 analyzes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_sample::VidMap;
+use std::sync::Arc;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vidmap_sequential");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10_000u32, 100_000] {
+        g.bench_with_input(BenchmarkId::new("insert_or_get", n), &n, |b, &n| {
+            b.iter(|| {
+                let m = VidMap::new();
+                for i in 0..n {
+                    m.insert_or_get(i % (n / 2)); // 50% hits
+                }
+                m.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            let m = VidMap::new();
+            for i in 0..n {
+                m.insert_or_get(i);
+            }
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..n {
+                    acc = acc.wrapping_add(m.get(i).unwrap());
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vidmap_concurrent");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for threads in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let m = Arc::new(VidMap::new());
+                let handles: Vec<_> = (0..t as u32)
+                    .map(|tid| {
+                        let m = Arc::clone(&m);
+                        std::thread::spawn(move || {
+                            for i in 0..20_000u32 {
+                                m.insert_or_get((i + tid * 10_000) % 30_000);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                m.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_concurrent);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Real-CPU-time comparison of the aggregation/edge-weighting kernels on
+//! identical sampled layers (the Fig 15/16 kernels, measured as actual
+//! Rust code rather than through the device model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_core::data::GraphData;
+use gt_core::napa::{NeighborApply, Pull};
+use gt_core::prepro::run_prepro;
+use gt_sample::SamplerConfig;
+use gt_tensor::dense::Matrix;
+use gt_tensor::sparse::{EdgeOp, Reduce};
+use std::sync::Arc;
+
+fn setup(feat: usize) -> (Arc<gt_sample::LayerGraph>, Matrix) {
+    let data = GraphData::synthetic(5_000, 60_000, feat, 4, 7);
+    let batch: Vec<u32> = (0..300).collect();
+    let pr = run_prepro(
+        &data,
+        &batch,
+        &SamplerConfig {
+            fanout: 15,
+            layers: 2,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let layer = Arc::clone(&pr.layers[0]);
+    (layer, pr.features)
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for feat in [64usize, 512] {
+        let (layer, x) = setup(feat);
+        let pull = Pull::new(Arc::clone(&layer), Reduce::Mean);
+        g.bench_with_input(BenchmarkId::new("napa_pull", feat), &feat, |b, _| {
+            b.iter(|| pull.compute(&x, None))
+        });
+        g.bench_with_input(BenchmarkId::new("oracle_spmm", feat), &feat, |b, _| {
+            b.iter(|| gt_tensor::sparse::spmm(&layer.csr, &x, Reduce::Mean))
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge_weighting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_weighting");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for feat in [64usize, 512] {
+        let (layer, x) = setup(feat);
+        let na = NeighborApply::new(Arc::clone(&layer), EdgeOp::ElemMul);
+        g.bench_with_input(
+            BenchmarkId::new("napa_neighbor_apply", feat),
+            &feat,
+            |b, _| b.iter(|| na.compute(&x)),
+        );
+        g.bench_with_input(BenchmarkId::new("oracle_sddmm", feat), &feat, |b, _| {
+            b.iter(|| gt_tensor::sparse::sddmm(&layer.csr, &x, EdgeOp::ElemMul))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_edge_weighting);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Dense kernel microbenchmarks: the combination (MLP) substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_tensor::dense::Matrix;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (m, k, n) in [(512usize, 256usize, 64usize), (2048, 128, 64), (512, 4353, 64)] {
+        let a = Matrix::from_fn(m, k, |r, c| ((r + c) % 17) as f32 * 0.1);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * c) % 13) as f32 * 0.1);
+        g.bench_with_input(
+            BenchmarkId::new("ab", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul(&b)),
+        );
+        let bt = b.transpose();
+        g.bench_with_input(
+            BenchmarkId::new("abT", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul_transpose_b(&bt)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_activations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("activations");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let x = Matrix::from_fn(2048, 256, |r, c| ((r + c) % 7) as f32 - 3.0);
+    g.bench_function("relu", |b| b.iter(|| x.relu()));
+    let grad = Matrix::from_fn(2048, 256, |_, _| 1.0);
+    g.bench_function("relu_grad", |b| b.iter(|| x.relu_grad(&grad)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_activations);
+criterion_main!(benches);

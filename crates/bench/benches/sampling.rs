@@ -1,0 +1,65 @@
+//! Neighbor-sampling and reindexing microbenchmarks (the S and R stages
+//! of §II-B, which dominate light-feature preprocessing per Fig 12a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_graph::convert::coo_to_csr;
+use gt_graph::generators::rmat;
+use gt_sample::{reindex_layer, sample_batch, SamplerConfig};
+
+fn bench_sampling(c: &mut Criterion) {
+    let coo = rmat(20_000, 400_000, 13);
+    let (csr, _) = coo_to_csr(&coo);
+    let batch: Vec<u32> = (0..300).collect();
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for fanout in [5usize, 15, 25] {
+        let cfg = SamplerConfig {
+            fanout,
+            layers: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("fanout", fanout), &fanout, |b, _| {
+            b.iter(|| sample_batch(&csr, &batch, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reindex(c: &mut Criterion) {
+    let coo = rmat(20_000, 400_000, 13);
+    let (csr, _) = coo_to_csr(&coo);
+    let batch: Vec<u32> = (0..300).collect();
+    let out = sample_batch(
+        &csr,
+        &batch,
+        &SamplerConfig {
+            fanout: 15,
+            layers: 2,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let mut g = c.benchmark_group("reindex");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (k, hop) in out.hops.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::new("hop", k + 1), &k, |b, _| {
+            b.iter(|| {
+                reindex_layer(
+                    hop,
+                    &out.vidmap,
+                    out.boundaries[k],
+                    out.boundaries[k + 1],
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_reindex);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Discrete-event scheduler microbenchmarks: cost of planning the four
+//! preprocessing strategies for a realistic batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_core::data::GraphData;
+use gt_core::prepro::run_prepro;
+use gt_core::scheduler::{schedule_prepro, PreproStrategy};
+use gt_sample::SamplerConfig;
+use gt_sim::SystemSpec;
+
+fn bench_strategies(c: &mut Criterion) {
+    let data = GraphData::synthetic(10_000, 120_000, 256, 4, 7);
+    let batch: Vec<u32> = (0..300).collect();
+    let pr = run_prepro(
+        &data,
+        &batch,
+        &SamplerConfig {
+            fanout: 15,
+            layers: 2,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let sys = SystemSpec::paper_testbed();
+    let mut g = c.benchmark_group("schedule_prepro");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for strat in [
+        PreproStrategy::Serial,
+        PreproStrategy::SerialPinned,
+        PreproStrategy::Pipelined,
+        PreproStrategy::PipelinedRelaxed,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strat:?}")),
+            &strat,
+            |b, &s| b.iter(|| schedule_prepro(&pr.work, &sys, s)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

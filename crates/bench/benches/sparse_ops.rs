@@ -1,0 +1,52 @@
+//! SpMM / SDDMM reference-kernel microbenchmarks across reduce modes and
+//! edge ops (the Graph-approach primitives of §III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_graph::convert::coo_to_csr;
+use gt_graph::generators::rmat;
+use gt_tensor::dense::Matrix;
+use gt_tensor::sparse::{sddmm, spmm, spmm_backward, EdgeOp, Reduce};
+
+fn graph_and_features(feat: usize) -> (gt_graph::Csr, Matrix) {
+    let coo = rmat(4_096, 40_000, 11);
+    let (csr, _) = coo_to_csr(&coo);
+    let x = Matrix::from_fn(4_096, feat, |r, c| ((r * 31 + c) % 97) as f32 * 0.01);
+    (csr, x)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmm");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let (csr, x) = graph_and_features(128);
+    for reduce in [Reduce::Sum, Reduce::Mean, Reduce::Max] {
+        g.bench_with_input(
+            BenchmarkId::new("reduce", format!("{reduce:?}")),
+            &reduce,
+            |b, &r| b.iter(|| spmm(&csr, &x, r)),
+        );
+    }
+    g.bench_function("backward_mean", |b| {
+        let grad = Matrix::from_fn(csr.num_vertices(), 128, |r, _| r as f32);
+        b.iter(|| spmm_backward(&csr, &grad, 4_096, Reduce::Mean))
+    });
+    g.finish();
+}
+
+fn bench_sddmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sddmm");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let (csr, x) = graph_and_features(128);
+    for op in [EdgeOp::ElemMul, EdgeOp::ElemAdd, EdgeOp::Dot] {
+        g.bench_with_input(BenchmarkId::new("op", format!("{op:?}")), &op, |b, &o| {
+            b.iter(|| sddmm(&csr, &x, o))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_sddmm);
+criterion_main!(benches);

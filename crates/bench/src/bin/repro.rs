@@ -1,0 +1,112 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment|all> [--scale test|small|medium|N] [--seed S]
+//!       [--batch B] [--fanout F] [--layers L]
+//!
+//! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
+//!              fig19 fig20 table1 table2 table3 scalability ablation
+//! ```
+
+use gt_bench::experiments::*;
+use gt_bench::ExpConfig;
+use gt_datasets::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
+         [--seed S] [--batch B] [--fanout F] [--layers L]\n\
+         experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
+         fig19 fig20 table1 table2 table3 scalability ablation"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let exp = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some(n) => Scale::Custom(n.parse().unwrap_or_else(|_| usage())),
+                    None => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+            }
+            "--fanout" => {
+                i += 1;
+                cfg.fanout = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+            }
+            "--layers" => {
+                i += 1;
+                cfg.layers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    println!(
+        "GraphTensor-RS repro: {exp} (scale ÷{}, seed {}, batch {}, fanout {}, layers {})",
+        cfg.scale.divisor(),
+        cfg.seed,
+        cfg.batch,
+        cfg.fanout,
+        cfg.layers
+    );
+
+    let run_one = |name: &str, cfg: &ExpConfig| match name {
+        "fig6" => fig6::print(cfg),
+        "fig8" => fig8::print(cfg),
+        "fig11b" => fig11b::print(cfg),
+        "fig12" => fig12::print(cfg),
+        "fig14" => fig14::print(cfg),
+        "fig15" => {
+            fig15::print(cfg, fig15::Model::Gcn);
+            fig15::print(cfg, fig15::Model::Ngcf);
+        }
+        "fig16" => fig16::print(cfg),
+        "fig17" => fig17::print(cfg),
+        "fig18" => fig18::print(cfg),
+        "fig19" => fig19::print(cfg),
+        "fig20" => fig20::print(cfg),
+        "table1" => table1::print(cfg),
+        "table2" => table2::print(cfg),
+        "table3" => table3::print(),
+        "ablation" => ablation::print(cfg),
+        "scalability" => scalability::print(cfg),
+        _ => usage(),
+    };
+
+    if exp == "all" {
+        for name in [
+            "table2", "table3", "fig6", "fig8", "fig11b", "table1", "fig15", "fig16",
+            "fig17", "fig18", "fig12", "fig14", "fig19", "fig20", "scalability", "ablation",
+        ] {
+            run_one(name, &cfg);
+        }
+    } else {
+        run_one(&exp, &cfg);
+    }
+}
+
+fn usage_v<T>() -> T {
+    usage()
+}

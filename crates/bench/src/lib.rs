@@ -1,0 +1,9 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index). The `repro` binary drives
+//! these; integration tests run them at `Scale::Test` to keep every figure
+//! permanently regenerable.
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::ExpConfig;

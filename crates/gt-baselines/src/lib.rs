@@ -1,0 +1,25 @@
+//! Baseline GNN frameworks, reimplemented as execution strategies on the
+//! GraphTensor-RS substrate (§III, DESIGN.md §2).
+//!
+//! Every baseline computes *numerically identical* results to GraphTensor
+//! (the kernels share the same math) while charging the device model the
+//! way its real counterpart behaves:
+//!
+//! * [`dl`] — **DL-approach** (PyG, NeuGraph, FlexGraph): sparse→dense
+//!   conversion materializes per-edge embedding copies before dense
+//!   scatter ops → GPU *memory bloat* (Fig 6a);
+//! * [`graph_approach`] — **Graph-approach** (DGL, FeatGraph, G3): COO
+//!   resident, per-batch COO→CSR/CSC *format translation*, edge-wise
+//!   SpMM/SDDMM scheduling → *cache bloat* (Fig 6b);
+//! * [`gnnadvisor`] — GNNAdvisor: neighbor-group partitioning balances load
+//!   but makes multiple SMs update one destination → synchronization
+//!   overhead; no edge-weighting support, so NGCF falls back to DL ops;
+//! * [`frameworks`] — the [`gt_core::Framework`] implementations: `Pyg`,
+//!   `PygMt`, `Dgl`, `GnnAdvisor`, `Salient`.
+
+pub mod dl;
+pub mod frameworks;
+pub mod gnnadvisor;
+pub mod graph_approach;
+
+pub use frameworks::{Baseline, BaselineKind};

@@ -1,0 +1,129 @@
+//! The common interface every evaluated framework implements, plus the
+//! per-batch report all figures are computed from.
+//!
+//! The paper compares PyG, DGL, GNNAdvisor, SALIENT, and three GraphTensor
+//! variants on identical workloads; implementing them behind one trait on
+//! one substrate is what makes the comparison apples-to-apples.
+
+use crate::data::GraphData;
+use gt_graph::VId;
+use gt_sim::{Phase, Schedule, SimContext};
+
+/// Qualitative properties of a framework — one row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameworkTraits {
+    /// Storage format the framework keeps resident ("CSR" or "COO").
+    pub initial_format: &'static str,
+    /// Suffers GPU memory bloat (sparse→dense conversion)?
+    pub memory_bloat: bool,
+    /// Performs GPU format translation per batch?
+    pub format_translation: bool,
+    /// Suffers GPU cache bloat (edge-wise scheduling)?
+    pub cache_bloat: bool,
+    /// Preprocessing overhead: `'O'` high, `'D'` partial (△), `'X'` none.
+    pub prepro_overhead: char,
+}
+
+/// Everything measured while training one batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Training loss of the batch.
+    pub loss: f32,
+    /// GPU-side accounting (kernel records, memory peaks, counters).
+    pub sim: SimContext,
+    /// DES schedule of the preprocessing, when the framework models one.
+    pub prepro: Option<Schedule>,
+    /// Sampled nodes this batch.
+    pub num_nodes: usize,
+    /// Sampled edges this batch (all hops).
+    pub num_edges: usize,
+    /// Device out-of-memory, if the run exceeded GPU capacity.
+    pub oom: Option<String>,
+}
+
+impl BatchReport {
+    /// Modeled GPU compute latency (all non-preprocessing phases), µs.
+    pub fn gpu_us(&self) -> f64 {
+        self.sim
+            .records()
+            .iter()
+            .filter(|r| !r.phase.is_preprocessing())
+            .map(|r| r.modeled_us)
+            .sum()
+    }
+
+    /// GPU latency of one phase, µs.
+    pub fn phase_us(&self, phase: Phase) -> f64 {
+        self.sim.phase_us(phase)
+    }
+
+    /// Preprocessing makespan, µs (0 when not modeled).
+    pub fn prepro_us(&self) -> f64 {
+        self.prepro.as_ref().map_or(0.0, |s| s.makespan_us)
+    }
+
+    /// Steady-state end-to-end batch latency: frameworks that overlap
+    /// preprocessing with the previous batch's GPU work pay the max of the
+    /// two; others pay the sum (§VI-B).
+    pub fn e2e_us(&self, overlapped: bool) -> f64 {
+        let p = self.prepro_us();
+        let g = self.gpu_us();
+        if overlapped {
+            p.max(g)
+        } else {
+            p + g
+        }
+    }
+}
+
+/// A GNN training framework under evaluation.
+pub trait Framework {
+    /// Display name ("DGL", "Dynamic-GT", ...).
+    fn name(&self) -> String;
+
+    /// Table III row.
+    fn traits(&self) -> FrameworkTraits;
+
+    /// Whether preprocessing overlaps the previous batch's GPU compute
+    /// ("a common practice for the existing deep learning frameworks").
+    fn overlaps_batches(&self) -> bool;
+
+    /// Train one batch end to end (preprocess, FWP, BWP, SGD step).
+    fn train_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::DeviceSpec;
+
+    #[test]
+    fn e2e_overlap_semantics() {
+        let mut sim = SimContext::new(DeviceSpec::tiny());
+        sim.record_gpu(
+            Phase::Aggregation,
+            gt_sim::KernelStats {
+                flops: 100_000_000, // 1000 µs on tiny
+                ..Default::default()
+            },
+        );
+        let mut s = gt_sim::Simulator::new(1);
+        s.add(gt_sim::TaskSpec::new(
+            "S",
+            gt_sim::Resource::HostCore,
+            400.0,
+            Phase::Sampling,
+        ));
+        let report = BatchReport {
+            loss: 0.0,
+            sim,
+            prepro: Some(s.run()),
+            num_nodes: 1,
+            num_edges: 1,
+            oom: None,
+        };
+        let g = report.gpu_us();
+        assert!((report.e2e_us(true) - g.max(400.0)).abs() < 1e-6);
+        assert!((report.e2e_us(false) - (g + 400.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,17 @@
+//! The NAPA programming model (§IV-B): `NeighborApply`, `Pull`, `Apply`.
+//!
+//! All three primitives traverse per-layer subgraphs **in CSR only**
+//! (dst-indexed), walk destinations rather than edges, and schedule work
+//! feature-wise: every feature element belonging to one destination is
+//! processed within the same (modeled) SM, so destination embeddings are
+//! loaded once and reused (Fig 9). `Apply` is plain dense MLP work and maps
+//! to [`gt_tensor::dfg::Linear`]/[`gt_tensor::dfg::Relu`] — "MLP computations
+//! are mostly dense matrix transformation, which is already well harmonized
+//! with GPU's massive computing".
+
+pub mod neighbor_apply;
+pub mod pull;
+pub mod schedule;
+
+pub use neighbor_apply::NeighborApply;
+pub use pull::Pull;

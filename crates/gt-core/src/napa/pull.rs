@@ -1,0 +1,399 @@
+//! `Pull` — NAPA's aggregation primitive (§IV-B, Fig 9c).
+//!
+//! For every destination of a per-layer subgraph, Pull accumulates the
+//! (optionally `h`-weighted) embeddings of its sources with `f`, walking the
+//! CSR directly — fully realizing SpMM without format translation. Work is
+//! parallelized over destinations (vertex-centric) and features; the output
+//! row stays in the SM while `f` accumulates ("Pull reuses the output
+//! embeddings when f accumulates all the target embeddings").
+//!
+//! Backward (`f'`, Fig 3b) traverses the same subgraph in CSC — "CSC is
+//! better at traversing the graph in BWP" — producing per-source gradients,
+//! plus per-edge weight gradients in CSR edge order.
+
+use crate::config::HFn;
+use gt_sample::LayerGraph;
+use gt_sim::{KernelStats, Phase};
+use gt_tensor::dense::Matrix;
+use gt_tensor::dfg::{ExecCtx, Op, ParamStore};
+use gt_tensor::sparse::Reduce;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+use super::schedule::feature_wise_cache;
+
+/// The Pull DFG op. Inputs: `[features]` (unweighted) or
+/// `[features, edge_weights]` (weighted; weight row order = CSR edge order).
+#[derive(Debug, Clone)]
+pub struct Pull {
+    /// The per-layer subgraph this Pull traverses.
+    pub layer: Arc<LayerGraph>,
+    /// Aggregation function `f`.
+    pub agg: Reduce,
+    /// `h`: how an edge weight transforms its src embedding. `None` for
+    /// unweighted aggregation (GCN).
+    pub h: Option<HFn>,
+}
+
+impl Pull {
+    /// Unweighted aggregation (GCN-style).
+    pub fn new(layer: Arc<LayerGraph>, agg: Reduce) -> Self {
+        Pull {
+            layer,
+            agg,
+            h: None,
+        }
+    }
+
+    /// Weighted aggregation: `h` folds NeighborApply's weights into sources.
+    pub fn weighted(layer: Arc<LayerGraph>, agg: Reduce, h: HFn) -> Self {
+        Pull {
+            layer,
+            agg,
+            h: Some(h),
+        }
+    }
+
+    /// Forward numerics, shared with the fused Cost-DKP node.
+    pub fn compute(&self, features: &Matrix, weights: Option<&Matrix>) -> Matrix {
+        assert_eq!(self.h.is_some(), weights.is_some(), "weight arity mismatch");
+        let f = features.cols();
+        let layer = &self.layer;
+        assert!(
+            features.rows() >= layer.num_src,
+            "features cover the src id space"
+        );
+        if let Some(w) = weights {
+            assert_eq!(w.rows(), layer.csr.num_edges(), "one weight row per edge");
+            assert_eq!(w.cols(), f, "weight dim");
+        }
+        let mut out = Matrix::zeros(layer.num_dst, f);
+        // Destination-centric: disjoint output rows → safe rayon partition.
+        out.data_mut()
+            .par_chunks_mut(f)
+            .enumerate()
+            .for_each(|(d, orow)| {
+                let srcs = layer.csr.srcs(d as u32);
+                if srcs.is_empty() {
+                    return;
+                }
+                let erange = layer.csr.edge_range(d as u32);
+                match self.agg {
+                    Reduce::Sum | Reduce::Mean => {
+                        for (&s, e) in srcs.iter().zip(erange) {
+                            let srow = features.row(s as usize);
+                            match (self.h, weights) {
+                                (Some(HFn::Mul), Some(w)) => {
+                                    for ((o, &x), &wk) in
+                                        orow.iter_mut().zip(srow).zip(w.row(e))
+                                    {
+                                        *o += x * wk;
+                                    }
+                                }
+                                (Some(HFn::Add), Some(w)) => {
+                                    for ((o, &x), &wk) in
+                                        orow.iter_mut().zip(srow).zip(w.row(e))
+                                    {
+                                        *o += x + wk;
+                                    }
+                                }
+                                _ => {
+                                    for (o, &x) in orow.iter_mut().zip(srow) {
+                                        *o += x;
+                                    }
+                                }
+                            }
+                        }
+                        if self.agg == Reduce::Mean {
+                            let inv = 1.0 / srcs.len() as f32;
+                            for o in orow.iter_mut() {
+                                *o *= inv;
+                            }
+                        }
+                    }
+                    Reduce::Max => {
+                        orow.copy_from_slice(features.row(srcs[0] as usize));
+                        for &s in &srcs[1..] {
+                            for (o, &x) in orow.iter_mut().zip(features.row(s as usize)) {
+                                *o = o.max(x);
+                            }
+                        }
+                    }
+                }
+            });
+        out
+    }
+
+    /// Work this Pull charges the device (forward direction).
+    pub fn forward_stats(&self, feat_dim: usize, num_sms: usize) -> KernelStats {
+        let layer = &self.layer;
+        let row_bytes = (feat_dim * 4) as u64;
+        let cache = feature_wise_cache(layer, row_bytes, num_sms);
+        let edges = layer.csr.num_edges() as u64;
+        let weight_stream = if self.h.is_some() {
+            edges * row_bytes // weight rows streamed once, no reuse needed
+        } else {
+            0
+        };
+        let h_flops = if self.h.is_some() { edges * feat_dim as u64 } else { 0 };
+        KernelStats {
+            flops: edges * feat_dim as u64 + h_flops + (layer.num_dst * feat_dim) as u64,
+            global_read_bytes: cache.loaded_bytes()
+                + weight_stream
+                + layer.csr.storage_bytes(),
+            global_write_bytes: (layer.num_dst * feat_dim * 4) as u64,
+            cache_loaded_bytes: cache.loaded_bytes(),
+            launches: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backward numerics: returns `(d_features, d_weights)`.
+    pub fn compute_backward(
+        &self,
+        features: &Matrix,
+        weights: Option<&Matrix>,
+        grad: &Matrix,
+    ) -> (Matrix, Option<Matrix>) {
+        assert!(self.agg != Reduce::Max, "Pull backward: Max needs argmax state");
+        let f = features.cols();
+        let layer = &self.layer;
+        // Degree of each dst (for Mean scaling).
+        let deg = |d: u32| layer.csr.degree(d).max(1) as f32;
+
+        // d_features via CSC: vertex-centric over sources (disjoint rows).
+        let mut dx = Matrix::zeros(features.rows(), f);
+        dx.data_mut()
+            .par_chunks_mut(f)
+            .enumerate()
+            .for_each(|(s, xrow)| {
+                if s >= layer.num_src {
+                    return;
+                }
+                let dsts = layer.csc.dsts(s as u32);
+                if dsts.is_empty() {
+                    return;
+                }
+                for &d in dsts {
+                    let scale = match self.agg {
+                        Reduce::Mean => 1.0 / deg(d),
+                        _ => 1.0,
+                    };
+                    let grow = grad.row(d as usize);
+                    match (self.h, weights) {
+                        (Some(HFn::Mul), Some(w)) => {
+                            // Need this edge's weight row: find the edge id
+                            // in CSR order (s within dsts' src slice).
+                            let e = edge_id(layer, d, s as u32);
+                            for ((x, &g), &wk) in
+                                xrow.iter_mut().zip(grow).zip(w.row(e))
+                            {
+                                *x += g * wk * scale;
+                            }
+                        }
+                        _ => {
+                            for (x, &g) in xrow.iter_mut().zip(grow) {
+                                *x += g * scale;
+                            }
+                        }
+                    }
+                }
+            });
+
+        // d_weights via CSR: per-edge independent.
+        let dw = match (self.h, weights) {
+            (Some(HFn::Mul), Some(_)) | (Some(HFn::Add), Some(_)) => {
+                let mut dw = Matrix::zeros(layer.csr.num_edges(), f);
+                for (d, srcs) in layer.csr.iter() {
+                    let scale = match self.agg {
+                        Reduce::Mean => 1.0 / deg(d),
+                        _ => 1.0,
+                    };
+                    let grow = grad.row(d as usize);
+                    for (&s, e) in srcs.iter().zip(layer.csr.edge_range(d)) {
+                        let wrow = dw.row_mut(e);
+                        match self.h {
+                            Some(HFn::Mul) => {
+                                let srow = features.row(s as usize);
+                                for ((o, &g), &x) in wrow.iter_mut().zip(grow).zip(srow) {
+                                    *o = g * x * scale;
+                                }
+                            }
+                            _ => {
+                                for (o, &g) in wrow.iter_mut().zip(grow) {
+                                    *o = g * scale;
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(dw)
+            }
+            _ => None,
+        };
+        (dx, dw)
+    }
+}
+
+/// CSR edge id of the (src, dst) pair; linear scan of the dst's slice is
+/// fine because sampled degrees are small and even (§IV-B, Fig 8).
+fn edge_id(layer: &LayerGraph, d: u32, s: u32) -> usize {
+    let srcs = layer.csr.srcs(d);
+    let base = layer.csr.edge_range(d).start;
+    base + srcs.iter().position(|&x| x == s).expect("edge exists")
+}
+
+impl Op for Pull {
+    fn name(&self) -> &str {
+        "pull"
+    }
+
+    fn forward(&self, inputs: &[&Matrix], ctx: &mut ExecCtx) -> Matrix {
+        let weights = inputs.get(1).copied();
+        let out = self.compute(inputs[0], weights);
+        let stats = self.forward_stats(inputs[0].cols(), ctx.sim.device().num_sms);
+        ctx.sim.record_gpu(Phase::Aggregation, stats);
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        grad: &Matrix,
+        ctx: &mut ExecCtx,
+    ) -> Vec<Option<Matrix>> {
+        let weights = inputs.get(1).copied();
+        let (dx, dw) = self.compute_backward(inputs[0], weights, grad);
+        // Backward is the same traversal in reverse (f' ≡ f, Fig 3b).
+        let mut stats = self.forward_stats(inputs[0].cols(), ctx.sim.device().num_sms);
+        stats.global_write_bytes = dx.bytes() + dw.as_ref().map_or(0, |w| w.bytes());
+        ctx.sim.record_gpu(Phase::Aggregation, stats);
+        if self.h.is_some() {
+            vec![Some(dx), dw]
+        } else {
+            vec![Some(dx)]
+        }
+    }
+
+    fn out_shape(&self, in_shapes: &[(usize, usize)], _params: &ParamStore) -> (usize, usize) {
+        (self.layer.num_dst, in_shapes[0].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::convert::{coo_to_csc, coo_to_csr};
+    use gt_graph::{Coo, Csr};
+    use gt_tensor::sparse;
+
+    /// Layer: dst 0 ← {1, 2}, dst 1 ← {1}, over 3 srcs.
+    fn layer() -> Arc<LayerGraph> {
+        let coo = Coo::from_edges(3, &[(1, 0), (2, 0), (1, 1)]);
+        let (csr_full, _) = coo_to_csr(&coo);
+        let csr = Csr::new(csr_full.indptr[..=2].to_vec(), csr_full.srcs.clone());
+        let (csc, _) = coo_to_csc(&coo);
+        Arc::new(LayerGraph {
+            csr,
+            csc,
+            num_dst: 2,
+            num_src: 3,
+        })
+    }
+
+    fn feats() -> Matrix {
+        Matrix::from_vec(3, 2, vec![1., 10., 2., 20., 3., 30.])
+    }
+
+    #[test]
+    fn matches_spmm_oracle() {
+        let l = layer();
+        for agg in [Reduce::Sum, Reduce::Mean, Reduce::Max] {
+            let pull = Pull::new(Arc::clone(&l), agg);
+            let got = pull.compute(&feats(), None);
+            let oracle = sparse::spmm(&l.csr, &feats(), agg);
+            assert!(
+                got.max_abs_diff(&oracle) < 1e-6,
+                "agg {agg:?} diverged from oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_matches_oracle() {
+        let l = layer();
+        let w = Matrix::from_vec(3, 2, vec![0.5, 1.0, 2.0, 0.1, 1.5, 0.5]);
+        let pull = Pull::weighted(Arc::clone(&l), Reduce::Sum, HFn::Mul);
+        let got = pull.compute(&feats(), Some(&w));
+        let oracle = sparse::spmm_weighted(&l.csr, &feats(), &w, Reduce::Sum);
+        assert!(got.max_abs_diff(&oracle) < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_oracle() {
+        let l = layer();
+        let pull = Pull::new(Arc::clone(&l), Reduce::Mean);
+        let grad = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let (dx, dw) = pull.compute_backward(&feats(), None, &grad);
+        let oracle = sparse::spmm_backward(&l.csr, &grad, 3, Reduce::Mean);
+        assert!(dx.max_abs_diff(&oracle) < 1e-6);
+        assert!(dw.is_none());
+    }
+
+    #[test]
+    fn weighted_backward_finite_difference() {
+        let l = layer();
+        let pull = Pull::weighted(Arc::clone(&l), Reduce::Mean, HFn::Mul);
+        let x0 = feats();
+        let w0 = Matrix::from_vec(3, 2, vec![0.5, 1.0, 2.0, 0.1, 1.5, 0.5]);
+        let loss = |x: &Matrix, w: &Matrix| pull.compute(x, Some(w)).data().iter().sum::<f32>();
+        let ones = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let (dx, dw) = pull.compute_backward(&x0, Some(&w0), &ones);
+        let dw = dw.unwrap();
+        let eps = 1e-2f32;
+        for i in 0..x0.len() {
+            let mut p = x0.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x0.clone();
+            m.data_mut()[i] -= eps;
+            let num = (loss(&p, &w0) - loss(&m, &w0)) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        for i in 0..w0.len() {
+            let mut p = w0.clone();
+            p.data_mut()[i] += eps;
+            let mut m = w0.clone();
+            m.data_mut()[i] -= eps;
+            let num = (loss(&x0, &p) - loss(&x0, &m)) / (2.0 * eps);
+            assert!((num - dw.data()[i]).abs() < 1e-2, "dw[{i}]");
+        }
+    }
+
+    #[test]
+    fn charges_aggregation_phase_without_bloat() {
+        use gt_sim::{DeviceSpec, SimContext};
+        let l = layer();
+        let pull = Pull::new(l, Reduce::Mean);
+        let mut sim = SimContext::new(DeviceSpec::tiny());
+        let mut params = ParamStore::new();
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let f = feats();
+        let _ = pull.forward(&[&f], &mut ctx);
+        let s = ctx.sim.phase_stats(Phase::Aggregation);
+        assert!(s.flops > 0);
+        assert_eq!(s.alloc_bytes, 0, "NAPA allocates no conversion buffers");
+        assert!(!s.irregular);
+    }
+
+    #[test]
+    fn out_shape_is_dst_by_feat() {
+        let l = layer();
+        let pull = Pull::new(l, Reduce::Sum);
+        let p = ParamStore::new();
+        assert_eq!(pull.out_shape(&[(3, 7)], &p), (2, 7));
+    }
+}

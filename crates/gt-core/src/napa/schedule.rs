@@ -1,0 +1,106 @@
+//! Cache accounting for destination-centric, feature-wise thread scheduling
+//! (Fig 9a).
+//!
+//! NAPA assigns all features of one destination to one SM (thread blocks are
+//! indexed by dst and land on SM `dst % num_sms`). A destination's own
+//! embedding is therefore loaded exactly once, and a source embedding is
+//! loaded once per SM that references it — far fewer duplicates than
+//! edge-wise scheduling, where every edge is its own block and a hub
+//! vertex's embedding lands on many SMs (the cache bloat of §III).
+
+use gt_sample::LayerGraph;
+use gt_sim::CacheSim;
+
+/// Cache traffic of a feature-wise, dst-centric kernel over `layer`:
+/// each dst's block touches its own row and every src row.
+/// Returns the populated [`CacheSim`].
+pub fn feature_wise_cache(layer: &LayerGraph, row_bytes: u64, num_sms: usize) -> CacheSim {
+    let mut cache = CacheSim::new(num_sms);
+    for (d, srcs) in layer.csr.iter() {
+        if srcs.is_empty() {
+            continue;
+        }
+        let block = d as usize; // one block per destination
+        cache.touch_block(block, d as u64, row_bytes);
+        for &s in srcs {
+            cache.touch_block(block, s as u64, row_bytes);
+        }
+    }
+    cache
+}
+
+/// Cache traffic of an *edge-wise* kernel over the same layer: each edge is
+/// its own block, touching its src and dst rows (Graph-approach, Fig 5c
+/// bottom). Exposed here so benches can contrast the two policies directly;
+/// the baselines crate uses it for DGL-style kernels.
+pub fn edge_wise_cache(layer: &LayerGraph, row_bytes: u64, num_sms: usize) -> CacheSim {
+    let mut cache = CacheSim::new(num_sms);
+    let mut block = 0usize;
+    for (d, srcs) in layer.csr.iter() {
+        for &s in srcs {
+            cache.touch_block(block, d as u64, row_bytes);
+            cache.touch_block(block, s as u64, row_bytes);
+            block += 1;
+        }
+    }
+    cache
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::{Coo, Csc, Csr};
+
+    /// A hub layer: many dsts all reading src 0, plus per-dst self rows.
+    fn hub_layer(dsts: usize) -> LayerGraph {
+        let mut edges = Vec::new();
+        for d in 0..dsts as u32 {
+            edges.push((dsts as u32, d)); // hub src = id `dsts`
+            edges.push((d, d)); // self loop
+        }
+        let coo = Coo::from_edges(dsts + 1, &edges);
+        let (csr_full, _) = gt_graph::convert::coo_to_csr(&coo);
+        let csr = Csr::new(csr_full.indptr[..=dsts].to_vec(), csr_full.srcs.clone());
+        let (csc, _) = gt_graph::convert::coo_to_csc(&coo);
+        LayerGraph {
+            csr,
+            csc: Csc::new(csc.indptr, csc.dsts),
+            num_dst: dsts,
+            num_src: dsts + 1,
+        }
+    }
+
+    #[test]
+    fn feature_wise_loads_less_than_edge_wise() {
+        let layer = hub_layer(64);
+        let fw = feature_wise_cache(&layer, 256, 8);
+        let ew = edge_wise_cache(&layer, 256, 8);
+        assert!(
+            fw.loaded_bytes() <= ew.loaded_bytes(),
+            "feature-wise {} > edge-wise {}",
+            fw.loaded_bytes(),
+            ew.loaded_bytes()
+        );
+        // The hub row gets duplicated across SMs either way, but edge-wise
+        // also duplicates dst rows; with one block per dst, feature-wise
+        // loads each dst row exactly once.
+        assert!(ew.duplicate_rows() > fw.duplicate_rows());
+    }
+
+    #[test]
+    fn single_sm_has_no_bloat() {
+        let layer = hub_layer(16);
+        let fw = feature_wise_cache(&layer, 100, 1);
+        assert_eq!(fw.duplicate_rows(), 0);
+        assert_eq!(fw.unique_rows(), 17);
+    }
+
+    #[test]
+    fn dst_rows_loaded_once_feature_wise() {
+        let layer = hub_layer(32);
+        let fw = feature_wise_cache(&layer, 1, 4);
+        // unique rows = 33 (32 dsts + hub); duplicates only from the hub
+        // row appearing on up to 4 SMs.
+        assert!(fw.duplicate_rows() <= 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! The GNN kernel orchestrator (§V-A): Dynamic Kernel Placement.
+//!
+//! The orchestrator inspects the model's dataflow graph at construction
+//! time, finds every Pull → MatMul pair, and replaces it with a single
+//! [`CostDkp`] node (Fig 11c). At execution time the Cost-DKP node consults
+//! the fitted [`CostModel`] (Table I) and runs either aggregation-first or
+//! combination-first, whichever the model predicts cheaper for the layer's
+//! dimensionality — "it conditionally performs the dynamic kernel placement
+//! at a construction time of GNN's dataflow graph".
+
+pub mod cost;
+pub mod dkp;
+
+pub use cost::{CostModel, Dims, Placement};
+pub use dkp::{apply_dkp, CostDkp, DkpPair};

@@ -1,0 +1,566 @@
+//! The GraphTensor framework: NAPA kernels + kernel orchestrator +
+//! service-wide tensor scheduler, in the three build variants of §VI:
+//!
+//! * **Base-GT** — NAPA only (destination-centric feature-wise kernels);
+//! * **Dynamic-GT** — Base + Dynamic Kernel Placement;
+//! * **Prepro-GT** — Dynamic + the service-wide tensor scheduler.
+
+use crate::config::ModelConfig;
+use crate::data::GraphData;
+use crate::framework::{BatchReport, Framework, FrameworkTraits};
+use crate::napa::{NeighborApply, Pull};
+use crate::orchestrator::{apply_dkp, CostModel, DkpPair};
+use crate::prepro::{run_prepro, PreproResult};
+use crate::scheduler::{schedule_prepro, PreproStrategy};
+use gt_graph::VId;
+use gt_sample::SamplerConfig;
+use gt_sim::{SimContext, SystemSpec};
+use gt_tensor::dense::Matrix;
+use gt_tensor::dfg::{Dfg, ExecCtx, Linear, ParamStore, Relu};
+use gt_tensor::init::xavier;
+use gt_tensor::loss::softmax_cross_entropy;
+use gt_tensor::optim::{clip_grad_norm, Optimizer};
+use std::sync::Arc;
+
+pub use crate::orchestrator::dkp::DkpCounters;
+
+/// Which GraphTensor build to run (§VI "Evaluation method").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GtVariant {
+    /// NAPA, static aggregation-first placement, serialized preprocessing.
+    Base,
+    /// NAPA + DKP, serialized preprocessing.
+    Dynamic,
+    /// NAPA + DKP + service-wide tensor scheduling.
+    Prepro,
+}
+
+impl GtVariant {
+    fn label(self) -> &'static str {
+        match self {
+            GtVariant::Base => "Base-GT",
+            GtVariant::Dynamic => "Dynamic-GT",
+            GtVariant::Prepro => "Prepro-GT",
+        }
+    }
+}
+
+/// The GraphTensor trainer.
+pub struct GraphTensor {
+    /// Which of the three builds this instance is.
+    pub variant: GtVariant,
+    /// The GNN being trained.
+    pub model: ModelConfig,
+    /// Modeled system (GPU + host + PCIe).
+    pub sys: SystemSpec,
+    /// Sampling configuration (seed advances per batch).
+    pub sampler: SamplerConfig,
+    /// SGD learning rate (used when no [`GraphTensor::optimizer`] is set).
+    pub lr: f32,
+    /// Optional optimizer replacing plain SGD (momentum, Adam).
+    pub optimizer: Option<Optimizer>,
+    /// Optional global gradient-norm clip applied before each step.
+    pub grad_clip: Option<f32>,
+    /// Batches used for DKP cost-model calibration (first-epoch fitting).
+    pub calibration_batches: usize,
+    params: ParamStore,
+    cost: Arc<CostModel>,
+    counters: Arc<DkpCounters>,
+    batches_run: usize,
+    params_ready: bool,
+}
+
+impl GraphTensor {
+    /// Build a trainer; parameters initialize lazily on the first batch
+    /// (they need the dataset's feature dimension).
+    pub fn new(variant: GtVariant, model: ModelConfig, sys: SystemSpec) -> Self {
+        let cost = Arc::new(CostModel::from_device(&sys.gpu));
+        GraphTensor {
+            variant,
+            model,
+            sampler: SamplerConfig::default(),
+            sys,
+            lr: 0.01,
+            optimizer: None,
+            grad_clip: None,
+            calibration_batches: 3,
+            params: ParamStore::new(),
+            cost,
+            counters: Arc::new(DkpCounters::default()),
+            batches_run: 0,
+            params_ready: false,
+        }
+    }
+
+    /// DKP decision counters (aggregation-first, combination-first).
+    pub fn dkp_decisions(&self) -> (usize, usize) {
+        self.counters.snapshot()
+    }
+
+    /// The shared DKP cost model (coefficients, fit error).
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Model parameters (for tests and checkpointing).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Replace the model parameters (checkpoint restore). The store must
+    /// contain every weight/bias the model's layer names expect.
+    pub fn set_params(&mut self, params: ParamStore) {
+        for l in 0..self.model.layers {
+            assert!(
+                params.contains(&self.model.weight_name(l)),
+                "checkpoint missing {}",
+                self.model.weight_name(l)
+            );
+        }
+        self.params = params;
+        self.params_ready = true;
+    }
+
+    fn ensure_params(&mut self, feature_dim: usize) {
+        if self.params_ready {
+            return;
+        }
+        let mut in_dim = feature_dim;
+        for l in 0..self.model.layers {
+            let out = self.model.layer_out_dim(l);
+            self.params.register(
+                self.model.weight_name(l),
+                xavier(in_dim, out, 0xC0FFEE + l as u64),
+            );
+            self.params
+                .register(self.model.bias_name(l), Matrix::zeros(1, out));
+            in_dim = out;
+        }
+        self.params_ready = true;
+    }
+
+    /// Construct the per-batch DFG from NAPA primitives (Fig 10) and note
+    /// every Pull → MatMul pair for the orchestrator.
+    fn build_dfg(&self, pr: &PreproResult) -> (Dfg, Vec<DkpPair>) {
+        let mut dfg = Dfg::new();
+        let mut pairs = Vec::new();
+        let mut x = dfg.input(0);
+        for l in 0..self.model.layers {
+            let layer = Arc::clone(&pr.layers[l]);
+            let pull_op;
+            let pull_node;
+            if let Some(ew) = self.model.edge {
+                let na = dfg.op(NeighborApply::new(Arc::clone(&layer), ew.g), &[x]);
+                pull_op = Pull::weighted(Arc::clone(&layer), self.model.agg, ew.h);
+                pull_node = dfg.op(pull_op.clone(), &[x, na]);
+            } else {
+                pull_op = Pull::new(Arc::clone(&layer), self.model.agg);
+                pull_node = dfg.op(pull_op.clone(), &[x]);
+            }
+            let w = self.model.weight_name(l);
+            let b = self.model.bias_name(l);
+            let lin = dfg.op(Linear::new(w.clone(), b.clone()), &[pull_node]);
+            pairs.push(DkpPair {
+                pull_node,
+                linear_node: lin,
+                pull: pull_op,
+                weight: w,
+                bias: Some(b),
+                needs_input_grad: l > 0,
+            });
+            x = if l + 1 < self.model.layers {
+                dfg.op(Relu, &[lin])
+            } else {
+                lin
+            };
+        }
+        dfg.set_output(x);
+        (dfg, pairs)
+    }
+
+    /// Train one step on the ENTIRE graph without sampling — the
+    /// full-graph scenario GNNAdvisor targets (§VI-A). The whole embedding
+    /// table and adjacency are charged to device memory, so graphs beyond
+    /// the device capacity report OOM, reproducing the paper's scalability
+    /// argument for sampling-based preprocessing.
+    pub fn train_full_graph(&mut self, data: &GraphData) -> BatchReport {
+        self.ensure_params(data.feature_dim());
+        let pr = crate::full_graph::full_graph_prepro(data, self.model.layers);
+        let mut sim = SimContext::new(self.sys.gpu.clone());
+        let _ = sim.memory.alloc(pr.features.bytes());
+        // All layers share one resident structure.
+        let _ = sim.memory.alloc(pr.layers[0].structure_bytes());
+
+        let (mut dfg, pairs) = self.build_dfg(&pr);
+        if self.variant != GtVariant::Base {
+            apply_dkp(&mut dfg, pairs, &self.cost, false, &self.counters);
+        }
+        let all: Vec<VId> = (0..data.num_vertices() as VId).collect();
+        let labels = data.batch_labels(&all);
+        self.params.zero_grads();
+        let loss = {
+            let mut ctx = ExecCtx {
+                sim: &mut sim,
+                params: &mut self.params,
+            };
+            let values = dfg.forward(std::slice::from_ref(&pr.features), &mut ctx);
+            let logits = values.get(dfg.output());
+            let (loss, grad) = softmax_cross_entropy(logits, &labels);
+            dfg.backward(&values, grad, &mut ctx);
+            loss
+        };
+        self.optimizer_step();
+        let oom = sim.memory.oom().map(|e| e.to_string());
+        BatchReport {
+            loss,
+            sim,
+            prepro: None,
+            num_nodes: data.num_vertices(),
+            num_edges: data.graph.num_edges(),
+            oom,
+        }
+    }
+
+    /// Forward-only inference on one batch: preprocess, run FWP, return the
+    /// logits (row `i` = `batch[i]`). No gradients, no parameter update.
+    pub fn infer_batch(&mut self, data: &GraphData, batch: &[VId]) -> Matrix {
+        self.ensure_params(data.feature_dim());
+        let mut cfg = self.sampler.clone();
+        cfg.seed = cfg.seed.wrapping_add(0x1FE0 + self.batches_run as u64);
+        let pr = run_prepro(data, batch, &cfg);
+        let mut sim = SimContext::new(self.sys.gpu.clone());
+        let (dfg, pairs) = self.build_dfg(&pr);
+        let mut dfg = dfg;
+        if self.variant != GtVariant::Base {
+            apply_dkp(&mut dfg, pairs, &self.cost, false, &self.counters);
+        }
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut self.params,
+        };
+        let values = dfg.forward(std::slice::from_ref(&pr.features), &mut ctx);
+        values.get(dfg.output()).clone()
+    }
+
+    /// Apply the configured update rule to the accumulated gradients.
+    fn optimizer_step(&mut self) {
+        if let Some(max) = self.grad_clip {
+            clip_grad_norm(&mut self.params, max);
+        }
+        match &mut self.optimizer {
+            Some(opt) => opt.step(&mut self.params),
+            None => self.params.sgd_step(self.lr),
+        }
+    }
+
+    fn prepro_strategy(&self) -> PreproStrategy {
+        match self.variant {
+            // Base/Dynamic serialize S→R→K→T like DGL (§VI-B) but still
+            // overlap whole batches with GPU compute.
+            GtVariant::Base | GtVariant::Dynamic => PreproStrategy::Serial,
+            GtVariant::Prepro => PreproStrategy::PipelinedRelaxed,
+        }
+    }
+}
+
+impl Framework for GraphTensor {
+    fn name(&self) -> String {
+        self.variant.label().to_string()
+    }
+
+    fn traits(&self) -> FrameworkTraits {
+        FrameworkTraits {
+            initial_format: "CSR",
+            memory_bloat: false,
+            format_translation: false,
+            cache_bloat: false,
+            prepro_overhead: if self.variant == GtVariant::Prepro {
+                'X'
+            } else {
+                'D'
+            },
+        }
+    }
+
+    fn overlaps_batches(&self) -> bool {
+        true
+    }
+
+    fn train_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
+        let labels = data.batch_labels(batch);
+        self.train_batch_with_loss(data, batch, |logits, _rows| {
+            softmax_cross_entropy(logits, &labels)
+        })
+    }
+}
+
+impl GraphTensor {
+    /// Train one batch under a caller-supplied loss. The closure receives
+    /// the final-layer output (row `i` = the vertex whose *original* id is
+    /// `rows[i]`; the batch occupies the first rows in order) and returns
+    /// `(loss, ∂loss/∂output)`. This is how non-classification heads (e.g.
+    /// BPR ranking for NGCF-style recommendation) plug in.
+    pub fn train_batch_with_loss<L>(
+        &mut self,
+        data: &GraphData,
+        batch: &[VId],
+        loss_fn: L,
+    ) -> BatchReport
+    where
+        L: FnOnce(&Matrix, &[VId]) -> (f32, Matrix),
+    {
+        self.ensure_params(data.feature_dim());
+        let mut cfg = self.sampler.clone();
+        cfg.seed = cfg.seed.wrapping_add(self.batches_run as u64);
+        let pr = run_prepro(data, batch, &cfg);
+
+        let mut sim = SimContext::new(self.sys.gpu.clone());
+        // Input tensors land in device memory.
+        let _ = sim.memory.alloc(pr.features.bytes());
+        for l in &pr.layers {
+            let _ = sim.memory.alloc(l.structure_bytes());
+        }
+
+        let (mut dfg, pairs) = self.build_dfg(&pr);
+        if self.variant != GtVariant::Base {
+            let calibrate = self.batches_run < self.calibration_batches;
+            apply_dkp(&mut dfg, pairs, &self.cost, calibrate, &self.counters);
+        }
+
+        self.params.zero_grads();
+        let (loss, num_edges) = {
+            let mut ctx = ExecCtx {
+                sim: &mut sim,
+                params: &mut self.params,
+            };
+            let values = dfg.forward(std::slice::from_ref(&pr.features), &mut ctx);
+            let logits = values.get(dfg.output());
+            let (loss, grad) = loss_fn(logits, &pr.new_to_orig);
+            let _ = sim_loss_record(ctx.sim, logits);
+            dfg.backward(&values, grad, &mut ctx);
+            (loss, pr.layers.iter().map(|l| l.csr.num_edges()).sum())
+        };
+        self.optimizer_step();
+
+        self.batches_run += 1;
+        if self.variant != GtVariant::Base && self.batches_run == self.calibration_batches {
+            // First-epoch least-squares fit of the DKP cost model (§V-A).
+            let _ = self.cost.fit();
+        }
+
+        let prepro = schedule_prepro(&pr.work, &self.sys, self.prepro_strategy());
+        let oom = sim.memory.oom().map(|e| e.to_string());
+        BatchReport {
+            loss,
+            sim,
+            prepro: Some(prepro),
+            num_nodes: pr.work.total_nodes as usize,
+            num_edges,
+            oom,
+        }
+    }
+}
+
+/// Charge the loss kernel (elementwise over the batch logits).
+fn sim_loss_record(sim: &mut SimContext, logits: &Matrix) -> f64 {
+    sim.record_gpu(
+        gt_sim::Phase::Loss,
+        gt_sim::KernelStats {
+            flops: 4 * logits.len() as u64,
+            global_read_bytes: logits.bytes(),
+            global_write_bytes: logits.bytes(),
+            launches: 1,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sample::BatchIter;
+    use gt_sim::Phase;
+
+    fn data() -> GraphData {
+        GraphData::synthetic(300, 3000, 16, 4, 3)
+    }
+
+    fn trainer(variant: GtVariant, model: ModelConfig) -> GraphTensor {
+        let mut t = GraphTensor::new(variant, model, SystemSpec::tiny());
+        t.sampler = SamplerConfig {
+            fanout: 4,
+            layers: 2,
+            seed: 11,
+            ..Default::default()
+        };
+        t
+    }
+
+    #[test]
+    fn gcn_loss_decreases_over_batches() {
+        let d = GraphData::synthetic_learnable(300, 3000, 16, 2, 3);
+        let mut t = trainer(GtVariant::Base, ModelConfig::gcn(2, 16, 2));
+        t.lr = 0.3;
+        let batches: Vec<Vec<VId>> = BatchIter::new(300, 32, 5).take(8).collect();
+        // Sampled minibatches are noisy; compare epoch-average losses.
+        let epoch = |t: &mut GraphTensor| -> f32 {
+            batches.iter().map(|b| t.train_batch(&d, b).loss).sum::<f32>()
+                / batches.len() as f32
+        };
+        let first = epoch(&mut t);
+        let mut last = first;
+        for _ in 0..6 {
+            last = epoch(&mut t);
+        }
+        assert!(
+            last < first * 0.9,
+            "loss did not improve: first epoch {first}, last epoch {last}"
+        );
+    }
+
+    #[test]
+    fn ngcf_trains_and_charges_edge_weighting() {
+        let d = data();
+        let mut t = trainer(GtVariant::Base, ModelConfig::ngcf(2, 16, 4));
+        let r = t.train_batch(&d, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(r.loss.is_finite());
+        assert!(r.phase_us(Phase::EdgeWeighting) > 0.0);
+        assert!(r.phase_us(Phase::Aggregation) > 0.0);
+        assert!(r.phase_us(Phase::Combination) > 0.0);
+    }
+
+    #[test]
+    fn dynamic_matches_base_numerics() {
+        let d = data();
+        let mut base = trainer(GtVariant::Base, ModelConfig::gcn(2, 16, 4));
+        let mut dynamic = trainer(GtVariant::Dynamic, ModelConfig::gcn(2, 16, 4));
+        let batch: Vec<VId> = (0..16).collect();
+        let rb = base.train_batch(&d, &batch);
+        let rd = dynamic.train_batch(&d, &batch);
+        assert!(
+            (rb.loss - rd.loss).abs() < 1e-4,
+            "base {} vs dynamic {}",
+            rb.loss,
+            rd.loss
+        );
+        let (af, cf) = dynamic.dkp_decisions();
+        assert_eq!(af + cf, 2, "one decision per layer");
+        assert_eq!(base.dkp_decisions(), (0, 0));
+    }
+
+    #[test]
+    fn calibration_fits_after_configured_batches() {
+        let d = data();
+        let mut t = trainer(GtVariant::Dynamic, ModelConfig::gcn(2, 16, 4));
+        t.calibration_batches = 2;
+        let batch: Vec<VId> = (0..8).collect();
+        t.train_batch(&d, &batch);
+        assert!(t.cost_model().fit_error().is_none());
+        t.train_batch(&d, &batch);
+        assert!(t.cost_model().fit_error().is_some());
+        let err = t.cost_model().fit_error().unwrap();
+        assert!(err < 0.5, "fit error too large: {err}");
+    }
+
+    #[test]
+    fn prepro_variant_schedules_pipeline() {
+        // Large enough that transfers and sampling dominate chunk overheads.
+        let d = GraphData::synthetic(2000, 40_000, 256, 4, 3);
+        let mut serial = trainer(GtVariant::Dynamic, ModelConfig::gcn(2, 16, 4));
+        let mut pipe = trainer(GtVariant::Prepro, ModelConfig::gcn(2, 16, 4));
+        serial.sampler.fanout = 10;
+        pipe.sampler.fanout = 10;
+        let batch: Vec<VId> = (0..300).collect();
+        let rs = serial.train_batch(&d, &batch);
+        let rp = pipe.train_batch(&d, &batch);
+        assert!(
+            rp.prepro_us() < rs.prepro_us(),
+            "pipelined {} !< serial {}",
+            rp.prepro_us(),
+            rs.prepro_us()
+        );
+    }
+
+    #[test]
+    fn no_bloat_counters_for_napa() {
+        let d = data();
+        let mut t = trainer(GtVariant::Base, ModelConfig::ngcf(2, 16, 4));
+        let r = t.train_batch(&d, &[0, 1, 2, 3]);
+        // NAPA performs no sparse→dense conversion and no translation.
+        assert_eq!(r.phase_us(Phase::Sparse2Dense), 0.0);
+        assert_eq!(r.phase_us(Phase::FormatTranslation), 0.0);
+        assert!(r.oom.is_none());
+    }
+
+    #[test]
+    fn report_shapes_are_consistent() {
+        let d = data();
+        let mut t = trainer(GtVariant::Prepro, ModelConfig::gcn(2, 16, 4));
+        let r = t.train_batch(&d, &[0, 1, 2, 3, 4]);
+        assert!(r.num_nodes >= 5);
+        assert!(r.num_edges >= r.num_nodes); // self-loops guarantee ≥
+        assert!(r.gpu_us() > 0.0);
+        assert!(r.e2e_us(true) <= r.e2e_us(false));
+    }
+}
+
+#[cfg(test)]
+mod optimizer_tests {
+    use super::*;
+    use gt_sample::SamplerConfig;
+
+    #[test]
+    fn adam_trains_through_the_pipeline() {
+        let d = GraphData::synthetic_learnable(200, 1600, 8, 2, 5);
+        let mut t = GraphTensor::new(
+            GtVariant::Dynamic,
+            ModelConfig::gcn(2, 8, 2),
+            SystemSpec::tiny(),
+        );
+        t.sampler = SamplerConfig {
+            fanout: 3,
+            layers: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        t.optimizer = Some(Optimizer::adam(0.05));
+        t.grad_clip = Some(5.0);
+        let batch: Vec<VId> = (0..40).collect();
+        let first = t.train_batch(&d, &batch).loss;
+        let mut last = first;
+        for _ in 0..20 {
+            last = t.train_batch(&d, &batch).loss;
+        }
+        assert!(last < first, "Adam did not descend: {first} → {last}");
+    }
+
+    #[test]
+    fn momentum_matches_sgd_shape() {
+        let d = GraphData::synthetic_learnable(200, 1600, 8, 2, 5);
+        let run = |opt: Option<Optimizer>| {
+            let mut t = GraphTensor::new(
+                GtVariant::Base,
+                ModelConfig::gcn(2, 8, 2),
+                SystemSpec::tiny(),
+            );
+            t.sampler = SamplerConfig {
+                fanout: 3,
+                layers: 2,
+                seed: 4,
+                ..Default::default()
+            };
+            t.lr = 0.2;
+            t.optimizer = opt;
+            let batch: Vec<VId> = (0..40).collect();
+            let mut last = 0.0;
+            for _ in 0..15 {
+                last = t.train_batch(&d, &batch).loss;
+            }
+            last
+        };
+        let sgd = run(None);
+        let mom = run(Some(Optimizer::momentum(0.05, 0.9)));
+        assert!(sgd.is_finite() && mom.is_finite());
+        assert!(sgd < 0.7 && mom < 0.7, "sgd {sgd}, momentum {mom}");
+    }
+}

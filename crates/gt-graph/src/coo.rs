@@ -1,0 +1,141 @@
+//! Coordinate-list (COO) edge storage: parallel `src`/`dst` arrays indexed by
+//! edge id (Fig 1b, left).
+
+use crate::VId;
+
+/// An edge list in coordinate format. Edges are directed src → dst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo {
+    /// Number of vertices in the id space (vertex ids are `0..num_vertices`).
+    num_vertices: usize,
+    /// Source vertex of each edge.
+    pub src: Vec<VId>,
+    /// Destination vertex of each edge.
+    pub dst: Vec<VId>,
+}
+
+impl Coo {
+    /// Build from parallel arrays. Panics if lengths differ or an id is out
+    /// of range (checked in debug builds only for speed).
+    pub fn new(num_vertices: usize, src: Vec<VId>, dst: Vec<VId>) -> Self {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        debug_assert!(src.iter().all(|&v| (v as usize) < num_vertices));
+        debug_assert!(dst.iter().all(|&v| (v as usize) < num_vertices));
+        Coo {
+            num_vertices,
+            src,
+            dst,
+        }
+    }
+
+    /// An empty graph over `num_vertices` vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        Coo {
+            num_vertices,
+            src: Vec::new(),
+            dst: Vec::new(),
+        }
+    }
+
+    /// Build from (src, dst) pairs.
+    pub fn from_edges(num_vertices: usize, edges: &[(VId, VId)]) -> Self {
+        let mut src = Vec::with_capacity(edges.len());
+        let mut dst = Vec::with_capacity(edges.len());
+        for &(s, d) in edges {
+            src.push(s);
+            dst.push(d);
+        }
+        Coo::new(num_vertices, src, dst)
+    }
+
+    /// Number of vertices in the id space.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Iterate over edges as (src, dst).
+    pub fn edges(&self) -> impl Iterator<Item = (VId, VId)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+
+    /// Storage footprint in bytes (two id arrays — the "heavier storage
+    /// overhead than CSR/CSC" of §II-A).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.src.len() + self.dst.len()) as u64 * std::mem::size_of::<VId>() as u64
+    }
+
+    /// Remove duplicate edges and self-loops, preserving first occurrence
+    /// order of the deduplicated set. Generators use this to clean RMAT
+    /// output.
+    pub fn dedup(mut self) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(self.src.len());
+        let mut s = Vec::with_capacity(self.src.len());
+        let mut d = Vec::with_capacity(self.dst.len());
+        for (a, b) in self.src.iter().copied().zip(self.dst.iter().copied()) {
+            if a != b && seen.insert(((a as u64) << 32) | b as u64) {
+                s.push(a);
+                d.push(b);
+            }
+        }
+        self.src = s;
+        self.dst = d;
+        self
+    }
+
+    /// Append the reverse of every edge (make the graph symmetric).
+    pub fn symmetrize(mut self) -> Self {
+        let n = self.num_edges();
+        self.src.reserve(n);
+        self.dst.reserve(n);
+        for i in 0..n {
+            let (s, d) = (self.src[i], self.dst[i]);
+            self.src.push(d);
+            self.dst.push(s);
+        }
+        self.dedup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let g = Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_arrays_rejected() {
+        Coo::new(3, vec![0, 1], vec![2]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let g = Coo::from_edges(3, &[(0, 1), (0, 1), (1, 1), (2, 0)]).dedup();
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let g = Coo::from_edges(3, &[(0, 1)]).symmetrize();
+        let mut e = g.edges().collect::<Vec<_>>();
+        e.sort();
+        assert_eq!(e, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn storage_is_two_arrays() {
+        let g = Coo::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.storage_bytes(), 16);
+    }
+}

@@ -1,0 +1,300 @@
+//! Seeded synthetic graph generators.
+//!
+//! These stand in for the paper's OGB/GraphSAINT/SNAP datasets (DESIGN.md §2).
+//! Each generator is deterministic given its seed. Four families cover the
+//! Table-II workloads' structure:
+//!
+//! * [`rmat`] — power-law web/social graphs (products, citation2, papers,
+//!   reddit2, livejournal, wiki-talk, google);
+//! * [`power_law`] — configuration-model graphs with an explicit exponent;
+//! * [`grid2d`] — near-planar constant-degree road networks (roadnet-ca);
+//! * [`bipartite`] — user–item interaction graphs (amazon, gowalla).
+//! * [`erdos_renyi`] — uniform random baseline used by tests.
+
+use crate::{Coo, VId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+/// Recursive-matrix (R-MAT) generator with the canonical (a,b,c,d) =
+/// (0.57, 0.19, 0.19, 0.05) partition probabilities, yielding a power-law
+/// degree distribution like real web/social graphs.
+pub fn rmat(num_vertices: usize, num_edges: usize, seed: u64) -> Coo {
+    rmat_with(num_vertices, num_edges, 0.57, 0.19, 0.19, seed)
+}
+
+/// R-MAT with explicit quadrant probabilities (d = 1 - a - b - c).
+pub fn rmat_with(
+    num_vertices: usize,
+    num_edges: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+) -> Coo {
+    assert!(num_vertices > 1);
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    let scale = (num_vertices as f64).log2().ceil() as u32;
+    let side = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = Vec::with_capacity(num_edges);
+    let mut dst = Vec::with_capacity(num_edges);
+    while src.len() < num_edges {
+        let (mut x, mut y) = (0usize, 0usize);
+        let mut half = side / 2;
+        while half > 0 {
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                y += half;
+            } else if r < a + b + c {
+                x += half;
+            } else {
+                x += half;
+                y += half;
+            }
+            half /= 2;
+        }
+        if x < num_vertices && y < num_vertices && x != y {
+            src.push(x as VId);
+            dst.push(y as VId);
+        }
+    }
+    Coo::new(num_vertices, src, dst).dedup()
+}
+
+/// Configuration-model graph whose out-degrees follow a Zipf distribution
+/// with the given exponent; endpoints are matched uniformly.
+pub fn power_law(num_vertices: usize, target_edges: usize, exponent: f64, seed: u64) -> Coo {
+    assert!(num_vertices > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(num_vertices as u64, exponent).expect("valid zipf parameters");
+    let mut src = Vec::with_capacity(target_edges);
+    let mut dst = Vec::with_capacity(target_edges);
+    while src.len() < target_edges {
+        // Zipf yields ranks in 1..=n; rank 1 is the hottest vertex.
+        let s = zipf.sample(&mut rng) as u64 - 1;
+        let d = rng.gen_range(0..num_vertices as u64);
+        if s != d {
+            src.push(s as VId);
+            dst.push(d as VId);
+        }
+    }
+    Coo::new(num_vertices, src, dst).dedup()
+}
+
+/// 2-D grid with 4-neighborhood edges, modeling road networks: bounded
+/// degree, enormous diameter, no hubs (roadnet-ca in Table II).
+pub fn grid2d(width: usize, height: usize) -> Coo {
+    let n = width * height;
+    let at = |x: usize, y: usize| (y * width + x) as VId;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                edges.push((at(x, y), at(x + 1, y)));
+                edges.push((at(x + 1, y), at(x, y)));
+            }
+            if y + 1 < height {
+                edges.push((at(x, y), at(x, y + 1)));
+                edges.push((at(x, y + 1), at(x, y)));
+            }
+        }
+    }
+    Coo::from_edges(n, &edges)
+}
+
+/// Bipartite user–item graph: `users` vertices [0, users) connect to `items`
+/// vertices [users, users+items) with Zipf-distributed item popularity —
+/// the recommendation workloads (amazon, gowalla) NGCF targets.
+pub fn bipartite(users: usize, items: usize, num_edges: usize, seed: u64) -> Coo {
+    assert!(users > 0 && items > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(items as u64, 1.1).expect("valid zipf parameters");
+    let mut src = Vec::with_capacity(num_edges);
+    let mut dst = Vec::with_capacity(num_edges);
+    while src.len() < num_edges {
+        let u = rng.gen_range(0..users as u64) as VId;
+        let i = users as VId + (zipf.sample(&mut rng) as VId - 1);
+        src.push(u);
+        dst.push(i);
+    }
+    Coo::new(users + items, src, dst).dedup().symmetrize()
+}
+
+/// Erdős–Rényi G(n, m) with distinct uniform random edges.
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Coo {
+    assert!(num_vertices > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = Vec::with_capacity(num_edges);
+    let mut dst = Vec::with_capacity(num_edges);
+    while src.len() < num_edges {
+        let s = rng.gen_range(0..num_vertices as VId);
+        let d = rng.gen_range(0..num_vertices as VId);
+        if s != d {
+            src.push(s);
+            dst.push(d);
+        }
+    }
+    Coo::new(num_vertices, src, dst).dedup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::coo_to_csr;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(256, 1000, 7);
+        let b = rmat(256, 1000, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, rmat(256, 1000, 8));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(1024, 8000, 1);
+        let (csr, _) = coo_to_csr(&g);
+        let s = DegreeStats::of_csr(&csr);
+        // Power-law graphs have std dev well above the mean.
+        assert!(s.std_dev > s.mean, "std={} mean={}", s.std_dev, s.mean);
+        assert!(s.max > 10 * s.mean as usize);
+    }
+
+    #[test]
+    fn grid_degrees_are_bounded() {
+        let g = grid2d(10, 10);
+        assert_eq!(g.num_vertices(), 100);
+        let (csr, _) = coo_to_csr(&g);
+        let s = DegreeStats::of_csr(&csr);
+        assert_eq!(s.max, 4);
+        assert!(s.mean >= 2.0 && s.mean <= 4.0);
+        assert!(s.std_dev < 1.0);
+    }
+
+    #[test]
+    fn bipartite_edges_cross_parts() {
+        let g = bipartite(50, 20, 300, 3);
+        for (s, d) in g.edges() {
+            let su = (s as usize) < 50;
+            let du = (d as usize) < 50;
+            assert_ne!(su, du, "edge within one part: {s}->{d}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_has_no_self_loops_or_dupes() {
+        let g = erdos_renyi(100, 500, 5);
+        assert_eq!(g.num_edges(), {
+            let set: std::collections::HashSet<_> = g.edges().collect();
+            set.len()
+        });
+        assert!(g.edges().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn power_law_hits_target_before_dedup() {
+        let g = power_law(500, 2000, 1.2, 9);
+        // dedup may trim a little, but the bulk should remain
+        assert!(g.num_edges() > 1000, "edges={}", g.num_edges());
+    }
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to their current degree.
+/// Produces the scale-free structure of citation networks.
+pub fn barabasi_albert(num_vertices: usize, m: usize, seed: u64) -> Coo {
+    assert!(num_vertices > m && m > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoint list: sampling a uniform element of `endpoints`
+    // is degree-proportional sampling.
+    let mut endpoints: Vec<VId> = Vec::with_capacity(2 * num_vertices * m);
+    let mut edges: Vec<(VId, VId)> = Vec::with_capacity(num_vertices * m);
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m as VId {
+        for j in 0..i {
+            edges.push((i, j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m as VId + 1)..num_vertices as VId {
+        let mut chosen: Vec<VId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Coo::from_edges(num_vertices, &edges).dedup()
+}
+
+/// Watts–Strogatz small world: a ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`. High clustering, short paths.
+pub fn watts_strogatz(num_vertices: usize, k: usize, beta: f64, seed: u64) -> Coo {
+    assert!(num_vertices > 2 * k && k > 0);
+    assert!((0.0..=1.0).contains(&beta));
+    let n = num_vertices as VId;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VId, VId)> = Vec::with_capacity(num_vertices * k);
+    for v in 0..n {
+        for j in 1..=k as VId {
+            let mut target = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target.
+                loop {
+                    target = rng.gen_range(0..n);
+                    if target != v {
+                        break;
+                    }
+                }
+            }
+            edges.push((v, target));
+        }
+    }
+    Coo::from_edges(num_vertices, &edges).dedup().symmetrize()
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::convert::coo_to_csr;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn barabasi_albert_is_scale_free_ish() {
+        let g = barabasi_albert(2000, 3, 5);
+        let (csr, _) = coo_to_csr(&g.clone().symmetrize());
+        let s = DegreeStats::of_csr(&csr);
+        // Preferential attachment yields hubs: max degree far above mean.
+        assert!(s.max as f64 > 8.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        assert!(g.num_edges() >= 2000 * 2);
+    }
+
+    #[test]
+    fn watts_strogatz_keeps_even_degree() {
+        let g = watts_strogatz(500, 3, 0.1, 7);
+        let (csr, _) = coo_to_csr(&g);
+        let s = DegreeStats::of_csr(&csr);
+        // Mostly lattice: degrees cluster near 2k = 6.
+        assert!(s.mean > 4.0 && s.mean < 8.0, "mean {}", s.mean);
+        assert!(s.std_dev < 2.5, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn extra_generators_are_deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 9), barabasi_albert(300, 2, 9));
+        assert_eq!(watts_strogatz(300, 2, 0.2, 9), watts_strogatz(300, 2, 0.2, 9));
+    }
+}

@@ -1,0 +1,216 @@
+//! The sampled-node VID hash table (§II-B, Fig 4a).
+//!
+//! Neighbor sampling "maintains a hash table for the sampled nodes"; each
+//! unique node added to a subgraph gets a fresh dense new-VID starting from
+//! zero. Sampling (S) inserts, reindexing (R) looks up — both hammer this
+//! shared structure, which is exactly the lock-contention hot spot of
+//! Fig 14a that the optimized scheduler relaxes by splitting S into an
+//! algorithm part and a hash-update part (Fig 14c).
+//!
+//! The table is sharded: each shard is a `parking_lot::Mutex<HashMap>`, and
+//! every acquisition that found its shard already locked is counted, so the
+//! contention analysis has real operation counts to work from. Sequential
+//! use is fully deterministic (new VIDs are allocated in insertion order).
+
+use gt_graph::VId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Number of shards; power of two for cheap masking.
+const SHARDS: usize = 16;
+
+/// Operation counters exported for scheduler cost models and Fig 14.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VidMapStats {
+    /// `insert_or_get` calls that allocated a new VID.
+    pub inserts: u64,
+    /// `insert_or_get` calls that found an existing mapping.
+    pub hits: u64,
+    /// Pure lookups (reindexing reads).
+    pub lookups: u64,
+    /// Lock acquisitions that found the shard already held.
+    pub contended: u64,
+}
+
+impl VidMapStats {
+    /// Total hash-table operations.
+    pub fn total_ops(&self) -> u64 {
+        self.inserts + self.hits + self.lookups
+    }
+}
+
+/// Concurrent original-VID → new-VID map with dense id allocation.
+#[derive(Debug)]
+pub struct VidMap {
+    shards: Vec<Mutex<HashMap<VId, VId>>>,
+    next: AtomicU32,
+    /// Insertion log: `new_to_orig[new]` = original id. Sharded appends
+    /// would race, so each insert also records into a per-shard log merged
+    /// on demand; for the sequential fast path we keep one mutex-protected
+    /// vec (uncontended locks in parking_lot are a few ns).
+    new_to_orig: Mutex<Vec<VId>>,
+    inserts: AtomicU64,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Default for VidMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VidMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        VidMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next: AtomicU32::new(0),
+            new_to_orig: Mutex::new(Vec::new()),
+            inserts: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, orig: VId) -> &Mutex<HashMap<VId, VId>> {
+        // Multiplicative hash spreads sequential ids across shards.
+        let h = (orig as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        &self.shards[h as usize & (SHARDS - 1)]
+    }
+
+    fn lock_counting<'a>(
+        &self,
+        m: &'a Mutex<HashMap<VId, VId>>,
+    ) -> parking_lot::MutexGuard<'a, HashMap<VId, VId>> {
+        match m.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                m.lock()
+            }
+        }
+    }
+
+    /// Map `orig` to its new VID, allocating the next dense id if unseen.
+    /// Returns `(new_vid, was_inserted)`.
+    pub fn insert_or_get(&self, orig: VId) -> (VId, bool) {
+        let mut shard = self.lock_counting(self.shard(orig));
+        if let Some(&new) = shard.get(&orig) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (new, false);
+        }
+        let new = self.next.fetch_add(1, Ordering::Relaxed);
+        shard.insert(orig, new);
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.new_to_orig.lock();
+        if log.len() <= new as usize {
+            log.resize(new as usize + 1, VId::MAX);
+        }
+        log[new as usize] = orig;
+        (new, true)
+    }
+
+    /// Look up an existing mapping (reindexing read path).
+    pub fn get(&self, orig: VId) -> Option<VId> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.lock_counting(self.shard(orig));
+        shard.get(&orig).copied()
+    }
+
+    /// Number of unique nodes mapped so far.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    /// True if no nodes have been mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of `new → orig`, densely indexed by new VID.
+    pub fn new_to_orig(&self) -> Vec<VId> {
+        let log = self.new_to_orig.lock();
+        debug_assert!(log.iter().all(|&v| v != VId::MAX), "gap in id log");
+        log.clone()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> VidMapStats {
+        VidMapStats {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_sequential_allocation() {
+        let m = VidMap::new();
+        assert_eq!(m.insert_or_get(100), (0, true));
+        assert_eq!(m.insert_or_get(50), (1, true));
+        assert_eq!(m.insert_or_get(100), (0, false));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.new_to_orig(), vec![100, 50]);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let m = VidMap::new();
+        assert_eq!(m.get(7), None);
+        m.insert_or_get(7);
+        assert_eq!(m.get(7), Some(0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let m = VidMap::new();
+        m.insert_or_get(1);
+        m.insert_or_get(1);
+        m.insert_or_get(2);
+        m.get(1);
+        m.get(99);
+        let s = m.stats();
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.total_ops(), 5);
+    }
+
+    #[test]
+    fn concurrent_inserts_stay_dense_and_consistent() {
+        use std::sync::Arc;
+        let m = Arc::new(VidMap::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    // Overlapping key ranges force shard contention.
+                    m.insert_or_get((i + t * 250) % 800);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 800);
+        let inv = m.new_to_orig();
+        assert_eq!(inv.len(), 800);
+        // Mapping is a bijection: every orig id maps back to its new id.
+        for (new, &orig) in inv.iter().enumerate() {
+            assert_eq!(m.get(orig), Some(new as VId));
+        }
+    }
+}

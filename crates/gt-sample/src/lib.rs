@@ -1,0 +1,21 @@
+//! GNN preprocessing substrate (§II-B): neighbor sampling, the sampled-VID
+//! hash table, graph reindexing, embedding lookup, and minibatching.
+//!
+//! Preprocessing dominates end-to-end GNN latency (84.2% on average, §I), so
+//! the paper splits it into per-layer, per-datatype subtasks — **S**ampling,
+//! **R**eindexing, loo**K**up, **T**ransfer — that its service-wide tensor
+//! scheduler overlaps. This crate implements the real work of S, R, and K
+//! (T is a transfer priced by `gt_sim`), each reporting the work counts the
+//! scheduler's cost model converts into virtual durations.
+
+pub mod batch;
+pub mod hashtable;
+pub mod lookup;
+pub mod reindex;
+pub mod sampler;
+
+pub use batch::BatchIter;
+pub use hashtable::VidMap;
+pub use lookup::{lookup_all, lookup_chunk, LookupPlan};
+pub use reindex::{reindex_layer, LayerGraph};
+pub use sampler::{sample_batch, Priority, SampleOutput, SamplerConfig};

@@ -1,0 +1,192 @@
+//! Graph reindexing (R) — §II-B, Fig 4b.
+//!
+//! Renumbers a sampled hop's edges from original ids into the dense new-id
+//! space by reading the shared VID hash table, then builds the per-layer
+//! graph structures: dst-indexed CSR for forward aggregation and
+//! src-indexed CSC for backward propagation (§II-A, Fig 3). The hash reads
+//! are charged to the [`VidMap`]'s counters — R's reads racing S's writes
+//! is the second contention source of Fig 14a.
+
+use crate::hashtable::VidMap;
+use crate::sampler::HopEdges;
+use gt_graph::{Coo, Csc, Csr};
+
+/// Per-layer graph structures in new-id space.
+#[derive(Debug, Clone)]
+pub struct LayerGraph {
+    /// Dst-indexed CSR over `num_dst` destinations; srcs are new ids
+    /// `< num_src` (forward aggregation traverses this).
+    pub csr: Csr,
+    /// Src-indexed CSC over `num_src` sources (backward traverses this).
+    pub csc: Csc,
+    /// Destination id-space size (ids below the previous hop boundary).
+    pub num_dst: usize,
+    /// Source id-space size (ids below this hop's boundary).
+    pub num_src: usize,
+}
+
+impl LayerGraph {
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Device bytes of both structures (what T(R) transfers).
+    pub fn structure_bytes(&self) -> u64 {
+        self.csr.storage_bytes() + self.csc.storage_bytes()
+    }
+}
+
+/// Reindex one hop: map original ids through the hash table and build
+/// CSR + CSC. `num_dst`/`num_src` are the boundaries recorded by the
+/// sampler for this hop.
+///
+/// Panics if an edge references a node missing from the hash table (a
+/// scheduler-ordering bug: R ran before its S finished).
+pub fn reindex_layer(
+    hop: &HopEdges,
+    vidmap: &VidMap,
+    num_dst: usize,
+    num_src: usize,
+) -> LayerGraph {
+    let n = hop.len();
+    let mut src_new = Vec::with_capacity(n);
+    let mut dst_new = Vec::with_capacity(n);
+    for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
+        let sn = vidmap
+            .get(s)
+            .unwrap_or_else(|| panic!("src {s} missing from hash table"));
+        let dn = vidmap
+            .get(d)
+            .unwrap_or_else(|| panic!("dst {d} missing from hash table"));
+        debug_assert!((sn as usize) < num_src, "src id beyond boundary");
+        debug_assert!((dn as usize) < num_dst, "dst id beyond boundary");
+        src_new.push(sn);
+        dst_new.push(dn);
+    }
+
+    // Build dst-indexed CSR over the dst space and src-indexed CSC over the
+    // src space. The two spaces differ (dsts are a prefix of srcs), so we
+    // construct each from a COO sized to its own id space.
+    let csr = {
+        let coo = Coo::new(num_dst.max(num_src), src_new.clone(), dst_new.clone());
+        let (full, _) = gt_graph::convert::coo_to_csr(&coo);
+        // Truncate the pointer array to the dst space (no edges land above
+        // num_dst by construction).
+        Csr::new(
+            full.indptr[..=num_dst].to_vec(),
+            full.srcs.clone(),
+        )
+    };
+    let csc = {
+        let coo = Coo::new(num_src, src_new, dst_new);
+        let (c, _) = gt_graph::convert::coo_to_csc(&coo);
+        c
+    };
+    LayerGraph {
+        csr,
+        csc,
+        num_dst,
+        num_src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{sample_batch, SamplerConfig};
+    use gt_graph::convert::coo_to_csr;
+    use gt_graph::generators::erdos_renyi;
+    use gt_graph::VId;
+
+    fn sampled() -> (crate::sampler::SampleOutput, Csr) {
+        let coo = erdos_renyi(120, 1500, 21);
+        let g = coo_to_csr(&coo).0;
+        let out = sample_batch(
+            &g,
+            &[0, 1, 2, 3, 4],
+            &SamplerConfig {
+                fanout: 4,
+                layers: 2,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        (out, g)
+    }
+
+    #[test]
+    fn csr_and_csc_agree_on_edges() {
+        let (out, _) = sampled();
+        for (k, hop) in out.hops.iter().enumerate() {
+            let lg = reindex_layer(hop, &out.vidmap, out.boundaries[k], out.boundaries[k + 1]);
+            assert_eq!(lg.csr.num_edges(), hop.len());
+            assert_eq!(lg.csc.num_edges(), hop.len());
+            // Every CSR edge appears in CSC.
+            let mut csr_edges: Vec<(VId, VId)> = Vec::new();
+            for (d, srcs) in lg.csr.iter() {
+                for &s in srcs {
+                    csr_edges.push((s, d));
+                }
+            }
+            let mut csc_edges: Vec<(VId, VId)> = Vec::new();
+            for (s, dsts) in lg.csc.iter() {
+                for &d in dsts {
+                    csc_edges.push((s, d));
+                }
+            }
+            csr_edges.sort();
+            csc_edges.sort();
+            assert_eq!(csr_edges, csc_edges);
+        }
+    }
+
+    #[test]
+    fn dst_ids_stay_below_boundary() {
+        let (out, _) = sampled();
+        let hop0 = &out.hops[0];
+        let lg = reindex_layer(hop0, &out.vidmap, out.boundaries[0], out.boundaries[1]);
+        assert_eq!(lg.csr.num_vertices(), out.boundaries[0]);
+        assert_eq!(lg.csc.num_vertices(), out.boundaries[1]);
+        for (_, srcs) in lg.csr.iter() {
+            for &s in srcs {
+                assert!((s as usize) < out.boundaries[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn reindex_preserves_adjacency_through_id_map() {
+        let (out, _) = sampled();
+        let inv = out.new_to_orig();
+        let hop0 = &out.hops[0];
+        let lg = reindex_layer(hop0, &out.vidmap, out.boundaries[0], out.boundaries[1]);
+        // Map reindexed edges back to original ids; must equal hop edges.
+        let mut orig_pairs: Vec<(VId, VId)> = hop0
+            .src_orig
+            .iter()
+            .zip(&hop0.dst_orig)
+            .map(|(&s, &d)| (s, d))
+            .collect();
+        let mut mapped: Vec<(VId, VId)> = Vec::new();
+        for (d, srcs) in lg.csr.iter() {
+            for &s in srcs {
+                mapped.push((inv[s as usize], inv[d as usize]));
+            }
+        }
+        orig_pairs.sort();
+        mapped.sort();
+        assert_eq!(orig_pairs, mapped);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_node_panics() {
+        let hop = HopEdges {
+            src_orig: vec![9],
+            dst_orig: vec![10],
+        };
+        let vm = VidMap::new();
+        reindex_layer(&hop, &vm, 1, 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Neighbor sampling (S) — §II-B, Fig 4a.
+//!
+//! For a batch of destination vertices, sample up to `fanout` unique random
+//! in-neighbors per frontier node, hop by hop (one hop per GNN layer,
+//! outer hops feeding earlier layers). New VIDs are allocated densely
+//! through the shared [`VidMap`]; already-seen nodes are found by scanning
+//! the hash table, exactly as steps ②/④ of Fig 4a describe.
+//!
+//! Every frontier node also samples itself (a self-loop edge): GCN's
+//! normalized adjacency includes self-loops (Â = A + I), and the self-edge
+//! guarantees each hop's destination set is a subset of its source set, so
+//! layer outputs are defined for every node a later layer reads.
+
+use crate::hashtable::VidMap;
+use gt_graph::{Csr, VId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Neighbors sampled per node per hop (`n` in Fig 4a; unique random).
+    pub fanout: usize,
+    /// Number of GNN layers = number of hops sampled.
+    pub layers: usize,
+    /// RNG seed (per batch, derive from a base seed + batch index).
+    pub seed: u64,
+    /// How neighbors are prioritized ("picking n vertices following a
+    /// certain sampling priority", §II-B).
+    pub priority: Priority,
+}
+
+/// Neighbor-selection priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Uniform without replacement — the paper's default ("unique random").
+    #[default]
+    UniqueRandom,
+    /// Importance sampling: neighbors drawn proportionally to their own
+    /// in-degree (FastGCN-style variance reduction), without replacement.
+    DegreeWeighted,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        // §VI: "a batch includes 300 vertices"; two-layer models; common
+        // fanout for sampling-based training.
+        SamplerConfig {
+            fanout: 10,
+            layers: 2,
+            seed: 0,
+            priority: Priority::UniqueRandom,
+        }
+    }
+}
+
+/// Edges of one sampled hop, in **original** vertex ids (reindexing maps
+/// them to new ids — that split is what lets S and R be separate subtasks).
+#[derive(Debug, Clone, Default)]
+pub struct HopEdges {
+    /// Source (neighbor) original ids.
+    pub src_orig: Vec<VId>,
+    /// Destination original ids.
+    pub dst_orig: Vec<VId>,
+}
+
+impl HopEdges {
+    /// Number of sampled edges in this hop.
+    pub fn len(&self) -> usize {
+        self.src_orig.len()
+    }
+
+    /// True if the hop has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src_orig.is_empty()
+    }
+}
+
+/// Work counters for the sampling stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Adjacency-list entries inspected.
+    pub edges_visited: u64,
+    /// Random draws performed.
+    pub draws: u64,
+}
+
+/// The sampler's output: per-hop edge lists (original ids), the shared VID
+/// hash table, and the id-space boundaries after each hop.
+#[derive(Debug)]
+pub struct SampleOutput {
+    /// `hops[0]` is hop 1 (adjacent to the batch); `hops[k]` is hop k+1.
+    /// GNN layer `l` of an `L`-layer model consumes `hops[L - l]` — the
+    /// outermost hop is processed first (§II-A).
+    pub hops: Vec<HopEdges>,
+    /// Shared original→new VID map (S writes, R reads).
+    pub vidmap: VidMap,
+    /// Id-space size after each stage: `boundaries[0]` = batch size,
+    /// `boundaries[k]` = unique nodes after sampling hop k.
+    pub boundaries: Vec<usize>,
+    /// Sampling work counters.
+    pub stats: SampleStats,
+}
+
+impl SampleOutput {
+    /// Total unique sampled nodes.
+    pub fn num_nodes(&self) -> usize {
+        *self.boundaries.last().unwrap()
+    }
+
+    /// Dense `new → orig` id table (the K stage gathers rows in this order).
+    pub fn new_to_orig(&self) -> Vec<VId> {
+        self.vidmap.new_to_orig()
+    }
+}
+
+/// Sample the per-layer subgraphs for `batch` destination vertices from the
+/// full graph's in-adjacency `graph` (dst-indexed CSR).
+pub fn sample_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> SampleOutput {
+    assert!(cfg.layers > 0, "need at least one GNN layer");
+    assert!(!batch.is_empty(), "empty batch");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vidmap = VidMap::new();
+    let mut stats = SampleStats::default();
+
+    // Step ①/②: batch dsts get new ids in first-occurrence order. The
+    // batch may repeat a vertex (e.g. one user in several BPR triples);
+    // it is sampled once.
+    let mut frontier: Vec<VId> = Vec::with_capacity(batch.len());
+    for &v in batch {
+        let (_, fresh) = vidmap.insert_or_get(v);
+        if fresh {
+            frontier.push(v);
+        }
+    }
+    let mut boundaries = vec![vidmap.len()];
+    let mut hops = Vec::with_capacity(cfg.layers);
+    for _hop in 0..cfg.layers {
+        let mut edges = HopEdges::default();
+        let mut next_frontier: Vec<VId> = Vec::new();
+        let mut in_next: std::collections::HashSet<VId> =
+            std::collections::HashSet::with_capacity(frontier.len() * (cfg.fanout + 1));
+        for &dst in &frontier {
+            // Self-loop: a node always aggregates itself.
+            edges.src_orig.push(dst);
+            edges.dst_orig.push(dst);
+            if in_next.insert(dst) {
+                next_frontier.push(dst);
+            }
+            // Neighbors already taken for this dst ("unique random", §II-B):
+            // the adjacency list may contain duplicate edges or an explicit
+            // self-loop, both of which must not produce repeat samples.
+            let mut local: Vec<VId> = vec![dst];
+
+            let neigh = graph.srcs(dst);
+            stats.edges_visited += neigh.len() as u64;
+            let picked = match cfg.priority {
+                Priority::UniqueRandom => {
+                    sample_unique(neigh, cfg.fanout, &mut rng, &mut stats)
+                }
+                Priority::DegreeWeighted => {
+                    sample_degree_weighted(graph, neigh, cfg.fanout, &mut rng, &mut stats)
+                }
+            };
+            for s in picked {
+                if local.contains(&s) {
+                    continue;
+                }
+                local.push(s);
+                // Step ③/④: allocate or find the new id; the hash probe
+                // itself is counted by the VidMap.
+                vidmap.insert_or_get(s);
+                edges.src_orig.push(s);
+                edges.dst_orig.push(dst);
+                // New or re-found, a sampled node joins the next frontier
+                // exactly once (Fig 4a iterates ③ "for all the previously
+                // sampled vertices").
+                if in_next.insert(s) {
+                    next_frontier.push(s);
+                }
+            }
+        }
+        boundaries.push(vidmap.len());
+        hops.push(edges);
+        frontier = next_frontier;
+    }
+
+    SampleOutput {
+        hops,
+        vidmap,
+        boundaries,
+        stats,
+    }
+}
+
+/// Degree-weighted sampling without replacement: repeatedly draw with
+/// probability proportional to each candidate's in-degree, rejecting
+/// repeats. Falls back to the whole pool when it is small.
+fn sample_degree_weighted(
+    graph: &Csr,
+    pool: &[VId],
+    k: usize,
+    rng: &mut StdRng,
+    stats: &mut SampleStats,
+) -> Vec<VId> {
+    if pool.len() <= k {
+        return pool.to_vec();
+    }
+    // Degrees + prefix sums over the candidate pool (degree + 1 so
+    // isolated neighbors keep nonzero mass).
+    let weights: Vec<u64> = pool.iter().map(|&v| graph.degree(v) as u64 + 1).collect();
+    let total: u64 = weights.iter().sum();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut guard = 0;
+    while chosen.len() < k && guard < 20 * k {
+        guard += 1;
+        stats.draws += 1;
+        let mut target = rng.gen_range(0..total);
+        let mut idx = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                idx = i;
+                break;
+            }
+            target -= w;
+        }
+        if !chosen.contains(&idx) {
+            chosen.push(idx);
+        }
+    }
+    // Rejection stalls only on pathological weight skew; top up uniformly.
+    for i in 0..pool.len() {
+        if chosen.len() >= k {
+            break;
+        }
+        if !chosen.contains(&i) {
+            chosen.push(i);
+        }
+    }
+    chosen.into_iter().map(|i| pool[i]).collect()
+}
+
+/// Pick up to `k` unique elements of `pool` uniformly at random
+/// (Floyd's algorithm for k < len; whole pool otherwise).
+fn sample_unique(pool: &[VId], k: usize, rng: &mut StdRng, stats: &mut SampleStats) -> Vec<VId> {
+    if pool.len() <= k {
+        return pool.to_vec();
+    }
+    // Partial Fisher–Yates over an index vector would allocate len; Floyd's
+    // needs only the result set.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in pool.len() - k..pool.len() {
+        stats.draws += 1;
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.into_iter().map(|i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::convert::coo_to_csr;
+    use gt_graph::generators::erdos_renyi;
+    use gt_graph::Coo;
+
+    fn chain_graph() -> Csr {
+        // 0 ← 1 ← 2 ← 3 ← 4 (in-neighbor chains).
+        let coo = Coo::from_edges(5, &[(1, 0), (2, 1), (3, 2), (4, 3)]);
+        coo_to_csr(&coo).0
+    }
+
+    fn cfg(fanout: usize, layers: usize) -> SamplerConfig {
+        SamplerConfig {
+            fanout,
+            layers,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn degree_weighted_prefers_hubs() {
+        // Graph: dst 0 has many neighbors; one of them (hub) has a huge
+        // in-degree. Degree-weighted sampling should select the hub far
+        // more often than uniform sampling would.
+        let mut edges: Vec<(u32, u32)> = (1..30u32).map(|s| (s, 0)).collect();
+        // Node 1 is the hub: everyone points at it.
+        edges.extend((2..60u32).map(|s| (s, 1)));
+        let coo = Coo::from_edges(60, &edges);
+        let g = coo_to_csr(&coo).0;
+        let mut hub_hits = 0;
+        for seed in 0..50 {
+            let out = sample_batch(
+                &g,
+                &[0],
+                &SamplerConfig {
+                    fanout: 2,
+                    layers: 1,
+                    seed,
+                    priority: Priority::DegreeWeighted,
+                },
+            );
+            if out.hops[0].src_orig.contains(&1) {
+                hub_hits += 1;
+            }
+        }
+        // Uniform would pick the hub ~2/29 ≈ 7% of the time; weighted with
+        // hub weight 59/(29+58) ≈ most draws.
+        assert!(hub_hits > 25, "hub picked only {hub_hits}/50 times");
+    }
+
+    #[test]
+    fn degree_weighted_still_unique_and_valid() {
+        let coo = erdos_renyi(100, 1500, 5);
+        let g = coo_to_csr(&coo).0;
+        let out = sample_batch(
+            &g,
+            &[0, 1, 2, 3],
+            &SamplerConfig {
+                fanout: 4,
+                layers: 2,
+                seed: 9,
+                priority: Priority::DegreeWeighted,
+            },
+        );
+        for hop in &out.hops {
+            let mut per_dst: std::collections::HashMap<VId, Vec<VId>> = Default::default();
+            for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
+                assert!(s == d || g.srcs(d).contains(&s));
+                per_dst.entry(d).or_default().push(s);
+            }
+            for (_, srcs) in per_dst {
+                let set: std::collections::HashSet<_> = srcs.iter().collect();
+                assert_eq!(set.len(), srcs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gets_first_ids() {
+        let g = chain_graph();
+        let out = sample_batch(&g, &[0, 2], &cfg(2, 1));
+        let inv = out.new_to_orig();
+        assert_eq!(&inv[..2], &[0, 2]);
+        assert_eq!(out.boundaries[0], 2);
+    }
+
+    #[test]
+    fn hops_expand_monotonically() {
+        let g = chain_graph();
+        let out = sample_batch(&g, &[0], &cfg(2, 3));
+        assert_eq!(out.hops.len(), 3);
+        assert!(out.boundaries.windows(2).all(|w| w[0] <= w[1]));
+        // Chain: hop k reaches node k.
+        assert_eq!(out.num_nodes(), 4);
+    }
+
+    #[test]
+    fn self_loops_present() {
+        let g = chain_graph();
+        let out = sample_batch(&g, &[0], &cfg(2, 1));
+        assert!(out.hops[0]
+            .src_orig
+            .iter()
+            .zip(&out.hops[0].dst_orig)
+            .any(|(s, d)| s == d));
+    }
+
+    #[test]
+    fn fanout_bounds_degree() {
+        let g = {
+            let coo = erdos_renyi(200, 3000, 7);
+            coo_to_csr(&coo).0
+        };
+        let out = sample_batch(&g, &[0, 1, 2, 3], &cfg(3, 2));
+        // Each dst contributes at most fanout + 1 (self) edges per hop.
+        for hop in &out.hops {
+            let mut counts = std::collections::HashMap::new();
+            for &d in &hop.dst_orig {
+                *counts.entry(d).or_insert(0usize) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= 4), "degree exceeded fanout+1");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = {
+            let coo = erdos_renyi(100, 1000, 3);
+            coo_to_csr(&coo).0
+        };
+        let a = sample_batch(&g, &[5, 6, 7], &cfg(4, 2));
+        let b = sample_batch(&g, &[5, 6, 7], &cfg(4, 2));
+        assert_eq!(a.hops[0].src_orig, b.hops[0].src_orig);
+        assert_eq!(a.hops[1].src_orig, b.hops[1].src_orig);
+        assert_eq!(a.new_to_orig(), b.new_to_orig());
+    }
+
+    #[test]
+    fn sampled_neighbors_are_real_neighbors() {
+        let coo = erdos_renyi(100, 800, 9);
+        let g = coo_to_csr(&coo).0;
+        let out = sample_batch(&g, &[1, 2, 3], &cfg(5, 2));
+        for hop in &out.hops {
+            for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
+                assert!(
+                    s == d || g.srcs(d).contains(&s),
+                    "{s} is not an in-neighbor of {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_sampling_no_duplicates_per_dst() {
+        let coo = erdos_renyi(50, 600, 11);
+        let g = coo_to_csr(&coo).0;
+        let out = sample_batch(&g, &[0, 1], &cfg(4, 1));
+        let hop = &out.hops[0];
+        let mut per_dst: std::collections::HashMap<VId, Vec<VId>> = Default::default();
+        for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
+            per_dst.entry(d).or_default().push(s);
+        }
+        for (_, srcs) in per_dst {
+            let set: std::collections::HashSet<_> = srcs.iter().collect();
+            assert_eq!(set.len(), srcs.len(), "duplicate sampled neighbor");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let coo = erdos_renyi(100, 2000, 13);
+        let g = coo_to_csr(&coo).0;
+        let out = sample_batch(&g, &[0, 1, 2], &cfg(3, 2));
+        assert!(out.stats.edges_visited > 0);
+        assert!(out.vidmap.stats().inserts as usize == out.num_nodes());
+    }
+}

@@ -1,0 +1,219 @@
+//! Hardware specifications of the modeled testbed.
+//!
+//! Defaults mirror the paper's evaluation platform (§VI): an NVIDIA RTX 3090
+//! (82 SMs @ 1.4 GHz, 24 GB GDDR6X) and a 12-core Intel Xeon Gold 5317 host
+//! with DDR4-2933, connected over PCIe 3.0 x16.
+
+/// GPU device model used to price kernel latencies with a roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// L1/shared-memory capacity per SM, in bytes.
+    pub l1_bytes_per_sm: usize,
+    /// Cache line granularity for global-memory transactions, in bytes.
+    pub cache_line_bytes: usize,
+    /// Peak global-memory bandwidth, bytes per second.
+    pub mem_bandwidth: f64,
+    /// Peak fp32 throughput, FLOP per second.
+    pub peak_flops: f64,
+    /// Fixed cost of launching one kernel, in microseconds.
+    pub kernel_launch_us: f64,
+    /// Device memory capacity in bytes (allocation failures beyond this model
+    /// the paper's out-of-memory cases, e.g. PyG NGCF on livejournal).
+    pub device_mem_bytes: u64,
+    /// Fraction of peak bandwidth achieved by streaming (coalesced) access.
+    pub streaming_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by irregular (gather/scatter,
+    /// sort) access. GPU sorts and random gathers run far below peak.
+    pub irregular_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's GPU: NVIDIA GeForce RTX 3090.
+    pub fn rtx3090() -> Self {
+        DeviceSpec {
+            name: "RTX 3090",
+            num_sms: 82,
+            l1_bytes_per_sm: 128 * 1024,
+            cache_line_bytes: 128,
+            mem_bandwidth: 936.0e9,
+            peak_flops: 35.6e12,
+            kernel_launch_us: 5.0,
+            device_mem_bytes: 24 * (1 << 30),
+            streaming_efficiency: 0.75,
+            irregular_efficiency: 0.08,
+        }
+    }
+
+    /// A deliberately tiny GPU for tests: 4 SMs, small cache, 64 MiB memory.
+    pub fn tiny() -> Self {
+        DeviceSpec {
+            name: "tiny-test-gpu",
+            num_sms: 4,
+            l1_bytes_per_sm: 16 * 1024,
+            cache_line_bytes: 64,
+            mem_bandwidth: 10.0e9,
+            peak_flops: 100.0e9,
+            kernel_launch_us: 2.0,
+            device_mem_bytes: 64 << 20,
+            streaming_efficiency: 0.75,
+            irregular_efficiency: 0.10,
+        }
+    }
+
+/// NVIDIA A100 (SXM4 80GB): the sensitivity-study companion device —
+    /// more SMs, much higher HBM2e bandwidth, same roofline shape.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100-80GB",
+            num_sms: 108,
+            l1_bytes_per_sm: 192 * 1024,
+            cache_line_bytes: 128,
+            mem_bandwidth: 2039.0e9,
+            peak_flops: 19.5e12,
+            kernel_launch_us: 5.0,
+            device_mem_bytes: 80 * (1 << 30),
+            streaming_efficiency: 0.8,
+            irregular_efficiency: 0.08,
+        }
+    }
+
+    /// Effective bandwidth in bytes/us for the given access pattern.
+    pub fn effective_bw_per_us(&self, irregular: bool) -> f64 {
+        let eff = if irregular {
+            self.irregular_efficiency
+        } else {
+            self.streaming_efficiency
+        };
+        self.mem_bandwidth * eff / 1.0e6
+    }
+}
+
+/// Host CPU model used by the discrete-event simulator for preprocessing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Human-readable host name.
+    pub name: &'static str,
+    /// Number of physical cores available to preprocessing threads.
+    pub cores: usize,
+    /// Sustained per-core throughput for graph preprocessing, expressed as
+    /// "work units per microsecond". One work unit is one elementary
+    /// preprocessing operation (one sampled neighbor, one hash probe, one
+    /// gathered feature element, ...). ~100 ops/us ≈ 100M ops/s/core, a
+    /// realistic figure for pointer-chasing graph code on a 3 GHz core.
+    pub ops_per_us: f64,
+    /// Host memory bandwidth, bytes per second (DDR4-2933, ~94 GB/s).
+    pub mem_bandwidth: f64,
+}
+
+impl HostSpec {
+    /// The paper's host: 12-core Intel Xeon Gold 5317 @ 3.0 GHz.
+    pub fn xeon_gold_5317() -> Self {
+        HostSpec {
+            name: "Xeon Gold 5317 (12c)",
+            cores: 12,
+            ops_per_us: 100.0,
+            mem_bandwidth: 94.0e9,
+        }
+    }
+
+    /// Small host for tests: 2 cores.
+    pub fn tiny() -> Self {
+        HostSpec {
+            name: "tiny-test-host",
+            cores: 2,
+            ops_per_us: 100.0,
+            mem_bandwidth: 20.0e9,
+        }
+    }
+}
+
+/// PCIe link model for host→device transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieSpec {
+    /// Effective bandwidth for pinned (page-locked) transfers, bytes/s.
+    /// PCIe 3.0 x16 sustains ~12 GB/s with pinned memory.
+    pub pinned_bandwidth: f64,
+    /// Effective bandwidth for pageable transfers, bytes/s. The driver must
+    /// stage through an internal pinned buffer, roughly halving throughput.
+    pub pageable_bandwidth: f64,
+    /// Per-transfer fixed latency (driver + DMA setup), microseconds.
+    pub latency_us: f64,
+}
+
+impl PcieSpec {
+    /// PCIe 3.0 x16, as on the paper's testbed.
+    pub fn gen3_x16() -> Self {
+        PcieSpec {
+            pinned_bandwidth: 12.0e9,
+            pageable_bandwidth: 6.0e9,
+            latency_us: 10.0,
+        }
+    }
+}
+
+/// Complete system: GPU + host + interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    pub gpu: DeviceSpec,
+    pub host: HostSpec,
+    pub pcie: PcieSpec,
+}
+
+impl SystemSpec {
+    /// The paper's evaluation platform (§VI).
+    pub fn paper_testbed() -> Self {
+        SystemSpec {
+            gpu: DeviceSpec::rtx3090(),
+            host: HostSpec::xeon_gold_5317(),
+            pcie: PcieSpec::gen3_x16(),
+        }
+    }
+
+    /// Miniature system for fast unit tests.
+    pub fn tiny() -> Self {
+        SystemSpec {
+            gpu: DeviceSpec::tiny(),
+            host: HostSpec::tiny(),
+            pcie: PcieSpec::gen3_x16(),
+        }
+    }
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_has_82_sms() {
+        let d = DeviceSpec::rtx3090();
+        assert_eq!(d.num_sms, 82);
+        assert!(d.peak_flops > 30.0e12);
+    }
+
+    #[test]
+    fn effective_bandwidth_orders() {
+        let d = DeviceSpec::rtx3090();
+        assert!(d.effective_bw_per_us(false) > d.effective_bw_per_us(true));
+    }
+
+    #[test]
+    fn pinned_beats_pageable() {
+        let p = PcieSpec::gen3_x16();
+        assert!(p.pinned_bandwidth > p.pageable_bandwidth);
+    }
+
+    #[test]
+    fn default_is_paper_testbed() {
+        assert_eq!(SystemSpec::default(), SystemSpec::paper_testbed());
+    }
+}

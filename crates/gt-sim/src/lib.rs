@@ -1,0 +1,30 @@
+//! Device and system models for GraphTensor-RS.
+//!
+//! The original GraphTensor runs CUDA kernels on an RTX 3090 and preprocessing
+//! on a 12-core Xeon. This crate supplies the substitute substrate described in
+//! `DESIGN.md` §2: kernels execute for real on the CPU while charging their
+//! work (FLOPs, global-memory traffic, per-SM cache loads, allocations) to a
+//! [`SimContext`]; a roofline model over those counters prices GPU kernel
+//! latency, a PCIe model prices transfers, and a discrete-event simulator
+//! composes host/GPU/PCIe tasks into end-to-end schedules.
+//!
+//! Everything here is deterministic: same inputs, same counters, same virtual
+//! times.
+
+pub mod cache;
+pub mod counters;
+pub mod des;
+pub mod device;
+pub mod lru;
+pub mod memory;
+pub mod timeline;
+pub mod transfer;
+
+pub use cache::CacheSim;
+pub use lru::LruCacheSim;
+pub use counters::{KernelRecord, KernelStats, Phase, SimContext};
+pub use des::{Resource, Schedule, ScheduledEvent, Simulator, TaskId, TaskSpec};
+pub use device::{DeviceSpec, HostSpec, PcieSpec, SystemSpec};
+pub use memory::MemoryTracker;
+pub use timeline::{Timeline, TimelineEvent};
+pub use transfer::TransferKind;

@@ -1,0 +1,141 @@
+//! Finite-capacity LRU cache model — the ablation companion to
+//! [`crate::CacheSim`].
+//!
+//! `CacheSim` assumes each SM's cache holds a kernel's whole per-SM working
+//! set, so it measures only *cross-SM duplication* (the paper's cache-bloat
+//! definition). This model adds capacity pressure: when a working set
+//! exceeds the SM's L1, rows are re-fetched on reuse. The `cache_ablation`
+//! experiment uses it to show the paper's conclusions are not an artifact
+//! of the infinite-capacity assumption.
+
+use std::collections::HashMap;
+
+/// One SM's LRU set of cached rows.
+#[derive(Debug, Clone, Default)]
+struct LruSet {
+    /// row → last-use tick.
+    resident: HashMap<u64, u64>,
+    bytes: u64,
+}
+
+/// Per-SM LRU caches with a shared capacity parameter.
+#[derive(Debug, Clone)]
+pub struct LruCacheSim {
+    sms: Vec<LruSet>,
+    capacity_bytes: u64,
+    tick: u64,
+    loaded_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCacheSim {
+    /// `num_sms` caches of `capacity_bytes` each.
+    pub fn new(num_sms: usize, capacity_bytes: u64) -> Self {
+        assert!(num_sms > 0);
+        assert!(capacity_bytes > 0);
+        LruCacheSim {
+            sms: vec![LruSet::default(); num_sms],
+            capacity_bytes,
+            tick: 0,
+            loaded_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Thread block `block` touches `row` (`bytes` big) on SM
+    /// `block % num_sms`. Returns true on a miss (a load happened).
+    pub fn touch_block(&mut self, block: usize, row: u64, bytes: u64) -> bool {
+        let sm_idx = block % self.sms.len();
+        self.tick += 1;
+        let tick = self.tick;
+        let capacity = self.capacity_bytes;
+        let sm = &mut self.sms[sm_idx];
+        if let Some(t) = sm.resident.get_mut(&row) {
+            *t = tick;
+            self.hits += 1;
+            return false;
+        }
+        self.misses += 1;
+        self.loaded_bytes += bytes;
+        // Evict LRU rows until the new one fits. Rows are uniform-sized per
+        // kernel, so this loop runs at most a couple of times.
+        while sm.bytes + bytes > capacity && !sm.resident.is_empty() {
+            let (&lru_row, _) = sm
+                .resident
+                .iter()
+                .min_by_key(|(_, &t)| t)
+                .expect("non-empty");
+            sm.resident.remove(&lru_row);
+            sm.bytes = sm.bytes.saturating_sub(bytes);
+        }
+        sm.resident.insert(row, tick);
+        sm.bytes += bytes;
+        true
+    }
+
+    /// Total bytes fetched from global memory.
+    pub fn loaded_bytes(&self) -> u64 {
+        self.loaded_bytes
+    }
+
+    /// Cache hit rate over all touches.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_capacity_behaves_like_infinite() {
+        let mut c = LruCacheSim::new(2, 1024);
+        // Two rows of 100 bytes, touched repeatedly on one SM.
+        for _ in 0..10 {
+            c.touch_block(0, 1, 100);
+            c.touch_block(0, 2, 100);
+        }
+        assert_eq!(c.loaded_bytes(), 200);
+        assert!(c.hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn capacity_pressure_causes_refetches() {
+        // Capacity for exactly 2 rows; cycle through 3 → every touch misses.
+        let mut c = LruCacheSim::new(1, 200);
+        for _ in 0..5 {
+            for row in 0..3u64 {
+                c.touch_block(0, row, 100);
+            }
+        }
+        assert_eq!(c.hit_rate(), 0.0);
+        assert_eq!(c.loaded_bytes(), 15 * 100);
+    }
+
+    #[test]
+    fn lru_keeps_recent_rows() {
+        let mut c = LruCacheSim::new(1, 200);
+        c.touch_block(0, 1, 100);
+        c.touch_block(0, 2, 100);
+        c.touch_block(0, 1, 100); // refresh row 1
+        c.touch_block(0, 3, 100); // evicts row 2 (LRU)
+        assert!(!c.touch_block(0, 1, 100), "row 1 should still be resident");
+        assert!(c.touch_block(0, 2, 100), "row 2 should have been evicted");
+    }
+
+    #[test]
+    fn cross_sm_duplication_still_counted() {
+        let mut c = LruCacheSim::new(4, 10_000);
+        c.touch_block(0, 7, 100);
+        c.touch_block(1, 7, 100);
+        assert_eq!(c.loaded_bytes(), 200);
+    }
+}

@@ -1,0 +1,133 @@
+//! Device-memory allocation tracker.
+//!
+//! Models the 24 GB GDDR6X of the paper's GPU. Frameworks allocate and free
+//! buffers through this tracker so the peak footprint (Fig 6a, Fig 17a) is
+//! observable, and so over-capacity allocations reproduce the paper's
+//! out-of-memory failures (PyG/GNNAdvisor NGCF on livejournal, §VI-A).
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes that were requested.
+    pub requested: u64,
+    /// Bytes in use at the time of the request.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks current and peak device-memory usage.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    first_oom: Option<OutOfMemory>,
+}
+
+impl MemoryTracker {
+    /// Tracker for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            first_oom: None,
+        }
+    }
+
+    /// Allocate `bytes`; fails if the device would be over capacity. The
+    /// first failure is also latched (see [`MemoryTracker::oom`]) so a full
+    /// training-batch run can proceed on the host and report the OOM at the
+    /// end, the way the paper reports PyG's NGCF livejournal failure.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
+        if self.in_use.saturating_add(bytes) > self.capacity {
+            let err = OutOfMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            };
+            self.first_oom.get_or_insert(err);
+            return Err(err);
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// The first over-capacity allocation this run, if any.
+    pub fn oom(&self) -> Option<OutOfMemory> {
+        self.first_oom
+    }
+
+    /// Free `bytes` previously allocated.
+    pub fn free(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.in_use, "freeing more than allocated");
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new(1000);
+        m.alloc(400).unwrap();
+        m.alloc(300).unwrap();
+        m.free(500);
+        m.alloc(100).unwrap();
+        assert_eq!(m.in_use(), 300);
+        assert_eq!(m.peak(), 700);
+    }
+
+    #[test]
+    fn over_capacity_fails() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(80).unwrap();
+        let err = m.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        // Failed allocation leaves state unchanged.
+        assert_eq!(m.in_use(), 80);
+        m.alloc(20).unwrap();
+    }
+
+    #[test]
+    fn oom_displays_cleanly() {
+        let e = OutOfMemory {
+            requested: 1,
+            in_use: 2,
+            capacity: 3,
+        };
+        assert!(e.to_string().contains("out of memory"));
+    }
+}

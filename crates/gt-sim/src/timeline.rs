@@ -1,0 +1,116 @@
+//! Preprocessing timeline recording (Fig 20).
+//!
+//! Figure 20 plots, for each preprocessing stage, the fraction of sampled
+//! nodes already processed against accumulated time. [`Timeline`] converts a
+//! [`crate::Schedule`] (or manually recorded events) into those normalized
+//! cumulative curves.
+
+use crate::counters::Phase;
+use crate::des::Schedule;
+
+/// One point on a stage's progress curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Virtual time in microseconds.
+    pub time_us: f64,
+    /// Fraction of the stage's total items completed by `time_us` (0..=1).
+    pub fraction: f64,
+}
+
+/// Normalized per-phase progress curves.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    curves: Vec<(Phase, Vec<TimelineEvent>)>,
+}
+
+impl Timeline {
+    /// Build normalized curves for `phases` out of a DES schedule.
+    /// Phases with zero processed items are omitted.
+    pub fn from_schedule(schedule: &Schedule, phases: &[Phase]) -> Self {
+        let mut curves = Vec::new();
+        for &phase in phases {
+            let raw = schedule.progress_curve(phase);
+            let total = raw.last().map(|p| p.1).unwrap_or(0);
+            if total == 0 {
+                continue;
+            }
+            let pts = raw
+                .into_iter()
+                .map(|(t, c)| TimelineEvent {
+                    time_us: t,
+                    fraction: c as f64 / total as f64,
+                })
+                .collect();
+            curves.push((phase, pts));
+        }
+        Timeline { curves }
+    }
+
+    /// Curves in insertion order.
+    pub fn curves(&self) -> &[(Phase, Vec<TimelineEvent>)] {
+        &self.curves
+    }
+
+    /// Completion time (µs) of a phase, if it appears in the timeline.
+    pub fn finish_us(&self, phase: Phase) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .and_then(|(_, pts)| pts.last())
+            .map(|e| e.time_us)
+    }
+
+    /// Sample a curve at `time_us` (step interpolation).
+    pub fn fraction_at(&self, phase: Phase, time_us: f64) -> f64 {
+        let Some((_, pts)) = self.curves.iter().find(|(p, _)| *p == phase) else {
+            return 0.0;
+        };
+        pts.iter()
+            .take_while(|e| e.time_us <= time_us)
+            .last()
+            .map(|e| e.fraction)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{Resource, Simulator, TaskSpec};
+
+    fn schedule() -> Schedule {
+        let mut sim = Simulator::new(1);
+        sim.add(
+            TaskSpec::new("s1", Resource::HostCore, 10.0, Phase::Sampling).items(30),
+        );
+        sim.add(
+            TaskSpec::new("s2", Resource::HostCore, 10.0, Phase::Sampling).items(70),
+        );
+        sim.add(TaskSpec::new("k", Resource::HostCore, 5.0, Phase::Lookup).items(100));
+        sim.run()
+    }
+
+    #[test]
+    fn curves_are_normalized() {
+        let tl = Timeline::from_schedule(&schedule(), &[Phase::Sampling, Phase::Lookup]);
+        assert_eq!(tl.curves().len(), 2);
+        let (_, s) = &tl.curves()[0];
+        assert!((s.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        assert!((s[0].fraction - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phases_omitted() {
+        let tl = Timeline::from_schedule(&schedule(), &[Phase::Transfer]);
+        assert!(tl.curves().is_empty());
+        assert_eq!(tl.finish_us(Phase::Transfer), None);
+    }
+
+    #[test]
+    fn step_sampling() {
+        let tl = Timeline::from_schedule(&schedule(), &[Phase::Sampling]);
+        assert_eq!(tl.fraction_at(Phase::Sampling, 0.0), 0.0);
+        assert!((tl.fraction_at(Phase::Sampling, 10.0) - 0.3).abs() < 1e-12);
+        assert!((tl.fraction_at(Phase::Sampling, 25.0) - 1.0).abs() < 1e-12);
+    }
+}

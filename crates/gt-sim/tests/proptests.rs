@@ -1,0 +1,121 @@
+//! Property-based tests on the discrete-event simulator's guarantees.
+
+use gt_sim::{Phase, Resource, Simulator, TaskSpec};
+use proptest::prelude::*;
+
+/// A random DAG of host tasks: each task may depend on earlier ones and may
+/// join one of two lock groups.
+fn dag() -> impl Strategy<Value = Vec<(f64, Vec<usize>, Option<u32>)>> {
+    prop::collection::vec(
+        (1.0f64..50.0, prop::collection::vec(any::<prop::sample::Index>(), 0..3), prop::option::of(0u32..2)),
+        1..25,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (dur, deps, lock))| {
+                let deps: Vec<usize> = if i == 0 {
+                    Vec::new()
+                } else {
+                    let mut d: Vec<usize> = deps.iter().map(|ix| ix.index(i)).collect();
+                    d.sort();
+                    d.dedup();
+                    d
+                };
+                (dur, deps, lock)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Schedules are valid: dependencies precede dependents, units never
+    /// run two tasks at once, lock groups never overlap, and the makespan
+    /// is at least the critical-path length and at most the serial sum.
+    #[test]
+    fn schedule_validity(tasks in dag(), cores in 1usize..5) {
+        let mut sim = Simulator::new(cores);
+        let mut ids = Vec::new();
+        for (dur, deps, lock) in &tasks {
+            let dep_ids: Vec<usize> = deps.iter().map(|&d| ids[d]).collect();
+            let mut spec = TaskSpec::new("t", Resource::HostCore, *dur, Phase::Other)
+                .after(&dep_ids);
+            if let Some(g) = lock {
+                spec = spec.locked(*g);
+            }
+            ids.push(sim.add(spec));
+        }
+        let schedule = sim.run();
+
+        // Dependency order.
+        let finish: Vec<f64> = {
+            let mut f = vec![0.0; tasks.len()];
+            for e in &schedule.events {
+                f[e.task] = e.end_us;
+            }
+            f
+        };
+        for (i, (_, deps, _)) in tasks.iter().enumerate() {
+            let start = schedule.events.iter().find(|e| e.task == i).unwrap().start_us;
+            for &d in deps {
+                prop_assert!(start + 1e-9 >= finish[d], "task {i} started before dep {d}");
+            }
+        }
+
+        // No overlap per (resource unit).
+        let mut by_unit: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
+        for e in &schedule.events {
+            by_unit.entry(e.unit).or_default().push((e.start_us, e.end_us));
+        }
+        for (_, mut spans) in by_unit {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 + 1e-9 >= w[0].1, "unit overlap");
+            }
+        }
+
+        // Lock groups never overlap.
+        for g in 0..2u32 {
+            let mut spans: Vec<(f64, f64)> = schedule
+                .events
+                .iter()
+                .filter(|e| tasks[e.task].2 == Some(g))
+                .map(|e| (e.start_us, e.end_us))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 + 1e-9 >= w[0].1, "lock group overlap");
+            }
+        }
+
+        // Makespan bounds.
+        let serial_sum: f64 = tasks.iter().map(|(d, _, _)| d).sum();
+        prop_assert!(schedule.makespan_us <= serial_sum + 1e-6);
+        // Critical path lower bound.
+        let mut cp = vec![0.0f64; tasks.len()];
+        for (i, (dur, deps, _)) in tasks.iter().enumerate() {
+            let base = deps.iter().map(|&d| cp[d]).fold(0.0f64, f64::max);
+            cp[i] = base + dur;
+        }
+        let lower = cp.iter().copied().fold(0.0, f64::max);
+        prop_assert!(schedule.makespan_us + 1e-6 >= lower);
+    }
+
+    /// More cores never makes a lock-free schedule slower.
+    #[test]
+    fn cores_monotone(tasks in dag()) {
+        let build = |cores: usize| {
+            let mut sim = Simulator::new(cores);
+            let mut ids = Vec::new();
+            for (dur, deps, _) in &tasks {
+                let dep_ids: Vec<usize> = deps.iter().map(|&d| ids[d]).collect();
+                ids.push(sim.add(
+                    TaskSpec::new("t", Resource::HostCore, *dur, Phase::Other).after(&dep_ids),
+                ));
+            }
+            sim.run().makespan_us
+        };
+        prop_assert!(build(4) <= build(1) + 1e-6);
+        prop_assert!(build(8) <= build(2) + 1e-6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Parameter checkpointing: save/load a [`ParamStore`] to a compact,
+//! self-describing binary format (magic + version + per-tensor records).
+//!
+//! Enables the standard train → checkpoint → resume/serve workflow a
+//! downstream user of the framework expects.
+
+use crate::dense::Matrix;
+use crate::dfg::ParamStore;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GTCKPT01";
+
+/// Serialize every parameter to `writer`.
+pub fn save<W: Write>(params: &ParamStore, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let mut names: Vec<&str> = params.names().collect();
+    names.sort_unstable(); // deterministic file layout
+    writer.write_all(&(names.len() as u64).to_le_bytes())?;
+    for name in names {
+        let m = params.get(name);
+        let bytes = name.as_bytes();
+        writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        writer.write_all(bytes)?;
+        writer.write_all(&(m.rows() as u64).to_le_bytes())?;
+        writer.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &v in m.data() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize parameters from `reader` into a fresh store.
+pub fn load<R: Read>(mut reader: R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a GraphTensor checkpoint (bad magic)",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    reader.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf);
+    let mut params = ParamStore::new();
+    for _ in 0..count {
+        let mut u32buf = [0u8; 4];
+        reader.read_exact(&mut u32buf)?;
+        let name_len = u32::from_le_bytes(u32buf) as usize;
+        if name_len > 4096 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unreasonable parameter-name length",
+            ));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        reader.read_exact(&mut u64buf)?;
+        let rows = u64::from_le_bytes(u64buf) as usize;
+        reader.read_exact(&mut u64buf)?;
+        let cols = u64::from_le_bytes(u64buf) as usize;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor too large"))?;
+        let mut data = Vec::with_capacity(len);
+        let mut f32buf = [0u8; 4];
+        for _ in 0..len {
+            reader.read_exact(&mut f32buf)?;
+            data.push(f32::from_le_bytes(f32buf));
+        }
+        params.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(params)
+}
+
+/// Save to a file path.
+pub fn save_file(params: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    save(params, io::BufWriter::new(file))
+}
+
+/// Load from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    let file = std::fs::File::open(path)?;
+    load(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::xavier;
+
+    fn store() -> ParamStore {
+        let mut p = ParamStore::new();
+        p.register("layer0/w", xavier(8, 4, 1));
+        p.register("layer0/b", Matrix::zeros(1, 4));
+        p.register("layer1/w", xavier(4, 2, 2));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = store();
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        let mut names: Vec<&str> = loaded.names().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["layer0/b", "layer0/w", "layer1/w"]);
+        for name in names {
+            assert_eq!(loaded.get(name), original.get(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load(&b"NOTACKPT"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut buf = Vec::new();
+        save(&store(), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gt_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.gt");
+        let original = store();
+        save_file(&original, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(loaded.get("layer1/w"), original.get("layer1/w"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save(&store(), &mut a).unwrap();
+        save(&store(), &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

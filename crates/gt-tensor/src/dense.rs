@@ -1,0 +1,372 @@
+//! Row-major dense `f32` matrices and the dense kernels behind *combination*
+//! (MLP: matmul, bias add, ReLU — the `tf.matmul`/`tf.nn.*` primitives the
+//! paper's `Apply` delegates to, §IV-B).
+//!
+//! The matmul is cache-blocked and rayon-parallel over row bands; on a
+//! multi-core host it scales near-linearly, and its FLOP/traffic profile is
+//! what [`crate::dfg`] charges to the device model.
+
+use rayon::prelude::*;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a buffer of length `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build by evaluating `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Immutable element access.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Parallelize over output rows; ikj loop order streams rhs rows.
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| {
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `self · rhsᵀ`.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_tb shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| {
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &rhs.data[j * k..(j + 1) * k];
+                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                }
+            });
+        out
+    }
+
+    /// `selfᵀ · rhs`.
+    pub fn transpose_a_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_ta shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let arow = &self.data[kk * m..(kk + 1) * m];
+            let brow = &rhs.data[kk * n..(kk + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *out.at_mut(c, r) = self.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// Add a row vector (bias) to every row.
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (the bias gradient: ∂L/∂b = Σ_rows ∂L/∂y).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x.max(0.0)).collect(),
+        }
+    }
+
+    /// ReLU backward: grad where the *pre-activation* input was positive.
+    pub fn relu_grad(&self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), grad_out.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&grad_out.data)
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape());
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Max absolute difference to another matrix (test helper).
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.])
+    }
+
+    fn m32() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.])
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let c = m23().matmul(&m32());
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit() {
+        let a = m23();
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let expect = a.matmul(&b.transpose());
+        let got = a.matmul_transpose_b(&b);
+        assert!(expect.max_abs_diff(&got) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_a_matmul_matches_explicit() {
+        let a = m32(); // 3x2 → aᵀ is 2x3
+        let b = Matrix::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        let expect = a.transpose().matmul(&b);
+        let got = a.transpose_a_matmul(&b);
+        assert!(expect.max_abs_diff(&got) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m23();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_vector(&[1., 2., 3.]);
+        assert_eq!(a.row(0), &[1., 2., 3.]);
+        assert_eq!(a.column_sums(), vec![2., 4., 6.]);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = Matrix::from_vec(1, 4, vec![-1., 0., 2., -3.]);
+        assert_eq!(x.relu().data(), &[0., 0., 2., 0.]);
+        let g = Matrix::from_vec(1, 4, vec![10., 10., 10., 10.]);
+        assert_eq!(x.relu_grad(&g).data(), &[0., 0., 10., 0.]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(a.hadamard(&b).data(), &[4., 10., 18.]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[9., 12., 15.]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert!((a.frobenius() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_rejected() {
+        m23().matmul(&m23());
+    }
+}

@@ -1,0 +1,155 @@
+//! Ordinary least squares for the DKP cost model (Table I).
+//!
+//! DKP "fits the parameters by leveraging least-squares estimation with the
+//! measured kernel execution time" during the first training epoch (§V-A).
+//! The systems involved are tiny (a handful of coefficients over tens of
+//! samples), so normal equations with Gaussian elimination and partial
+//! pivoting are exact enough and dependency-free.
+
+/// Solve `min ‖A·x − b‖²` for `x`, where `a` is row-major with `cols`
+/// columns. Returns `None` when the normal matrix is singular (e.g. fewer
+/// independent samples than coefficients).
+pub fn lstsq(a: &[f64], cols: usize, b: &[f64]) -> Option<Vec<f64>> {
+    assert!(cols > 0, "need at least one coefficient");
+    assert_eq!(a.len() % cols, 0, "a must be rows×cols");
+    let rows = a.len() / cols;
+    assert_eq!(rows, b.len(), "one observation per row");
+
+    // Normal equations: (AᵀA) x = Aᵀ b.
+    let mut ata = vec![0.0f64; cols * cols];
+    let mut atb = vec![0.0f64; cols];
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            atb[i] += row[i] * b[r];
+            for j in 0..cols {
+                ata[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    solve_dense(&mut ata, &mut atb, cols)
+}
+
+/// Gaussian elimination with partial pivoting on an n×n system (in place).
+fn solve_dense(m: &mut [f64], rhs: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot selection.
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i * n + col].abs().total_cmp(&m[j * n + col].abs()))
+            .unwrap();
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        let inv = 1.0 / m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[r * n + k] -= factor * m[col * n + k];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = rhs[col];
+        for k in col + 1..n {
+            acc -= m[col * n + k] * x[k];
+        }
+        x[col] = acc / m[col * n + col];
+    }
+    Some(x)
+}
+
+/// Mean absolute percentage error of predictions vs observations — the
+/// paper reports 12.5% for its fitted DKP model.
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &o) in predicted.iter().zip(observed) {
+        if o.abs() > 1e-12 {
+            sum += ((p - o) / o).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_line() {
+        // y = 2x + 3 with design matrix [x, 1].
+        let a = vec![1.0, 1.0, 2.0, 1.0, 3.0, 1.0];
+        let b = vec![5.0, 7.0, 9.0];
+        let x = lstsq(&a, 2, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit() {
+        // y ≈ 4x with noise; least squares recovers ≈4.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let a: Vec<f64> = xs.clone();
+        let b: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 4.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let x = lstsq(&a, 1, &b).unwrap();
+        assert!((x[0] - 4.0).abs() < 0.02, "got {}", x[0]);
+    }
+
+    #[test]
+    fn singular_system_detected() {
+        // Two identical columns → rank-deficient.
+        let a = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert!(lstsq(&a, 2, &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn multi_coefficient_plane() {
+        // z = 1.5x − 2y + 0.5
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (2.0, 3.0),
+            (5.0, 1.0),
+            (4.0, 4.0),
+        ];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &(x, y) in &pts {
+            a.extend_from_slice(&[x, y, 1.0]);
+            b.push(1.5 * x - 2.0 * y + 0.5);
+        }
+        let c = lstsq(&a, 3, &b).unwrap();
+        assert!((c[0] - 1.5).abs() < 1e-9);
+        assert!((c[1] + 2.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert!((mape(&[110.0], &[100.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0); // zero observations skipped
+    }
+}

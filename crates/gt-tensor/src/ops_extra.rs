@@ -1,0 +1,232 @@
+//! Additional DFG ops: seeded dropout and residual addition.
+//!
+//! Both are standard members of the GNN design space the paper's NAPA
+//! primitives target ("315K different designs... cover most architectural
+//! designs of GNNs" — the You et al. design space includes dropout and
+//! skip connections).
+
+use crate::dense::Matrix;
+use crate::dfg::{ExecCtx, Op, ParamStore};
+use gt_sim::{KernelStats, Phase};
+use parking_lot::Mutex;
+
+/// Inverted dropout with a deterministic per-execution mask. The mask is
+/// derived from (`seed`, call counter), so training remains reproducible
+/// while masks still differ across batches.
+#[derive(Debug)]
+pub struct Dropout {
+    /// Probability of zeroing an element (0 ≤ p < 1).
+    pub p: f32,
+    /// Mask seed.
+    pub seed: u64,
+    /// When false, dropout is the identity (inference mode).
+    pub training: bool,
+    calls: Mutex<u64>,
+    /// Mask stash for the backward pass.
+    mask: Mutex<Option<Vec<bool>>>,
+}
+
+impl Dropout {
+    /// New dropout op.
+    pub fn new(p: f32, seed: u64, training: bool) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            seed,
+            training,
+            calls: Mutex::new(0),
+            mask: Mutex::new(None),
+        }
+    }
+
+    fn make_mask(&self, len: usize) -> Vec<bool> {
+        let mut call = self.calls.lock();
+        *call += 1;
+        let mut state = self.seed ^ (*call).wrapping_mul(0x9E3779B97F4A7C15);
+        let threshold = (self.p as f64 * u32::MAX as f64) as u32;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as u32) >= threshold
+            })
+            .collect()
+    }
+}
+
+impl Op for Dropout {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn forward(&self, inputs: &[&Matrix], ctx: &mut ExecCtx) -> Matrix {
+        let x = inputs[0];
+        if !self.training || self.p == 0.0 {
+            return x.clone();
+        }
+        let mask = self.make_mask(x.len());
+        let scale = 1.0 / (1.0 - self.p);
+        let mut y = x.clone();
+        for (v, &keep) in y.data_mut().iter_mut().zip(&mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        *self.mask.lock() = Some(mask);
+        ctx.sim.record_gpu(
+            Phase::Combination,
+            KernelStats {
+                flops: x.len() as u64,
+                global_read_bytes: x.bytes(),
+                global_write_bytes: x.bytes(),
+                launches: 1,
+                ..Default::default()
+            },
+        );
+        y
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        grad: &Matrix,
+        _ctx: &mut ExecCtx,
+    ) -> Vec<Option<Matrix>> {
+        if !self.training || self.p == 0.0 {
+            return vec![Some(grad.clone())];
+        }
+        let mask = self
+            .mask
+            .lock()
+            .take()
+            .expect("dropout backward without forward");
+        let scale = 1.0 / (1.0 - self.p);
+        let mut g = grad.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        let _ = inputs;
+        vec![Some(g)]
+    }
+
+    fn out_shape(&self, in_shapes: &[(usize, usize)], _params: &ParamStore) -> (usize, usize) {
+        in_shapes[0]
+    }
+}
+
+/// Elementwise residual addition of two equal-shaped inputs (skip
+/// connection, e.g. JK-Net-style designs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidualAdd;
+
+impl Op for ResidualAdd {
+    fn name(&self) -> &str {
+        "residual_add"
+    }
+
+    fn forward(&self, inputs: &[&Matrix], ctx: &mut ExecCtx) -> Matrix {
+        let y = inputs[0].add(inputs[1]);
+        ctx.sim.record_gpu(
+            Phase::Combination,
+            KernelStats {
+                flops: y.len() as u64,
+                global_read_bytes: 2 * y.bytes(),
+                global_write_bytes: y.bytes(),
+                launches: 1,
+                ..Default::default()
+            },
+        );
+        y
+    }
+
+    fn backward(
+        &self,
+        _inputs: &[&Matrix],
+        _output: &Matrix,
+        grad: &Matrix,
+        _ctx: &mut ExecCtx,
+    ) -> Vec<Option<Matrix>> {
+        vec![Some(grad.clone()), Some(grad.clone())]
+    }
+
+    fn out_shape(&self, in_shapes: &[(usize, usize)], _params: &ParamStore) -> (usize, usize) {
+        assert_eq!(in_shapes[0], in_shapes[1], "residual shapes must match");
+        in_shapes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::{DeviceSpec, SimContext};
+
+    fn ctx_parts() -> (SimContext, ParamStore) {
+        (SimContext::new(DeviceSpec::tiny()), ParamStore::new())
+    }
+
+    #[test]
+    fn dropout_zeroes_and_scales() {
+        let (mut sim, mut params) = ctx_parts();
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let d = Dropout::new(0.5, 7, true);
+        let x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let y = d.forward(&[&x], &mut ctx);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 1000);
+        assert!((300..700).contains(&zeros), "zeroed {zeros} of 1000 at p=0.5");
+        // Expectation preserved: mean ≈ 1.
+        let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let (mut sim, mut params) = ctx_parts();
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let d = Dropout::new(0.3, 9, true);
+        let x = Matrix::from_vec(1, 200, vec![1.0; 200]);
+        let y = d.forward(&[&x], &mut ctx);
+        let g = d.backward(&[&x], &y, &Matrix::from_vec(1, 200, vec![1.0; 200]), &mut ctx);
+        let gx = g[0].as_ref().unwrap();
+        // Gradient flows exactly where the forward kept the value.
+        for i in 0..200 {
+            assert_eq!(y.data()[i] == 0.0, gx.data()[i] == 0.0, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn inference_mode_is_identity() {
+        let (mut sim, mut params) = ctx_parts();
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let d = Dropout::new(0.9, 1, false);
+        let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(d.forward(&[&x], &mut ctx), x);
+    }
+
+    #[test]
+    fn residual_add_grads_fan_out() {
+        let (mut sim, mut params) = ctx_parts();
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let r = ResidualAdd;
+        let a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(1, 2, vec![10., 20.]);
+        let y = r.forward(&[&a, &b], &mut ctx);
+        assert_eq!(y.data(), &[11., 22.]);
+        let g = r.backward(&[&a, &b], &y, &Matrix::from_vec(1, 2, vec![1., 1.]), &mut ctx);
+        assert_eq!(g[0].as_ref().unwrap().data(), &[1., 1.]);
+        assert_eq!(g[1].as_ref().unwrap().data(), &[1., 1.]);
+    }
+}

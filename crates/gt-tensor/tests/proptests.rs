@@ -1,0 +1,115 @@
+//! Property-based tests on tensor kernels and autodiff invariants.
+
+use gt_graph::convert::coo_to_csr;
+use gt_graph::Coo;
+use gt_tensor::dense::Matrix;
+use gt_tensor::lstsq::lstsq;
+use gt_tensor::sparse::{spmm, spmm_backward, Reduce};
+use proptest::prelude::*;
+
+/// Small random matrix strategy.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(4, 3), b in matrix(3, 5)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    /// matmul_transpose_b(A, B) = A · Bᵀ.
+    #[test]
+    fn matmul_tb_equivalence(a in matrix(4, 6), b in matrix(5, 6)) {
+        let fast = a.matmul_transpose_b(&b);
+        let slow = a.matmul(&b.transpose());
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    /// transpose_a_matmul(A, B) = Aᵀ · B.
+    #[test]
+    fn matmul_ta_equivalence(a in matrix(6, 4), b in matrix(6, 5)) {
+        let fast = a.transpose_a_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(a in matrix(3, 4), b in matrix(4, 3), c in matrix(4, 3)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// SpMM with Sum equals the dense adjacency-matrix product.
+    #[test]
+    fn spmm_matches_dense_adjacency(
+        es in prop::collection::vec((0u32..8, 0u32..8), 0..40),
+        x in matrix(8, 3),
+    ) {
+        let coo = Coo::from_edges(8, &es);
+        let (csr, _) = coo_to_csr(&coo);
+        let sparse = spmm(&csr, &x, Reduce::Sum);
+        // Dense S (dst × src) from the same edges.
+        let mut s = Matrix::zeros(8, 8);
+        for (src, dst) in coo.edges() {
+            *s.at_mut(dst as usize, src as usize) += 1.0;
+        }
+        let dense = s.matmul(&x);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-3);
+    }
+
+    /// SpMM backward is the transpose operator: <spmm(X), G> = <X, spmmᵀ(G)>.
+    #[test]
+    fn spmm_backward_is_adjoint(
+        es in prop::collection::vec((0u32..6, 0u32..6), 0..25),
+        x in matrix(6, 2),
+        g in matrix(6, 2),
+    ) {
+        let coo = Coo::from_edges(6, &es);
+        let (csr, _) = coo_to_csr(&coo);
+        let y = spmm(&csr, &x, Reduce::Sum);
+        let gx = spmm_backward(&csr, &g, 6, Reduce::Sum);
+        let dot = |a: &Matrix, b: &Matrix| -> f64 {
+            a.data().iter().zip(b.data()).map(|(&p, &q)| (p * q) as f64).sum()
+        };
+        prop_assert!((dot(&y, &g) - dot(&x, &gx)).abs() < 1e-2);
+    }
+
+    /// Least squares on a consistent system recovers the planted solution.
+    #[test]
+    fn lstsq_recovers_planted(
+        coef in prop::collection::vec(-3.0f64..3.0, 2),
+        xs in prop::collection::vec(-5.0f64..5.0, 8..20),
+    ) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            // Design matrix [x, 1] with distinct x values enforced by index.
+            let xi = x + i as f64 * 11.0;
+            a.extend_from_slice(&[xi, 1.0]);
+            b.push(coef[0] * xi + coef[1]);
+        }
+        let got = lstsq(&a, 2, &b).expect("full-rank system");
+        prop_assert!((got[0] - coef[0]).abs() < 1e-6);
+        prop_assert!((got[1] - coef[1]).abs() < 1e-6);
+    }
+
+    /// ReLU gradient is a mask: grad flows exactly where input > 0.
+    #[test]
+    fn relu_grad_mask(x in matrix(3, 5), g in matrix(3, 5)) {
+        let gx = x.relu_grad(&g);
+        for i in 0..x.len() {
+            if x.data()[i] > 0.0 {
+                prop_assert_eq!(gx.data()[i], g.data()[i]);
+            } else {
+                prop_assert_eq!(gx.data()[i], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # GraphTensor-RS
+//!
+//! A Rust reproduction of **GraphTensor** (Jang et al., IPDPS 2023): a
+//! comprehensive GNN-acceleration framework with pure vertex-centric
+//! kernels (the NAPA programming model), dynamic kernel placement, and
+//! service-wide tensor scheduling for preprocessing.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] — storage formats (COO/CSR/CSC), embeddings, generators;
+//! * [`tensor`] — dense/sparse kernels and the autodiff dataflow graph;
+//! * [`sim`] — device models, work counters, discrete-event simulation;
+//! * [`sample`] — neighbor sampling, VID hash table, reindexing, lookup;
+//! * [`core`] — NAPA, the DKP orchestrator, the tensor scheduler, and the
+//!   [`core::trainer::GraphTensor`] framework;
+//! * [`models`] — GCN / NGCF / GIN / GAT-lite presets + train/eval loops;
+//! * [`baselines`] — PyG / DGL / GNNAdvisor / SALIENT strategy replicas;
+//! * [`datasets`] — the ten Table-II workloads as synthetic recipes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graphtensor::prelude::*;
+//!
+//! // A small synthetic node-classification workload.
+//! let data = GraphData::synthetic_learnable(300, 2400, 16, 2, 7);
+//! // Dynamic-GT: NAPA kernels + dynamic kernel placement.
+//! let mut trainer = GraphTensor::new(
+//!     GtVariant::Dynamic,
+//!     gcn(2, data.num_classes),
+//!     SystemSpec::paper_testbed(),
+//! );
+//! trainer.sampler.fanout = 4;
+//! let losses = train_epochs(&mut trainer, &data, 3, 50, 1);
+//! assert_eq!(losses.len(), 3);
+//! ```
+
+pub use gt_baselines as baselines;
+pub use gt_core as core;
+pub use gt_datasets as datasets;
+pub use gt_graph as graph;
+pub use gt_models as models;
+pub use gt_sample as sample;
+pub use gt_sim as sim;
+pub use gt_tensor as tensor;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use gt_baselines::{Baseline, BaselineKind};
+    pub use gt_core::config::ModelConfig;
+    pub use gt_core::data::GraphData;
+    pub use gt_core::framework::{BatchReport, Framework};
+    pub use gt_core::scheduler::PreproStrategy;
+    pub use gt_core::trainer::{GraphTensor, GtVariant};
+    pub use gt_datasets::{DatasetSpec, Scale};
+    pub use gt_models::{evaluate, gat_lite, gcn, gin, ngcf, train_epochs};
+    pub use gt_sample::{BatchIter, SamplerConfig};
+    pub use gt_sim::SystemSpec;
+}
