@@ -35,18 +35,26 @@ fn bench_orders(c: &mut Criterion) {
         let x = pr.features;
         let w = xavier(feat, 64, 1);
         let pull = Pull::new(Arc::clone(&layer), Reduce::Mean);
-        g.bench_with_input(BenchmarkId::new("aggregation_first", feat), &feat, |b, _| {
-            b.iter(|| {
-                let a = pull.compute(&x, None);
-                a.matmul(&w)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("combination_first", feat), &feat, |b, _| {
-            b.iter(|| {
-                let t = x.matmul(&w);
-                pull.compute(&t, None)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("aggregation_first", feat),
+            &feat,
+            |b, _| {
+                b.iter(|| {
+                    let a = pull.compute(&x, None);
+                    a.matmul(&w)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("combination_first", feat),
+            &feat,
+            |b, _| {
+                b.iter(|| {
+                    let t = x.matmul(&w);
+                    pull.compute(&t, None)
+                })
+            },
+        );
         let _ = Matrix::zeros(1, 1);
     }
     g.finish();

@@ -37,7 +37,11 @@ fn bench_frameworks(c: &mut Criterion) {
         });
     }
 
-    for kind in [BaselineKind::Pyg, BaselineKind::Dgl, BaselineKind::GnnAdvisor] {
+    for kind in [
+        BaselineKind::Pyg,
+        BaselineKind::Dgl,
+        BaselineKind::GnnAdvisor,
+    ] {
         let mut bl = Baseline::new(kind, model.clone(), SystemSpec::paper_testbed());
         bl.sampler = sampler();
         g.bench_with_input(BenchmarkId::new("baseline", kind.label()), &0, |b, _| {

@@ -8,7 +8,11 @@ fn bench_matmul(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    for (m, k, n) in [(512usize, 256usize, 64usize), (2048, 128, 64), (512, 4353, 64)] {
+    for (m, k, n) in [
+        (512usize, 256usize, 64usize),
+        (2048, 128, 64),
+        (512, 4353, 64),
+    ] {
         let a = Matrix::from_fn(m, k, |r, c| ((r + c) % 17) as f32 * 0.1);
         let b = Matrix::from_fn(k, n, |r, c| ((r * c) % 13) as f32 * 0.1);
         g.bench_with_input(

@@ -48,14 +48,7 @@ fn bench_reindex(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     for (k, hop) in out.hops.iter().enumerate() {
         g.bench_with_input(BenchmarkId::new("hop", k + 1), &k, |b, _| {
-            b.iter(|| {
-                reindex_layer(
-                    hop,
-                    &out.vidmap,
-                    out.boundaries[k],
-                    out.boundaries[k + 1],
-                )
-            })
+            b.iter(|| reindex_layer(hop, &out.vidmap, out.boundaries[k], out.boundaries[k + 1]))
         });
     }
     g.finish();

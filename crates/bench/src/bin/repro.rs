@@ -44,19 +44,31 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
             }
             "--batch" => {
                 i += 1;
-                cfg.batch = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+                cfg.batch = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
             }
             "--fanout" => {
                 i += 1;
-                cfg.fanout = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+                cfg.fanout = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
             }
             "--layers" => {
                 i += 1;
-                cfg.layers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(usage_v);
+                cfg.layers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
             }
             _ => usage(),
         }
@@ -97,8 +109,22 @@ fn main() {
 
     if exp == "all" {
         for name in [
-            "table2", "table3", "fig6", "fig8", "fig11b", "table1", "fig15", "fig16",
-            "fig17", "fig18", "fig12", "fig14", "fig19", "fig20", "scalability", "ablation",
+            "table2",
+            "table3",
+            "fig6",
+            "fig8",
+            "fig11b",
+            "table1",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig12",
+            "fig14",
+            "fig19",
+            "fig20",
+            "scalability",
+            "ablation",
         ] {
             run_one(name, &cfg);
         }

@@ -27,7 +27,10 @@ pub fn fanout_sweep(cfg: &ExpConfig) -> Vec<(usize, usize, f64, f64)> {
     for fanout in [2usize, 5, 10, 15, 25] {
         let mut c = *cfg;
         c.fanout = fanout;
-        let mut t = c.graphtensor(GtVariant::Prepro, ModelConfig::gcn(c.layers, 64, spec.out_dim));
+        let mut t = c.graphtensor(
+            GtVariant::Prepro,
+            ModelConfig::gcn(c.layers, 64, spec.out_dim),
+        );
         let reports = c.measure(&mut t, &data, 3);
         let nodes = reports[0].num_nodes;
         let prepro = reports[0].prepro_us();
@@ -187,7 +190,13 @@ pub fn print(cfg: &ExpConfig) {
         .collect();
     print_table(
         "Ablation: cache model (infinite vs 128KB LRU vs 8-row LRU; reddit2 aggregation)",
-        &["scheduling", "infinite", "LRU (L1)", "LRU (tiny)", "tiny hit rate"],
+        &[
+            "scheduling",
+            "infinite",
+            "LRU (L1)",
+            "LRU (tiny)",
+            "tiny hit rate",
+        ],
         &rows,
     );
 

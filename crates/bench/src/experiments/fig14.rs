@@ -36,7 +36,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
         let pr = run_prepro(&data, &batch, &cfg.sampler());
         let naive = schedule_prepro(&pr.work, &sys, PreproStrategy::Pipelined);
         let relaxed = schedule_prepro(&pr.work, &sys, PreproStrategy::PipelinedRelaxed);
-        let busy: f64 = naive.events.iter().map(|e| e.end_us - e.start_us + e.lock_wait_us).sum();
+        let busy: f64 = naive
+            .events
+            .iter()
+            .map(|e| e.end_us - e.start_us + e.lock_wait_us)
+            .sum();
         let s_wait: f64 = naive
             .events
             .iter()
@@ -78,7 +82,9 @@ pub fn print(cfg: &ExpConfig) {
         .collect();
     print_table(
         "Fig 14: hash-table contention (paper: S-S 47.4%, S-R 39.0% of prepro time)",
-        &["dataset", "S-S wait", "S-R wait", "naive", "relaxed", "speedup"],
+        &[
+            "dataset", "S-S wait", "S-R wait", "naive", "relaxed", "speedup",
+        ],
         &table,
     );
 }

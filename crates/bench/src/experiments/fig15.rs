@@ -111,7 +111,11 @@ pub fn run(cfg: &ExpConfig, model: Model, specs: &[DatasetSpec]) -> Vec<Row> {
         let data = cfg.build(spec);
         let mc = model.config(cfg.layers, spec.out_dim);
         let mut cells = Vec::new();
-        for kind in [BaselineKind::Dgl, BaselineKind::Pyg, BaselineKind::GnnAdvisor] {
+        for kind in [
+            BaselineKind::Dgl,
+            BaselineKind::Pyg,
+            BaselineKind::GnnAdvisor,
+        ] {
             cells.push((
                 kind.label().to_string(),
                 measure_baseline(cfg, kind, &mc, &data),

@@ -94,7 +94,11 @@ pub fn print(cfg: &ExpConfig) {
     );
     let f = rows.iter().map(|(_, fr, _)| fr).sum::<f64>() / rows.len() as f64;
     let c = rows.iter().map(|(_, _, cr)| cr).sum::<f64>() / rows.len() as f64;
-    println!("average: footprint −{} (paper −81.8%), cache −{} (paper −44.8%)", pct(f), pct(c));
+    println!(
+        "average: footprint −{} (paper −81.8%), cache −{} (paper −44.8%)",
+        pct(f),
+        pct(c)
+    );
 }
 
 #[cfg(test)]
@@ -105,11 +109,7 @@ mod tests {
     fn napa_reduces_both_metrics() {
         let cfg = ExpConfig::test();
         for (row, fr, cr) in run(&cfg) {
-            assert!(
-                fr > 0.5,
-                "{}: footprint reduction only {fr}",
-                row.dataset
-            );
+            assert!(fr > 0.5, "{}: footprint reduction only {fr}", row.dataset);
             assert!(cr > 0.0, "{}: no cache reduction ({cr})", row.dataset);
             assert!(row.napa_peak <= row.dl_peak);
             assert!(row.napa_cache <= row.edgewise_cache);

@@ -78,7 +78,14 @@ pub fn print(cfg: &ExpConfig) {
     print_table(
         "Fig 18: Base-GT work normalized to Dynamic-GT (paper avg: FLOPs 5.4x, global mem 1.4x; \
          here DKP optimizes latency, trading FLOPs for traffic — see EXPERIMENTS.md)",
-        &["dataset", "model", "FLOPs", "global mem", "latency", "AF/CF decisions"],
+        &[
+            "dataset",
+            "model",
+            "FLOPs",
+            "global mem",
+            "latency",
+            "AF/CF decisions",
+        ],
         &table,
     );
 }

@@ -46,20 +46,24 @@ pub fn run(cfg: &ExpConfig, specs: &[DatasetSpec]) -> Vec<Row> {
         let data = cfg.build(spec);
         let model = ModelConfig::gcn(cfg.layers, 64, spec.out_dim);
         let mut e2e = Vec::new();
-        for kind in [BaselineKind::PygMt, BaselineKind::Dgl, BaselineKind::Salient] {
+        for kind in [
+            BaselineKind::PygMt,
+            BaselineKind::Dgl,
+            BaselineKind::Salient,
+        ] {
             let mut b = cfg.baseline(kind, model.clone());
             let overlap = b.overlaps_batches();
             let reports = cfg.measure(&mut b, &data, 0);
-            let mean = reports.iter().map(|r| r.e2e_us(overlap)).sum::<f64>()
-                / reports.len() as f64;
+            let mean =
+                reports.iter().map(|r| r.e2e_us(overlap)).sum::<f64>() / reports.len() as f64;
             e2e.push((kind.label().to_string(), mean));
         }
         for variant in [GtVariant::Dynamic, GtVariant::Prepro] {
             let mut t = cfg.graphtensor(variant, model.clone());
             let overlap = t.overlaps_batches();
             let reports = cfg.measure(&mut t, &data, 3);
-            let mean = reports.iter().map(|r| r.e2e_us(overlap)).sum::<f64>()
-                / reports.len() as f64;
+            let mean =
+                reports.iter().map(|r| r.e2e_us(overlap)).sum::<f64>() / reports.len() as f64;
             e2e.push((t.name(), mean));
         }
         rows.push(Row {

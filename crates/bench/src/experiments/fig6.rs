@@ -86,7 +86,10 @@ pub fn print(cfg: &ExpConfig) {
     );
     let gm = geomean(&rows.iter().map(|r| r.memory_footprint).collect::<Vec<_>>());
     let cb = rows.iter().map(|r| r.cache_bloat).sum::<f64>() / rows.len() as f64;
-    println!("average: footprint {gm:.2}x (paper 5.8x), cache bloat +{:.1}% (paper +81.9%)", cb * 100.0);
+    println!(
+        "average: footprint {gm:.2}x (paper 5.8x), cache bloat +{:.1}% (paper +81.9%)",
+        cb * 100.0
+    );
 }
 
 /// The SDDMM kernel whose loads Fig 6b measures — re-exported for benches.

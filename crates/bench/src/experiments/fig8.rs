@@ -102,7 +102,10 @@ pub fn print(cfg: &ExpConfig) {
                     format!("P{:.0}≤{k}", q * 100.0)
                 })
                 .collect();
-            println!("Fig 8b/c ({name}) sampled-degree quantiles: {}", pts.join(" "));
+            println!(
+                "Fig 8b/c ({name}) sampled-degree quantiles: {}",
+                pts.join(" ")
+            );
         }
     }
 }

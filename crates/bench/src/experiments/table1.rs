@@ -128,7 +128,14 @@ pub fn print(cfg: &ExpConfig) {
         .collect();
     print_table(
         "per-layer predicted costs and decisions",
-        &["dataset", "layer", "shape", "agg-first", "comb-first", "choice"],
+        &[
+            "dataset",
+            "layer",
+            "shape",
+            "agg-first",
+            "comb-first",
+            "choice",
+        ],
         &table,
     );
 }
@@ -150,7 +157,11 @@ mod tests {
         // The active-set fit keeps rates non-negative; on launch-dominated
         // tiny kernels it may pin individual terms to zero, but something
         // must carry the signal.
-        assert!(r.coefficients.iter().all(|&c| c >= 0.0), "{:?}", r.coefficients);
+        assert!(
+            r.coefficients.iter().all(|&c| c >= 0.0),
+            "{:?}",
+            r.coefficients
+        );
         assert!(
             r.coefficients[1..].iter().any(|&c| c > 0.0),
             "all work rates zero: {:?}",

@@ -88,11 +88,7 @@ pub fn print() {
         .map(|r| {
             vec![
                 r.group.to_string(),
-                format!(
-                    "{}{}",
-                    r.name,
-                    if r.implemented { " *" } else { "" }
-                ),
+                format!("{}{}", r.name, if r.implemented { " *" } else { "" }),
                 r.traits.initial_format.to_string(),
                 mark(r.traits.memory_bloat).to_string(),
                 mark(r.traits.format_translation).to_string(),

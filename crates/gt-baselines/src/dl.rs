@@ -34,12 +34,7 @@ fn row_bytes(f: usize) -> u64 {
 
 /// Charge the sparse→dense conversion of `copies` dense edge-matrices
 /// (each `num_edges × f`), leaving them allocated; returns the bloat bytes.
-fn charge_sparse2dense(
-    layer: &LayerGraph,
-    f: usize,
-    copies: u64,
-    ctx: &mut ExecCtx,
-) -> u64 {
+fn charge_sparse2dense(layer: &LayerGraph, f: usize, copies: u64, ctx: &mut ExecCtx) -> u64 {
     let e = layer.csr.num_edges() as u64;
     let bloat = copies * e * row_bytes(f);
     // The gather reads table rows irregularly and writes the dense copies.

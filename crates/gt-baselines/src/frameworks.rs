@@ -17,7 +17,7 @@ use crate::gnnadvisor::NeighborGroupAggregate;
 use crate::graph_approach::{EdgeWiseAggregate, EdgeWiseEdgeWeight};
 use gt_core::config::ModelConfig;
 use gt_core::data::GraphData;
-use gt_core::framework::{BatchReport, Framework, FrameworkTraits};
+use gt_core::framework::{BatchOutcome, BatchReport, Framework, FrameworkTraits};
 use gt_core::prepro::{run_prepro, PreproResult};
 use gt_core::scheduler::{schedule_prepro, PreproStrategy};
 use gt_graph::VId;
@@ -136,9 +136,7 @@ impl Baseline {
                 agg,
                 self.model.edge.unwrap().h,
             )),
-            (BaselineKind::GnnAdvisor, false) => {
-                Box::new(NeighborGroupAggregate::new(layer, agg))
-            }
+            (BaselineKind::GnnAdvisor, false) => Box::new(NeighborGroupAggregate::new(layer, agg)),
             // GNNAdvisor lacks weighted aggregation → DL fallback; all
             // PyG-family baselines use DL ops throughout.
             (_, false) => Box::new(DlAggregate::new(layer, agg)),
@@ -302,6 +300,7 @@ impl Framework for Baseline {
             num_nodes: pr.work.total_nodes as usize,
             num_edges,
             oom,
+            outcome: BatchOutcome::Succeeded,
         }
     }
 }
@@ -376,7 +375,11 @@ mod tests {
             ..Default::default()
         };
         let want = gt.train_batch(&d, &batch).loss;
-        for kind in [BaselineKind::Pyg, BaselineKind::Dgl, BaselineKind::GnnAdvisor] {
+        for kind in [
+            BaselineKind::Pyg,
+            BaselineKind::Dgl,
+            BaselineKind::GnnAdvisor,
+        ] {
             let mut b = baseline(kind, ModelConfig::ngcf(2, 16, 4));
             let got = b.train_batch(&d, &batch).loss;
             assert!((got - want).abs() < 1e-5, "{kind:?}: {got} vs {want}");
@@ -441,7 +444,12 @@ mod tests {
         cf.comb_first = true;
         let ra = af.train_batch(&d, &batch);
         let rc = cf.train_batch(&d, &batch);
-        assert!((ra.loss - rc.loss).abs() < 1e-4, "{} vs {}", ra.loss, rc.loss);
+        assert!(
+            (ra.loss - rc.loss).abs() < 1e-4,
+            "{} vs {}",
+            ra.loss,
+            rc.loss
+        );
     }
 
     #[test]

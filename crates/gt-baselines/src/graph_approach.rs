@@ -104,7 +104,8 @@ impl Op for EdgeWiseAggregate {
             charge_translation(&self.pull.layer, ctx);
         }
         let out = self.pull.compute(inputs[0], inputs.get(1).copied());
-        let stats = edge_wise_agg_stats(&self.pull.layer, inputs[0].cols(), ctx.sim.device().num_sms);
+        let stats =
+            edge_wise_agg_stats(&self.pull.layer, inputs[0].cols(), ctx.sim.device().num_sms);
         ctx.sim.record_gpu(Phase::Aggregation, stats);
         out
     }
@@ -286,13 +287,18 @@ mod tests {
         };
         let agg = EdgeWiseAggregate::new(Arc::clone(&l), Reduce::Mean);
         let napa = Pull::new(Arc::clone(&l), Reduce::Mean);
-        assert!(agg
-            .forward(&[&x], &mut ctx)
-            .max_abs_diff(&napa.compute(&x, None))
-            < 1e-6);
+        assert!(
+            agg.forward(&[&x], &mut ctx)
+                .max_abs_diff(&napa.compute(&x, None))
+                < 1e-6
+        );
         let ew = EdgeWiseEdgeWeight::new(Arc::clone(&l), EdgeOp::ElemAdd);
         let napa_w = NeighborApply::new(l, EdgeOp::ElemAdd);
-        assert!(ew.forward(&[&x], &mut ctx).max_abs_diff(&napa_w.compute(&x)) < 1e-6);
+        assert!(
+            ew.forward(&[&x], &mut ctx)
+                .max_abs_diff(&napa_w.compute(&x))
+                < 1e-6
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The unified error type for the serving pipeline.
+//!
+//! Each substrate crate reports its own failures ([`GraphError`],
+//! [`SampleError`], [`TensorError`], [`OutOfMemory`]); the serving
+//! supervisor needs one type that also covers the failures only visible at
+//! the pipeline level — a transfer that the fault plan killed, a
+//! preprocessing schedule that blew through its latency budget. `GtError`
+//! is that union, with `From` impls so `?` composes across crates.
+
+use gt_graph::GraphError;
+use gt_sample::SampleError;
+use gt_sim::OutOfMemory;
+use gt_tensor::TensorError;
+
+/// Any failure the serving pipeline can observe, as a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GtError {
+    /// Graph structural-invariant violation.
+    Graph(GraphError),
+    /// Preprocessing-stage failure (bad batch, missing mapping).
+    Sample(SampleError),
+    /// Tensor-substrate failure (wiring bug, singular fit).
+    Tensor(TensorError),
+    /// Device memory exhausted.
+    Oom(OutOfMemory),
+    /// Host→device transfers failed this batch (injected or real).
+    TransferFailed {
+        /// How many PCIe tasks in the schedule failed.
+        failed_tasks: usize,
+    },
+    /// The preprocessing schedule exceeded its latency budget.
+    PreproStalled {
+        /// Observed makespan, µs.
+        makespan_us: f64,
+        /// Configured budget, µs.
+        limit_us: f64,
+    },
+}
+
+impl std::fmt::Display for GtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtError::Graph(e) => write!(f, "graph error: {e}"),
+            GtError::Sample(e) => write!(f, "preprocessing error: {e}"),
+            GtError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GtError::Oom(e) => write!(f, "device OOM: {e}"),
+            GtError::TransferFailed { failed_tasks } => {
+                write!(f, "{failed_tasks} host→device transfer(s) failed")
+            }
+            GtError::PreproStalled {
+                makespan_us,
+                limit_us,
+            } => write!(
+                f,
+                "preprocessing stalled: {makespan_us:.0}µs exceeds budget {limit_us:.0}µs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GtError::Graph(e) => Some(e),
+            GtError::Sample(e) => Some(e),
+            GtError::Tensor(e) => Some(e),
+            GtError::Oom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for GtError {
+    fn from(e: GraphError) -> Self {
+        GtError::Graph(e)
+    }
+}
+
+impl From<SampleError> for GtError {
+    fn from(e: SampleError) -> Self {
+        GtError::Sample(e)
+    }
+}
+
+impl From<TensorError> for GtError {
+    fn from(e: TensorError) -> Self {
+        GtError::Tensor(e)
+    }
+}
+
+impl From<OutOfMemory> for GtError {
+    fn from(e: OutOfMemory) -> Self {
+        GtError::Oom(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_compose_with_question_mark() {
+        fn inner() -> Result<(), SampleError> {
+            Err(SampleError::EmptyBatch)
+        }
+        fn outer() -> Result<(), GtError> {
+            inner()?;
+            Ok(())
+        }
+        assert_eq!(outer(), Err(GtError::Sample(SampleError::EmptyBatch)));
+    }
+
+    #[test]
+    fn display_carries_inner_message() {
+        let e = GtError::Sample(SampleError::EmptyBatch);
+        assert!(e.to_string().contains("empty batch"));
+        let e = GtError::TransferFailed { failed_tasks: 2 };
+        assert!(e.to_string().contains("2"));
+    }
+}

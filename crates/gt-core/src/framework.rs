@@ -24,6 +24,79 @@ pub struct FrameworkTraits {
     pub prepro_overhead: char,
 }
 
+/// Why a batch failed (or kept failing) under the serving supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// A host→device transfer failed (fault-injected or real).
+    TransferFailure,
+    /// The batch exceeded device memory.
+    OutOfMemory,
+    /// The batch itself was invalid (empty, out-of-range vertex ids).
+    InvalidBatch,
+    /// Preprocessing repeatedly exceeded its latency budget.
+    PreproStall,
+}
+
+/// A degradation the supervisor applied to get a batch through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// The batch was shrunk to fit device memory.
+    HalvedBatch {
+        /// Original batch size.
+        from: usize,
+        /// Size actually trained.
+        to: usize,
+    },
+    /// Preprocessing fell back from the pipelined strategy to serialized.
+    SerializedPrepro,
+}
+
+/// Structured outcome of one serving attempt ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BatchOutcome {
+    /// First attempt trained cleanly.
+    #[default]
+    Succeeded,
+    /// Trained after retrying transient faults.
+    Recovered {
+        /// Retries spent before success.
+        retries: usize,
+    },
+    /// Trained, but only after a degradation (smaller batch, serialized
+    /// preprocessing).
+    Degraded {
+        /// What was given up.
+        action: DegradeAction,
+        /// Retries spent before success.
+        retries: usize,
+    },
+    /// A single attempt failed (trainer-level fail-fast report; the
+    /// supervisor turns these into retries or quarantine).
+    Failed {
+        /// Why the attempt failed.
+        reason: FailReason,
+    },
+    /// Every attempt failed; the batch was quarantined.
+    Quarantined {
+        /// The final failure reason.
+        reason: FailReason,
+        /// Attempts spent (including the first).
+        attempts: usize,
+    },
+}
+
+impl BatchOutcome {
+    /// True when the batch produced a committed training step.
+    pub fn trained(&self) -> bool {
+        matches!(
+            self,
+            BatchOutcome::Succeeded
+                | BatchOutcome::Recovered { .. }
+                | BatchOutcome::Degraded { .. }
+        )
+    }
+}
+
 /// Everything measured while training one batch.
 #[derive(Debug)]
 pub struct BatchReport {
@@ -39,6 +112,8 @@ pub struct BatchReport {
     pub num_edges: usize,
     /// Device out-of-memory, if the run exceeded GPU capacity.
     pub oom: Option<String>,
+    /// How the batch resolved (always `Succeeded` outside the supervisor).
+    pub outcome: BatchOutcome,
 }
 
 impl BatchReport {
@@ -121,6 +196,7 @@ mod tests {
             num_nodes: 1,
             num_edges: 1,
             oom: None,
+            outcome: BatchOutcome::Succeeded,
         };
         let g = report.gpu_us();
         assert!((report.e2e_us(true) - g.max(400.0)).abs() < 1e-6);

@@ -46,11 +46,7 @@ pub fn full_graph_prepro(data: &GraphData, layers: usize) -> PreproResult {
         num_dst: v,
         num_src: v,
     });
-    let features = Matrix::from_vec(
-        v,
-        data.feature_dim(),
-        data.features.data().to_vec(),
-    );
+    let features = Matrix::from_vec(v, data.feature_dim(), data.features.data().to_vec());
     PreproResult {
         layers: (0..layers).map(|_| Arc::clone(&layer)).collect(),
         features,
@@ -128,7 +124,10 @@ mod training_tests {
         for _ in 0..20 {
             last = t.train_full_graph(&data).loss;
         }
-        assert!(last < first, "full-graph loss did not drop: {first} → {last}");
+        assert!(
+            last < first,
+            "full-graph loss did not drop: {first} → {last}"
+        );
     }
 
     #[test]

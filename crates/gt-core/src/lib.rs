@@ -19,16 +19,22 @@
 
 pub mod config;
 pub mod data;
+pub mod error;
 pub mod framework;
 pub mod full_graph;
 pub mod napa;
 pub mod orchestrator;
 pub mod prepro;
 pub mod scheduler;
+pub mod serve;
 pub mod trainer;
 
 pub use config::{EdgeWeighting, ModelConfig};
 pub use data::GraphData;
-pub use framework::{BatchReport, Framework, FrameworkTraits};
-pub use scheduler::PreproStrategy;
+pub use error::GtError;
+pub use framework::{
+    BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, FrameworkTraits,
+};
+pub use scheduler::{schedule_prepro_with_faults, PreproStrategy};
+pub use serve::{QuarantineRecord, ServeConfig, Supervisor};
 pub use trainer::{GraphTensor, GtVariant};

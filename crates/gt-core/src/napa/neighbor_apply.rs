@@ -98,13 +98,11 @@ impl NeighborApply {
                     EdgeOp::ElemMul => {
                         let srow: Vec<f32> = features.row(s as usize).to_vec();
                         let drow: Vec<f32> = features.row(d as usize).to_vec();
-                        for ((x, &g), &b) in
-                            dx.row_mut(s as usize).iter_mut().zip(&grow).zip(&drow)
+                        for ((x, &g), &b) in dx.row_mut(s as usize).iter_mut().zip(&grow).zip(&drow)
                         {
                             *x += g * b;
                         }
-                        for ((x, &g), &a) in
-                            dx.row_mut(d as usize).iter_mut().zip(&grow).zip(&srow)
+                        for ((x, &g), &a) in dx.row_mut(d as usize).iter_mut().zip(&grow).zip(&srow)
                         {
                             *x += g * a;
                         }

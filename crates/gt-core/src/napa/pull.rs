@@ -84,16 +84,12 @@ impl Pull {
                             let srow = features.row(s as usize);
                             match (self.h, weights) {
                                 (Some(HFn::Mul), Some(w)) => {
-                                    for ((o, &x), &wk) in
-                                        orow.iter_mut().zip(srow).zip(w.row(e))
-                                    {
+                                    for ((o, &x), &wk) in orow.iter_mut().zip(srow).zip(w.row(e)) {
                                         *o += x * wk;
                                     }
                                 }
                                 (Some(HFn::Add), Some(w)) => {
-                                    for ((o, &x), &wk) in
-                                        orow.iter_mut().zip(srow).zip(w.row(e))
-                                    {
+                                    for ((o, &x), &wk) in orow.iter_mut().zip(srow).zip(w.row(e)) {
                                         *o += x + wk;
                                     }
                                 }
@@ -135,12 +131,14 @@ impl Pull {
         } else {
             0
         };
-        let h_flops = if self.h.is_some() { edges * feat_dim as u64 } else { 0 };
+        let h_flops = if self.h.is_some() {
+            edges * feat_dim as u64
+        } else {
+            0
+        };
         KernelStats {
             flops: edges * feat_dim as u64 + h_flops + (layer.num_dst * feat_dim) as u64,
-            global_read_bytes: cache.loaded_bytes()
-                + weight_stream
-                + layer.csr.storage_bytes(),
+            global_read_bytes: cache.loaded_bytes() + weight_stream + layer.csr.storage_bytes(),
             global_write_bytes: (layer.num_dst * feat_dim * 4) as u64,
             cache_loaded_bytes: cache.loaded_bytes(),
             launches: 1,
@@ -155,7 +153,10 @@ impl Pull {
         weights: Option<&Matrix>,
         grad: &Matrix,
     ) -> (Matrix, Option<Matrix>) {
-        assert!(self.agg != Reduce::Max, "Pull backward: Max needs argmax state");
+        assert!(
+            self.agg != Reduce::Max,
+            "Pull backward: Max needs argmax state"
+        );
         let f = features.cols();
         let layer = &self.layer;
         // Degree of each dst (for Mean scaling).
@@ -185,9 +186,7 @@ impl Pull {
                             // Need this edge's weight row: find the edge id
                             // in CSR order (s within dsts' src slice).
                             let e = edge_id(layer, d, s as u32);
-                            for ((x, &g), &wk) in
-                                xrow.iter_mut().zip(grow).zip(w.row(e))
-                            {
+                            for ((x, &g), &wk) in xrow.iter_mut().zip(grow).zip(w.row(e)) {
                                 *x += g * wk * scale;
                             }
                         }

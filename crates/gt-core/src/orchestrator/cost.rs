@@ -26,7 +26,7 @@
 //! epoch, exactly as §V-A describes; the paper reports 12.5% residual error.
 
 use gt_sim::DeviceSpec;
-use gt_tensor::lstsq::{lstsq, mape};
+use gt_tensor::lstsq::{mape, try_lstsq};
 use parking_lot::{Mutex, RwLock};
 
 /// Layer dimensionality, the cost model's input (Fig 11a).
@@ -77,6 +77,11 @@ pub struct CostModel {
     samples: Mutex<Vec<Sample>>,
     /// Fit residual (MAPE) of the last calibration, if any.
     fit_error: RwLock<Option<f64>>,
+    /// Latched when a fit came back singular: the model stops trusting its
+    /// (device-seeded, uncalibrated) coefficients and [`CostModel::decide`]
+    /// degrades to the static aggregation-first placement every framework
+    /// defaults to.
+    static_fallback: RwLock<bool>,
 }
 
 impl CostModel {
@@ -94,6 +99,7 @@ impl CostModel {
             ]),
             samples: Mutex::new(Vec::new()),
             fit_error: RwLock::new(None),
+            static_fallback: RwLock::new(false),
         }
     }
 
@@ -125,7 +131,9 @@ impl CostModel {
         latency_us: f64,
     ) {
         let (flops, mem) = comb_terms(rows, f, h, passes);
-        self.samples.lock().push(([1.0, 0.0, flops, mem], latency_us));
+        self.samples
+            .lock()
+            .push(([1.0, 0.0, flops, mem], latency_us));
     }
 
     /// Number of recorded calibration samples.
@@ -150,6 +158,7 @@ impl CostModel {
         let coef = loop {
             let cols: Vec<usize> = (0..4).filter(|&i| active[i]).collect();
             if cols.is_empty() {
+                *self.static_fallback.write() = true;
                 return None;
             }
             let mut a = Vec::with_capacity(samples.len() * cols.len());
@@ -160,7 +169,16 @@ impl CostModel {
                 }
                 b.push(*y);
             }
-            let partial = lstsq(&a, cols.len(), &b)?;
+            let partial = match try_lstsq(&a, cols.len(), &b) {
+                Ok(c) => c,
+                Err(_) => {
+                    // Rank-deficient calibration (e.g. every sample saw the
+                    // same layer shape). Rather than trust coefficients we
+                    // could not fit, pin DKP to the static placement.
+                    *self.static_fallback.write() = true;
+                    return None;
+                }
+            };
             let mut full = [0.0f64; 4];
             for (k, &c) in cols.iter().enumerate() {
                 full[c] = partial[k];
@@ -181,12 +199,19 @@ impl CostModel {
         let err = mape(&predicted, &b_vec(&samples));
         *self.coef.write() = coef;
         *self.fit_error.write() = Some(err);
+        *self.static_fallback.write() = false;
         Some(err)
     }
 
     /// Residual error of the last fit (Table I reports ≈12.5%).
     pub fn fit_error(&self) -> Option<f64> {
         *self.fit_error.read()
+    }
+
+    /// True when a singular calibration fit pinned DKP to the static
+    /// aggregation-first placement.
+    pub fn is_static_fallback(&self) -> bool {
+        *self.static_fallback.read()
     }
 
     /// FWP + BWP cost of aggregation-first for `d`.
@@ -220,7 +245,7 @@ impl CostModel {
     /// the weighting, so they always aggregate first (§VI-A: edge weighting
     /// "is hard to get benefit from kernel scheduling").
     pub fn decide(&self, d: &Dims, weighted: bool, needs_input_grad: bool) -> Placement {
-        if weighted {
+        if weighted || *self.static_fallback.read() {
             return Placement::AggregationFirst;
         }
         if self.cost_combination_first(d, needs_input_grad)
@@ -330,6 +355,39 @@ mod tests {
         m.record_agg_sample(1.0, 1.0);
         assert!(m.fit().is_none());
         assert_eq!(m.num_samples(), 1);
+    }
+
+    #[test]
+    fn singular_fit_degrades_to_static_placement() {
+        let m = model();
+        // Every sample saw the exact same layer shape: the normal equations
+        // are rank-deficient, so the fit must refuse and latch the fallback.
+        for _ in 0..8 {
+            m.record_comb_sample(100, 32, 16, 1, 50.0);
+        }
+        assert!(m.fit().is_none());
+        assert!(m.is_static_fallback());
+        // Even a shape that overwhelmingly favors combination-first now
+        // takes the static default.
+        let d = dims(30_000, 8_000, 60_000, 4353, 64);
+        assert_eq!(m.decide(&d, false, true), Placement::AggregationFirst);
+        // A later well-conditioned fit clears the fallback.
+        m.samples.lock().clear();
+        for i in 1..30u64 {
+            let agg = if i % 2 == 0 { (i * 1000) as f64 } else { 0.0 };
+            let (cf, cm) = if i % 2 == 1 {
+                comb_terms(i as usize * 100, 32 + i as usize, 16, 1)
+            } else {
+                (0.0, 0.0)
+            };
+            m.samples.lock().push((
+                [1.0, agg, cf, cm],
+                7.0 + 3.0e-5 * agg + 1.2e-8 * cf + 4.0e-6 * cm,
+            ));
+        }
+        assert!(m.fit().is_some());
+        assert!(!m.is_static_fallback());
+        assert_eq!(m.decide(&d, false, true), Placement::CombinationFirst);
     }
 
     #[test]

@@ -97,7 +97,14 @@ impl CostDkp {
 
     /// Charge a MatMul of `rows×f · f×h` over `passes` passes; returns its
     /// modeled latency.
-    fn charge_matmul(&self, rows: usize, f: usize, h: usize, passes: usize, ctx: &mut ExecCtx) -> f64 {
+    fn charge_matmul(
+        &self,
+        rows: usize,
+        f: usize,
+        h: usize,
+        passes: usize,
+        ctx: &mut ExecCtx,
+    ) -> f64 {
         ctx.sim.record_gpu(
             Phase::Combination,
             KernelStats {
@@ -142,7 +149,10 @@ impl Op for CostDkp {
             .cost
             .decide(&d, self.pull.h.is_some(), self.needs_input_grad);
         let w = ctx.params.get(&self.weight).clone();
-        let bias: Option<Vec<f32>> = self.bias.as_ref().map(|b| ctx.params.get(b).row(0).to_vec());
+        let bias: Option<Vec<f32>> = self
+            .bias
+            .as_ref()
+            .map(|b| ctx.params.get(b).row(0).to_vec());
 
         let out = match placement {
             Placement::AggregationFirst => {
@@ -192,11 +202,13 @@ impl Op for CostDkp {
         let x = inputs[0];
         let weights = inputs.get(1).copied();
         let d = self.dims(x.cols(), ctx.params);
-        let (placement, intermediate) = self
-            .stash
-            .lock()
-            .take()
-            .expect("backward without matching forward");
+        let Some((placement, intermediate)) = self.stash.lock().take() else {
+            // A backward without its matching forward is a wiring bug; in
+            // release serving, drop the gradient contribution rather than
+            // poison the whole pipeline.
+            debug_assert!(false, "backward without matching forward");
+            return vec![None; inputs.len()];
+        };
         let w = ctx.params.get(&self.weight).clone();
         if let Some(b) = &self.bias {
             let db = Matrix::from_vec(1, grad.cols(), grad.column_sums());
@@ -309,10 +321,7 @@ mod tests {
     use gt_tensor::sparse::Reduce;
 
     fn layer() -> Arc<LayerGraph> {
-        let coo = Coo::from_edges(
-            4,
-            &[(0, 0), (1, 0), (2, 0), (1, 1), (3, 1), (2, 2), (0, 2)],
-        );
+        let coo = Coo::from_edges(4, &[(0, 0), (1, 0), (2, 0), (1, 1), (3, 1), (2, 2), (0, 2)]);
         let (csr_full, _) = coo_to_csr(&coo);
         let csr = Csr::new(csr_full.indptr[..=3].to_vec(), csr_full.srcs.clone());
         let (csc, _) = coo_to_csc(&coo);
@@ -325,10 +334,7 @@ mod tests {
     }
 
     /// Build X → Pull → Linear DFG, optionally fused, and run one fwd+bwd.
-    fn run(
-        force: Option<Placement>,
-        needs_input_grad: bool,
-    ) -> (Matrix, Matrix, (usize, usize)) {
+    fn run(force: Option<Placement>, needs_input_grad: bool) -> (Matrix, Matrix, (usize, usize)) {
         let l = layer();
         let feat = 8;
         let hid = 3;
@@ -439,15 +445,7 @@ mod tests {
             let cost = Arc::new(CostModel::from_device(&DeviceSpec::rtx3090()));
             let counters = Arc::new(DkpCounters::default());
             let pull = Pull::new(Arc::clone(&l), Reduce::Mean);
-            let node = CostDkp::new(
-                pull.clone(),
-                "w".into(),
-                None,
-                cost,
-                true,
-                false,
-                counters,
-            );
+            let node = CostDkp::new(pull.clone(), "w".into(), None, cost, true, false, counters);
             let xval = xavier(4, feat, 1);
             let mut sim = SimContext::new(DeviceSpec::tiny());
             let mut ctx = ExecCtx {

@@ -19,7 +19,9 @@
 //!   into pinned T chunks (Fig 14b).
 
 use crate::prepro::PreproWork;
-use gt_sim::{Phase, Resource, Schedule, Simulator, SystemSpec, TaskSpec, TransferKind};
+use gt_sim::{
+    ActiveFaults, Phase, Resource, Schedule, Simulator, SystemSpec, TaskSpec, TransferKind,
+};
 
 /// Preprocessing schedule shapes (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,23 @@ const HASH_LOCK: u32 = 1;
 
 /// Build and run the DES schedule for one batch's preprocessing.
 pub fn schedule_prepro(work: &PreproWork, sys: &SystemSpec, strategy: PreproStrategy) -> Schedule {
+    build(work, sys, strategy).run()
+}
+
+/// [`schedule_prepro`] with injected faults applied at event boundaries
+/// (straggler cores, PCIe stalls/failures, lock-contention spikes). With an
+/// empty fault set this is bit-identical to the plain schedule.
+pub fn schedule_prepro_with_faults(
+    work: &PreproWork,
+    sys: &SystemSpec,
+    strategy: PreproStrategy,
+    faults: &ActiveFaults,
+) -> Schedule {
+    build(work, sys, strategy).run_with_faults(faults)
+}
+
+/// Construct the task graph for one batch's preprocessing without running it.
+fn build(work: &PreproWork, sys: &SystemSpec, strategy: PreproStrategy) -> Simulator {
     match strategy {
         PreproStrategy::Serial => serial(work, sys, TransferKind::Pageable),
         PreproStrategy::SerialPinned => serial(work, sys, TransferKind::Pinned),
@@ -72,7 +91,7 @@ fn chunk(total: u64, n: usize) -> Vec<u64> {
 
 /// Serialized stages: all S hops (in order), then all R, then K, then T.
 /// Each stage fans out across all host cores; T is a single DMA stream.
-fn serial(work: &PreproWork, sys: &SystemSpec, kind: TransferKind) -> Schedule {
+fn serial(work: &PreproWork, sys: &SystemSpec, kind: TransferKind) -> Simulator {
     let cores = sys.host.cores;
     let mut sim = Simulator::new(cores);
     let mut prev_stage: Vec<usize> = Vec::new();
@@ -129,7 +148,10 @@ fn serial(work: &PreproWork, sys: &SystemSpec, kind: TransferKind) -> Schedule {
 
     // K: gather all features, after R.
     let mut k_ids = Vec::new();
-    for (c, share) in chunk(work.total_feature_bytes, cores).into_iter().enumerate() {
+    for (c, share) in chunk(work.total_feature_bytes, cores)
+        .into_iter()
+        .enumerate()
+    {
         let t = TaskSpec::new(
             format!("K c{c}"),
             Resource::HostCore,
@@ -153,12 +175,12 @@ fn serial(work: &PreproWork, sys: &SystemSpec, kind: TransferKind) -> Schedule {
     .items(work.total_nodes);
     sim.add(t);
 
-    sim.run()
+    sim
 }
 
 /// GraphTensor's per-layer subtask pipeline (Fig 13), optionally with the
 /// contention relaxing of Fig 14c.
-fn pipelined(work: &PreproWork, sys: &SystemSpec, relaxed: bool) -> Schedule {
+fn pipelined(work: &PreproWork, sys: &SystemSpec, relaxed: bool) -> Simulator {
     let cores = sys.host.cores;
     let mut sim = Simulator::new(cores);
 
@@ -342,7 +364,7 @@ fn pipelined(work: &PreproWork, sys: &SystemSpec, relaxed: bool) -> Schedule {
         }
     }
 
-    sim.run()
+    sim
 }
 
 #[cfg(test)]
@@ -361,7 +383,10 @@ mod tests {
             feature_bytes: nodes * 512,
         };
         PreproWork {
-            hops: vec![hop(40_000, 10_000, 3_000, 5_000), hop(160_000, 40_000, 12_000, 20_000)],
+            hops: vec![
+                hop(40_000, 10_000, 3_000, 5_000),
+                hop(160_000, 40_000, 12_000, 20_000),
+            ],
             batch_nodes: 300,
             batch_feature_bytes: 300 * 512,
             total_nodes: 15_300,
@@ -463,6 +488,56 @@ mod tests {
             assert!(s.phase_busy_us(Phase::Transfer) > 0.0, "{strat:?}");
             assert!(s.makespan_us > 0.0);
         }
+    }
+
+    #[test]
+    fn empty_faults_match_plain_schedule_bitwise() {
+        let w = work();
+        for strat in [
+            PreproStrategy::Serial,
+            PreproStrategy::Pipelined,
+            PreproStrategy::PipelinedRelaxed,
+        ] {
+            let plain = schedule_prepro(&w, &sys(), strat);
+            let faulted = schedule_prepro_with_faults(&w, &sys(), strat, &ActiveFaults::none());
+            assert_eq!(
+                plain.makespan_us.to_bits(),
+                faulted.makespan_us.to_bits(),
+                "{strat:?}"
+            );
+            assert_eq!(plain.events.len(), faulted.events.len());
+            for (a, b) in plain.events.iter().zip(&faulted.events) {
+                assert_eq!(a.start_us.to_bits(), b.start_us.to_bits());
+                assert_eq!(a.end_us.to_bits(), b.end_us.to_bits());
+            }
+            assert!(!faulted.has_failures());
+        }
+    }
+
+    #[test]
+    fn injected_faults_perturb_and_mark_the_schedule() {
+        let w = work();
+        let plain = schedule_prepro(&w, &sys(), PreproStrategy::PipelinedRelaxed);
+        let stalled = schedule_prepro_with_faults(
+            &w,
+            &sys(),
+            PreproStrategy::PipelinedRelaxed,
+            &gt_sim::FaultPlan::new(7)
+                .with_transfer_stall(4.0, 1.0)
+                .active(0, 0),
+        );
+        assert!(stalled.makespan_us > plain.makespan_us);
+        assert!(!stalled.has_failures());
+
+        let failed = schedule_prepro_with_faults(
+            &w,
+            &sys(),
+            PreproStrategy::PipelinedRelaxed,
+            &gt_sim::FaultPlan::new(7)
+                .with_transfer_failure(1.0)
+                .active(0, 0),
+        );
+        assert!(failed.has_failures());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Self-healing serving supervisor.
+//!
+//! Production GNN serving cannot afford a panic per flaky DMA. The
+//! [`Supervisor`] wraps a [`GraphTensor`] trainer in a retry/degrade ladder:
+//!
+//! * **Transient faults** (failed transfers, transient memory pressure) are
+//!   retried with exponential backoff, up to [`ServeConfig::max_retries`].
+//! * **Persistent memory pressure** degrades gracefully: after two
+//!   consecutive OOM attempts the batch is halved (down to
+//!   [`ServeConfig::min_batch`]) so *some* progress is made.
+//! * **Repeated preprocessing stalls** (makespan over
+//!   [`ServeConfig::prepro_timeout_us`]) trip a strike counter that falls
+//!   back from the pipelined scheduler to the serialized one — slower but
+//!   free of hash-lock convoys.
+//! * **Poison batches** (invalid ids, or exhausted retries) are quarantined
+//!   with a structured [`QuarantineRecord`] instead of being retried forever.
+//!
+//! Faults come from a seeded [`FaultPlan`], so every run is reproducible:
+//! the same plan and seed produce the same retries, degradations, and
+//! quarantines. With an empty plan the supervisor is a pass-through — the
+//! trainer takes its exact unsupervised code path and numerics are
+//! bit-identical.
+
+use crate::data::GraphData;
+use crate::framework::{BatchOutcome, BatchReport, DegradeAction, FailReason, Framework};
+use crate::scheduler::PreproStrategy;
+use crate::trainer::GraphTensor;
+use gt_graph::VId;
+use gt_sample::validate_batch;
+use gt_sim::{FaultPlan, SimContext};
+
+/// Retry/degradation policy of the supervisor.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Retries after the first failed attempt before quarantining.
+    pub max_retries: usize,
+    /// First retry waits this long; attempt `k` waits `base · 2ᵏ` µs.
+    pub backoff_base_us: f64,
+    /// Preprocessing makespan budget; stalls beyond it accrue strikes
+    /// (default ∞: never stalls).
+    pub prepro_timeout_us: f64,
+    /// Stalled batches tolerated before degrading pipelined→serialized.
+    pub stall_strikes: usize,
+    /// Batch halving floor: never shrink a batch below this many vertices.
+    pub min_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_retries: 3,
+            backoff_base_us: 50.0,
+            prepro_timeout_us: f64::INFINITY,
+            stall_strikes: 2,
+            min_batch: 1,
+        }
+    }
+}
+
+/// A batch the supervisor gave up on, with enough context to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Serving index of the batch (the fault plan's batch coordinate).
+    pub batch_index: usize,
+    /// The vertex ids as submitted.
+    pub batch: Vec<VId>,
+    /// The final failure.
+    pub reason: FailReason,
+    /// Attempts spent before giving up (0 = rejected before any attempt).
+    pub attempts: usize,
+}
+
+/// Wraps a trainer in the retry/degrade/quarantine ladder described in the
+/// module docs.
+pub struct Supervisor {
+    /// The supervised trainer (fail-fast mode is forced on).
+    pub trainer: GraphTensor,
+    /// Retry/degradation policy.
+    pub config: ServeConfig,
+    /// Faults injected per (batch, attempt); empty = pass-through.
+    pub plan: FaultPlan,
+    /// Batches the supervisor gave up on.
+    pub quarantine: Vec<QuarantineRecord>,
+    /// Total virtual time spent in retry backoff, µs.
+    pub backoff_paid_us: f64,
+    batches_served: usize,
+    strikes: usize,
+    degraded_prepro: bool,
+}
+
+impl Supervisor {
+    /// Supervise `trainer` under `plan`. Forces the trainer into fail-fast
+    /// mode so failed transfers and OOMs come back as reports, not panics
+    /// or silently-degraded training steps.
+    pub fn new(mut trainer: GraphTensor, plan: FaultPlan) -> Self {
+        trainer.fail_fast = true;
+        Supervisor {
+            trainer,
+            config: ServeConfig::default(),
+            plan,
+            quarantine: Vec::new(),
+            backoff_paid_us: 0.0,
+            batches_served: 0,
+            strikes: 0,
+            degraded_prepro: false,
+        }
+    }
+
+    /// Batches served so far (the next batch's fault-plan coordinate).
+    pub fn batches_served(&self) -> usize {
+        self.batches_served
+    }
+
+    /// True once preprocessing has fallen back to the serialized strategy.
+    pub fn is_prepro_degraded(&self) -> bool {
+        self.degraded_prepro
+    }
+
+    /// Train one batch under supervision. Never panics on injected faults;
+    /// the report's [`BatchOutcome`] says how the batch resolved.
+    pub fn serve_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
+        let batch_index = self.batches_served;
+        self.batches_served += 1;
+
+        // Poison batches are rejected before they can touch the trainer.
+        // Repeated ids are valid for the sampler (a BPR user may recur
+        // across triples) but not for supervised training, where labels are
+        // gathered per batch entry and rows per unique vertex.
+        let has_dup = {
+            let mut seen = std::collections::HashSet::with_capacity(batch.len());
+            !batch.iter().all(|v| seen.insert(v))
+        };
+        if has_dup || validate_batch(&data.graph, batch, &self.trainer.sampler).is_err() {
+            self.quarantine.push(QuarantineRecord {
+                batch_index,
+                batch: batch.to_vec(),
+                reason: FailReason::InvalidBatch,
+                attempts: 0,
+            });
+            return BatchReport {
+                loss: f32::NAN,
+                sim: SimContext::new(self.trainer.sys.gpu.clone()),
+                prepro: None,
+                num_nodes: 0,
+                num_edges: 0,
+                oom: None,
+                outcome: BatchOutcome::Quarantined {
+                    reason: FailReason::InvalidBatch,
+                    attempts: 0,
+                },
+            };
+        }
+
+        let mut cur: Vec<VId> = batch.to_vec();
+        let mut halved: Option<DegradeAction> = None;
+        let mut consecutive_oom = 0usize;
+        let mut attempt = 0usize;
+        loop {
+            if !self.plan.is_empty() {
+                self.trainer.injected = Some(self.plan.active(batch_index, attempt));
+            }
+            if self.degraded_prepro {
+                self.trainer.prepro_override = Some(PreproStrategy::Serial);
+            }
+            let mut report = self.trainer.train_batch(data, &cur);
+
+            let reason = match report.outcome {
+                BatchOutcome::Failed { reason } => reason,
+                _ => {
+                    // Trained. Account a stall strike before classifying.
+                    let just_degraded = if !self.degraded_prepro
+                        && report.prepro_us() > self.config.prepro_timeout_us
+                    {
+                        self.strikes += 1;
+                        if self.strikes >= self.config.stall_strikes {
+                            self.degraded_prepro = true;
+                        }
+                        self.degraded_prepro
+                    } else {
+                        false
+                    };
+                    report.outcome = if let Some(action) = halved {
+                        BatchOutcome::Degraded {
+                            action,
+                            retries: attempt,
+                        }
+                    } else if just_degraded {
+                        BatchOutcome::Degraded {
+                            action: DegradeAction::SerializedPrepro,
+                            retries: attempt,
+                        }
+                    } else if attempt > 0 {
+                        BatchOutcome::Recovered { retries: attempt }
+                    } else {
+                        BatchOutcome::Succeeded
+                    };
+                    return report;
+                }
+            };
+
+            if attempt >= self.config.max_retries {
+                self.quarantine.push(QuarantineRecord {
+                    batch_index,
+                    batch: batch.to_vec(),
+                    reason,
+                    attempts: attempt + 1,
+                });
+                report.outcome = BatchOutcome::Quarantined {
+                    reason,
+                    attempts: attempt + 1,
+                };
+                return report;
+            }
+
+            match reason {
+                FailReason::TransferFailure => {
+                    // Transient by assumption: back off and re-roll.
+                    self.backoff_paid_us += self.config.backoff_base_us * (1u64 << attempt) as f64;
+                    consecutive_oom = 0;
+                }
+                FailReason::OutOfMemory => {
+                    consecutive_oom += 1;
+                    // One plain retry first (transient pressure clears);
+                    // a second OOM in a row means the batch must shrink.
+                    if consecutive_oom >= 2 && cur.len() > self.config.min_batch {
+                        let to = (cur.len() / 2).max(self.config.min_batch);
+                        halved = Some(match halved {
+                            Some(DegradeAction::HalvedBatch { from, .. }) => {
+                                DegradeAction::HalvedBatch { from, to }
+                            }
+                            _ => DegradeAction::HalvedBatch {
+                                from: batch.len(),
+                                to,
+                            },
+                        });
+                        cur.truncate(to);
+                        consecutive_oom = 0;
+                    }
+                }
+                FailReason::InvalidBatch | FailReason::PreproStall => {}
+            }
+            attempt += 1;
+        }
+    }
+}

@@ -7,14 +7,14 @@
 
 use crate::config::ModelConfig;
 use crate::data::GraphData;
-use crate::framework::{BatchReport, Framework, FrameworkTraits};
+use crate::framework::{BatchOutcome, BatchReport, FailReason, Framework, FrameworkTraits};
 use crate::napa::{NeighborApply, Pull};
 use crate::orchestrator::{apply_dkp, CostModel, DkpPair};
 use crate::prepro::{run_prepro, PreproResult};
-use crate::scheduler::{schedule_prepro, PreproStrategy};
+use crate::scheduler::{schedule_prepro_with_faults, PreproStrategy};
 use gt_graph::VId;
 use gt_sample::SamplerConfig;
-use gt_sim::{SimContext, SystemSpec};
+use gt_sim::{ActiveFaults, SimContext, SystemSpec};
 use gt_tensor::dense::Matrix;
 use gt_tensor::dfg::{Dfg, ExecCtx, Linear, ParamStore, Relu};
 use gt_tensor::init::xavier;
@@ -63,6 +63,17 @@ pub struct GraphTensor {
     pub grad_clip: Option<f32>,
     /// Batches used for DKP cost-model calibration (first-epoch fitting).
     pub calibration_batches: usize,
+    /// When set, abort a batch (no parameter update) instead of training
+    /// through a failed transfer or an OOM — the serving supervisor turns
+    /// such reports into retries/degradations. Off by default so the plain
+    /// training path is unchanged.
+    pub fail_fast: bool,
+    /// Faults to apply to the *next* batch only (taken on use). Set by the
+    /// serving supervisor from its [`gt_sim::FaultPlan`].
+    pub injected: Option<ActiveFaults>,
+    /// Overrides the variant's preprocessing strategy (the supervisor's
+    /// pipelined→serialized degradation).
+    pub prepro_override: Option<PreproStrategy>,
     params: ParamStore,
     cost: Arc<CostModel>,
     counters: Arc<DkpCounters>,
@@ -84,6 +95,9 @@ impl GraphTensor {
             optimizer: None,
             grad_clip: None,
             calibration_batches: 3,
+            fail_fast: false,
+            injected: None,
+            prepro_override: None,
             params: ParamStore::new(),
             cost,
             counters: Arc::new(DkpCounters::default()),
@@ -218,6 +232,7 @@ impl GraphTensor {
             num_nodes: data.num_vertices(),
             num_edges: data.graph.num_edges(),
             oom,
+            outcome: BatchOutcome::Succeeded,
         }
     }
 
@@ -226,7 +241,10 @@ impl GraphTensor {
     pub fn infer_batch(&mut self, data: &GraphData, batch: &[VId]) -> Matrix {
         self.ensure_params(data.feature_dim());
         let mut cfg = self.sampler.clone();
-        cfg.seed = cfg.seed.wrapping_add(0x1FE0 + self.batches_run as u64);
+        // Fixed offset, independent of training progress: inference must be
+        // a pure function of (params, sampler config) so a trainer restored
+        // from a checkpoint scores batches identically to the original.
+        cfg.seed = cfg.seed.wrapping_add(0x1FE0);
         let pr = run_prepro(data, batch, &cfg);
         let mut sim = SimContext::new(self.sys.gpu.clone());
         let (dfg, pairs) = self.build_dfg(&pr);
@@ -254,6 +272,9 @@ impl GraphTensor {
     }
 
     fn prepro_strategy(&self) -> PreproStrategy {
+        if let Some(s) = self.prepro_override {
+            return s;
+        }
         match self.variant {
             // Base/Dynamic serialize S→R→K→T like DGL (§VI-B) but still
             // overlap whole batches with GPU compute.
@@ -310,15 +331,51 @@ impl GraphTensor {
         L: FnOnce(&Matrix, &[VId]) -> (f32, Matrix),
     {
         self.ensure_params(data.feature_dim());
+        let faults = self.injected.take().unwrap_or_default();
         let mut cfg = self.sampler.clone();
         cfg.seed = cfg.seed.wrapping_add(self.batches_run as u64);
         let pr = run_prepro(data, batch, &cfg);
 
-        let mut sim = SimContext::new(self.sys.gpu.clone());
+        // The preprocessing schedule is a pure function of the measured
+        // work, so it can run up front; with an empty fault set it is
+        // bit-identical to the unsupervised schedule.
+        let prepro =
+            schedule_prepro_with_faults(&pr.work, &self.sys, self.prepro_strategy(), &faults);
+
+        let mut gpu = self.sys.gpu.clone();
+        if let Some(frac) = faults.memory_fraction() {
+            gpu.device_mem_bytes = (gpu.device_mem_bytes as f64 * frac) as u64;
+        }
+        let mut sim = SimContext::new(gpu);
         // Input tensors land in device memory.
         let _ = sim.memory.alloc(pr.features.bytes());
         for l in &pr.layers {
             let _ = sim.memory.alloc(l.structure_bytes());
+        }
+
+        if self.fail_fast {
+            let reason = if prepro.has_failures() {
+                Some(FailReason::TransferFailure)
+            } else if sim.memory.oom().is_some() {
+                Some(FailReason::OutOfMemory)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                // Abort before any parameter update: the supervisor will
+                // retry or degrade, and a retried batch must see the same
+                // seed, so `batches_run` stays untouched too.
+                let oom = sim.memory.oom().map(|e| e.to_string());
+                return BatchReport {
+                    loss: f32::NAN,
+                    sim,
+                    prepro: Some(prepro),
+                    num_nodes: pr.work.total_nodes as usize,
+                    num_edges: pr.layers.iter().map(|l| l.csr.num_edges()).sum(),
+                    oom,
+                    outcome: BatchOutcome::Failed { reason },
+                };
+            }
         }
 
         let (mut dfg, pairs) = self.build_dfg(&pr);
@@ -340,6 +397,25 @@ impl GraphTensor {
             dfg.backward(&values, grad, &mut ctx);
             (loss, pr.layers.iter().map(|l| l.csr.num_edges()).sum())
         };
+
+        if self.fail_fast {
+            if let Some(oom) = sim.memory.oom() {
+                // Intermediates blew the budget mid-compute: do not commit
+                // the parameter update (gradients are zeroed at the start of
+                // the next attempt, so nothing leaks into it).
+                return BatchReport {
+                    loss: f32::NAN,
+                    sim,
+                    prepro: Some(prepro),
+                    num_nodes: pr.work.total_nodes as usize,
+                    num_edges,
+                    oom: Some(oom.to_string()),
+                    outcome: BatchOutcome::Failed {
+                        reason: FailReason::OutOfMemory,
+                    },
+                };
+            }
+        }
         self.optimizer_step();
 
         self.batches_run += 1;
@@ -348,7 +424,6 @@ impl GraphTensor {
             let _ = self.cost.fit();
         }
 
-        let prepro = schedule_prepro(&pr.work, &self.sys, self.prepro_strategy());
         let oom = sim.memory.oom().map(|e| e.to_string());
         BatchReport {
             loss,
@@ -357,6 +432,7 @@ impl GraphTensor {
             num_nodes: pr.work.total_nodes as usize,
             num_edges,
             oom,
+            outcome: BatchOutcome::Succeeded,
         }
     }
 }
@@ -404,7 +480,10 @@ mod tests {
         let batches: Vec<Vec<VId>> = BatchIter::new(300, 32, 5).take(8).collect();
         // Sampled minibatches are noisy; compare epoch-average losses.
         let epoch = |t: &mut GraphTensor| -> f32 {
-            batches.iter().map(|b| t.train_batch(&d, b).loss).sum::<f32>()
+            batches
+                .iter()
+                .map(|b| t.train_batch(&d, b).loss)
+                .sum::<f32>()
                 / batches.len() as f32
         };
         let first = epoch(&mut t);

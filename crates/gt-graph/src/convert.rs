@@ -45,11 +45,7 @@ pub fn translation_stats(n: u64, v: u64) -> KernelStats {
 
 /// Stable counting sort of COO edges by a key array; returns the permuted
 /// (src, dst) arrays and the group-boundary pointer array.
-fn counting_sort(
-    num_vertices: usize,
-    keys: &[VId],
-    values: &[VId],
-) -> (Vec<EId>, Vec<VId>) {
+fn counting_sort(num_vertices: usize, keys: &[VId], values: &[VId]) -> (Vec<EId>, Vec<VId>) {
     let mut counts = vec![0 as EId; num_vertices + 1];
     for &k in keys {
         counts[k as usize + 1] += 1;

@@ -1,6 +1,7 @@
 //! Coordinate-list (COO) edge storage: parallel `src`/`dst` arrays indexed by
 //! edge id (Fig 1b, left).
 
+use crate::error::GraphError;
 use crate::VId;
 
 /// An edge list in coordinate format. Edges are directed src → dst.
@@ -16,7 +17,8 @@ pub struct Coo {
 
 impl Coo {
     /// Build from parallel arrays. Panics if lengths differ or an id is out
-    /// of range (checked in debug builds only for speed).
+    /// of range (checked in debug builds only for speed). Use
+    /// [`try_new`](Self::try_new) for full validation without panicking.
     pub fn new(num_vertices: usize, src: Vec<VId>, dst: Vec<VId>) -> Self {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
         debug_assert!(src.iter().all(|&v| (v as usize) < num_vertices));
@@ -26,6 +28,27 @@ impl Coo {
             src,
             dst,
         }
+    }
+
+    /// Build from parallel arrays with full validation (lengths and id
+    /// bounds, in every build profile), returning violations as values.
+    pub fn try_new(num_vertices: usize, src: Vec<VId>, dst: Vec<VId>) -> Result<Self, GraphError> {
+        if src.len() != dst.len() {
+            return Err(GraphError::LengthMismatch {
+                src: src.len(),
+                dst: dst.len(),
+            });
+        }
+        for &v in src.iter().chain(dst.iter()) {
+            if v as usize >= num_vertices {
+                return Err(GraphError::VertexOutOfRange { v, n: num_vertices });
+            }
+        }
+        Ok(Coo {
+            num_vertices,
+            src,
+            dst,
+        })
     }
 
     /// An empty graph over `num_vertices` vertices.
@@ -117,6 +140,19 @@ mod tests {
     #[should_panic]
     fn mismatched_arrays_rejected() {
         Coo::new(3, vec![0, 1], vec![2]);
+    }
+
+    #[test]
+    fn try_new_validates_lengths_and_bounds() {
+        assert_eq!(
+            Coo::try_new(3, vec![0, 1], vec![2]),
+            Err(GraphError::LengthMismatch { src: 2, dst: 1 })
+        );
+        assert_eq!(
+            Coo::try_new(3, vec![0, 7], vec![1, 2]),
+            Err(GraphError::VertexOutOfRange { v: 7, n: 3 })
+        );
+        assert!(Coo::try_new(3, vec![0, 1], vec![1, 2]).is_ok());
     }
 
     #[test]

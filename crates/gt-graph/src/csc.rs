@@ -2,6 +2,7 @@
 //! **source** vertex, vertex array stores **destination** ids (§II-A).
 //! Backward propagation traverses this ("dst node information per src node").
 
+use crate::error::{validate_indptr, GraphError};
 use crate::{EId, VId};
 
 /// Src-indexed adjacency: `dsts(s)` are the out-neighbors of source `s`.
@@ -15,19 +16,17 @@ pub struct Csc {
 
 impl Csc {
     /// Construct from raw arrays, validating monotonicity and bounds.
+    /// Panics on invalid input; use [`try_new`](Self::try_new) to get the
+    /// violation as a value.
     pub fn new(indptr: Vec<EId>, dsts: Vec<VId>) -> Self {
-        assert!(!indptr.is_empty(), "indptr must have at least one entry");
-        assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert!(
-            indptr.windows(2).all(|w| w[0] <= w[1]),
-            "indptr must be non-decreasing"
-        );
-        assert_eq!(
-            *indptr.last().unwrap() as usize,
-            dsts.len(),
-            "indptr must end at dsts.len()"
-        );
-        Csc { indptr, dsts }
+        Csc::try_new(indptr, dsts).unwrap_or_else(|e| panic!("invalid CSC: {e}"))
+    }
+
+    /// Construct from raw arrays, returning the structural-invariant
+    /// violation instead of panicking.
+    pub fn try_new(indptr: Vec<EId>, dsts: Vec<VId>) -> Result<Self, GraphError> {
+        validate_indptr(&indptr, dsts.len())?;
+        Ok(Csc { indptr, dsts })
     }
 
     /// Number of source vertices.
@@ -87,6 +86,16 @@ mod tests {
     #[should_panic]
     fn nonzero_start_rejected() {
         Csc::new(vec![1, 2], vec![0]);
+    }
+
+    #[test]
+    fn try_new_reports_violations_as_values() {
+        assert_eq!(
+            Csc::try_new(vec![1, 2], vec![0]),
+            Err(GraphError::IndptrStart { first: 1 })
+        );
+        assert_eq!(Csc::try_new(vec![], vec![]), Err(GraphError::EmptyIndptr));
+        assert!(Csc::try_new(vec![0, 1, 2, 3, 5], vec![1, 2, 1, 1, 2]).is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! **source** ids (§II-A, Fig 1b). This is the format forward-propagation
 //! aggregation wants: "src node information per dst vertex".
 
+use crate::error::{validate_indptr, GraphError};
 use crate::{EId, VId};
 
 /// Dst-indexed adjacency: `srcs(d)` are the in-neighbors of destination `d`.
@@ -16,19 +17,17 @@ pub struct Csr {
 
 impl Csr {
     /// Construct from raw arrays, validating monotonicity and bounds.
+    /// Panics on invalid input; use [`try_new`](Self::try_new) to get the
+    /// violation as a value.
     pub fn new(indptr: Vec<EId>, srcs: Vec<VId>) -> Self {
-        assert!(!indptr.is_empty(), "indptr must have at least one entry");
-        assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert!(
-            indptr.windows(2).all(|w| w[0] <= w[1]),
-            "indptr must be non-decreasing"
-        );
-        assert_eq!(
-            *indptr.last().unwrap() as usize,
-            srcs.len(),
-            "indptr must end at srcs.len()"
-        );
-        Csr { indptr, srcs }
+        Csr::try_new(indptr, srcs).unwrap_or_else(|e| panic!("invalid CSR: {e}"))
+    }
+
+    /// Construct from raw arrays, returning the structural-invariant
+    /// violation instead of panicking.
+    pub fn try_new(indptr: Vec<EId>, srcs: Vec<VId>) -> Result<Self, GraphError> {
+        validate_indptr(&indptr, srcs.len())?;
+        Ok(Csr { indptr, srcs })
     }
 
     /// Number of destination vertices.
@@ -105,6 +104,19 @@ mod tests {
     #[should_panic]
     fn decreasing_indptr_rejected() {
         Csr::new(vec![0, 3, 2], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_new_reports_violations_as_values() {
+        assert_eq!(
+            Csr::try_new(vec![0, 3, 2], vec![0, 1, 2]),
+            Err(GraphError::IndptrNotMonotone { at: 1 })
+        );
+        assert_eq!(
+            Csr::try_new(vec![0, 2], vec![0, 1, 2]),
+            Err(GraphError::IndptrEndMismatch { end: 2, edges: 3 })
+        );
+        assert!(Csr::try_new(vec![0, 0, 3, 5, 5], vec![0, 2, 3, 1, 3]).is_ok());
     }
 
     #[test]

@@ -24,14 +24,7 @@ pub fn rmat(num_vertices: usize, num_edges: usize, seed: u64) -> Coo {
 }
 
 /// R-MAT with explicit quadrant probabilities (d = 1 - a - b - c).
-pub fn rmat_with(
-    num_vertices: usize,
-    num_edges: usize,
-    a: f64,
-    b: f64,
-    c: f64,
-    seed: u64,
-) -> Coo {
+pub fn rmat_with(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> Coo {
     assert!(num_vertices > 1);
     assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
     let scale = (num_vertices as f64).log2().ceil() as u32;
@@ -295,6 +288,9 @@ mod extra_tests {
     #[test]
     fn extra_generators_are_deterministic() {
         assert_eq!(barabasi_albert(300, 2, 9), barabasi_albert(300, 2, 9));
-        assert_eq!(watts_strogatz(300, 2, 0.2, 9), watts_strogatz(300, 2, 0.2, 9));
+        assert_eq!(
+            watts_strogatz(300, 2, 0.2, 9),
+            watts_strogatz(300, 2, 0.2, 9)
+        );
     }
 }

@@ -44,7 +44,11 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<Coo> {
         src.push(s);
         dst.push(d);
     }
-    let n = if src.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if src.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     Ok(Coo::new(n, src, dst))
 }
 
@@ -94,8 +98,19 @@ pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Coo> {
     let n = u64::from_le_bytes(b8) as usize;
     reader.read_exact(&mut b8)?;
     let e = u64::from_le_bytes(b8) as usize;
+    // A u32 id space bounds real edge counts; anything larger is a corrupt
+    // or adversarial header — reject it before trusting it further.
+    if e > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible edge count {e} in header"),
+        ));
+    }
     let mut read_arr = |len: usize| -> io::Result<Vec<VId>> {
-        let mut out = Vec::with_capacity(len);
+        // Cap the preallocation: a truncated stream with a huge (but
+        // in-range) claimed count must fail with UnexpectedEof, not abort
+        // the process trying to reserve gigabytes up front.
+        let mut out = Vec::with_capacity(len.min(1 << 22));
         let mut b4 = [0u8; 4];
         for _ in 0..len {
             reader.read_exact(&mut b4)?;
@@ -136,7 +151,10 @@ mod tests {
         let text = "# Directed graph\n# src\tdst\n0\t1\n1 2\n\n% alt comment\n2\t0\n";
         let coo = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(coo.num_vertices(), 3);
-        assert_eq!(coo.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(
+            coo.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 0)]
+        );
     }
 
     #[test]
@@ -185,5 +203,80 @@ mod tests {
         let coo = read_edge_list("# nothing here\n".as_bytes()).unwrap();
         assert_eq!(coo.num_vertices(), 0);
         assert_eq!(coo.num_edges(), 0);
+    }
+
+    #[test]
+    fn overflowing_vertex_id_is_an_error() {
+        // 2^32 does not fit a VId; must be a parse error, not a panic or a
+        // silent wrap.
+        let err = read_edge_list("0 4294967296\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn binary_truncation_at_every_boundary_errors() {
+        let coo = Coo::from_edges(5, &[(0, 1), (2, 3), (4, 0)]);
+        let mut buf = Vec::new();
+        write_binary(&coo, &mut buf).unwrap();
+        // Truncating anywhere — mid-magic, mid-header, mid-payload — must
+        // yield an error, never a panic or a partial graph.
+        for cut in 0..buf.len() {
+            assert!(
+                read_binary(&buf[..cut]).is_err(),
+                "truncation at {cut} of {} accepted",
+                buf.len()
+            );
+        }
+        assert!(read_binary(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTAGRPH\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_huge_edge_count_header_is_rejected_cheaply() {
+        // An adversarial header claiming 2^60 edges must not preallocate or
+        // hang — it is rejected on sight.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BIN_MAGIC);
+        buf.extend_from_slice(&10u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn binary_large_but_plausible_count_hits_eof_without_preallocating() {
+        // In-range count with no payload: must fail with UnexpectedEof
+        // (fast), not abort reserving memory for the claimed length.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BIN_MAGIC);
+        buf.extend_from_slice(&10u64.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn adversarial_byte_flips_never_panic() {
+        // Round-trip a graph, then flip each byte of the encoding in turn:
+        // every variant must either parse to *some* graph or return an
+        // error — no panics, no out-of-range ids accepted.
+        let coo = Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut clean = Vec::new();
+        write_binary(&coo, &mut clean).unwrap();
+        for i in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[i] ^= 0xFF;
+            if let Ok(g) = read_binary(buf.as_slice()) {
+                let n = g.num_vertices();
+                assert!(g.edges().all(|(s, d)| (s as usize) < n && (d as usize) < n));
+            }
+        }
     }
 }

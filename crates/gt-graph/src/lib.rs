@@ -24,6 +24,7 @@ pub mod csc;
 pub mod csr;
 pub mod degree;
 pub mod embedding;
+pub mod error;
 pub mod generators;
 pub mod io;
 
@@ -33,6 +34,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use embedding::EmbeddingTable;
+pub use error::GraphError;
 
 /// Vertex identifier. `u32` bounds graphs at ~4.3B vertices, matching the
 /// paper's largest dataset (papers, 111M vertices) with headroom while

@@ -51,12 +51,7 @@ impl BprBatch {
 
 /// Sample `n` BPR triples: a user with at least one observed item, one of
 /// its items as the positive, and a uniform non-observed item as negative.
-pub fn sample_bpr_batch(
-    data: &GraphData,
-    num_users: usize,
-    n: usize,
-    seed: u64,
-) -> BprBatch {
+pub fn sample_bpr_batch(data: &GraphData, num_users: usize, n: usize, seed: u64) -> BprBatch {
     assert!(num_users > 0 && num_users < data.num_vertices());
     let num_items = data.num_vertices() - num_users;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -115,7 +110,11 @@ pub fn bpr_loss(embeddings: &Matrix, rows: &[VId], batch: &BprBatch) -> (f32, Ma
         .enumerate()
         .map(|(i, &v)| (v, i))
         .collect();
-    let row_of = |v: VId| *index.get(&v).expect("triple vertex missing from batch output");
+    let row_of = |v: VId| {
+        *index
+            .get(&v)
+            .expect("triple vertex missing from batch output")
+    };
     let dim = embeddings.cols();
     let mut grad = Matrix::zeros(embeddings.rows(), dim);
     let mut loss = 0.0f32;
@@ -151,11 +150,7 @@ pub fn train_bpr_batch(trainer: &mut GraphTensor, data: &GraphData, batch: &BprB
 
 /// Fraction of held-out triples the model ranks correctly
 /// (`e_u·e_p > e_u·e_n`) — AUC on the sampled triples.
-pub fn ranking_accuracy(
-    trainer: &mut GraphTensor,
-    data: &GraphData,
-    batch: &BprBatch,
-) -> f64 {
+pub fn ranking_accuracy(trainer: &mut GraphTensor, data: &GraphData, batch: &BprBatch) -> f64 {
     let seeds = batch.seeds();
     let emb = trainer.infer_batch(data, &seeds);
     // Seeds map to the first rows in order (batch prefix of the id space),
@@ -277,7 +272,10 @@ mod tests {
             loss_last = loss;
         }
         let after = ranking_accuracy(&mut t, &d, &eval);
-        assert!(loss_last < loss_first, "BPR loss did not drop: {loss_first} → {loss_last}");
+        assert!(
+            loss_last < loss_first,
+            "BPR loss did not drop: {loss_first} → {loss_last}"
+        );
         assert!(
             after > before.max(0.55),
             "ranking did not improve: {before} → {after}"

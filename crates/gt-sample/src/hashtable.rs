@@ -12,6 +12,7 @@
 //! contention analysis has real operation counts to work from. Sequential
 //! use is fully deterministic (new VIDs are allocated in insertion order).
 
+use crate::error::SampleError;
 use gt_graph::VId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -132,11 +133,23 @@ impl VidMap {
         self.len() == 0
     }
 
-    /// Snapshot of `new → orig`, densely indexed by new VID.
+    /// Snapshot of `new → orig`, densely indexed by new VID. A gap in the
+    /// log (snapshot raced an in-flight insert) trips a debug assertion;
+    /// use [`try_new_to_orig`](Self::try_new_to_orig) to get it as a value.
     pub fn new_to_orig(&self) -> Vec<VId> {
         let log = self.new_to_orig.lock();
         debug_assert!(log.iter().all(|&v| v != VId::MAX), "gap in id log");
         log.clone()
+    }
+
+    /// Snapshot of `new → orig`, reporting any gap in the log as a
+    /// [`SampleError::IdLogGap`] in every build profile.
+    pub fn try_new_to_orig(&self) -> Result<Vec<VId>, SampleError> {
+        let log = self.new_to_orig.lock();
+        if let Some(new) = log.iter().position(|&v| v == VId::MAX) {
+            return Err(SampleError::IdLogGap { new: new as VId });
+        }
+        Ok(log.clone())
     }
 
     /// Operation counters.
@@ -186,6 +199,14 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.lookups, 2);
         assert_eq!(s.total_ops(), 5);
+    }
+
+    #[test]
+    fn try_new_to_orig_matches_panicking_path_when_dense() {
+        let m = VidMap::new();
+        m.insert_or_get(100);
+        m.insert_or_get(50);
+        assert_eq!(m.try_new_to_orig().unwrap(), m.new_to_orig());
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! scheduler's cost model converts into virtual durations.
 
 pub mod batch;
+pub mod error;
 pub mod hashtable;
 pub mod lookup;
 pub mod reindex;
 pub mod sampler;
 
 pub use batch::BatchIter;
+pub use error::SampleError;
 pub use hashtable::VidMap;
 pub use lookup::{lookup_all, lookup_chunk, LookupPlan};
-pub use reindex::{reindex_layer, LayerGraph};
-pub use sampler::{sample_batch, Priority, SampleOutput, SamplerConfig};
+pub use reindex::{reindex_layer, try_reindex_layer, LayerGraph};
+pub use sampler::{
+    sample_batch, try_sample_batch, validate_batch, Priority, SampleOutput, SamplerConfig,
+};

@@ -7,6 +7,7 @@
 //! are charged to the [`VidMap`]'s counters — R's reads racing S's writes
 //! is the second contention source of Fig 14a.
 
+use crate::error::SampleError;
 use crate::hashtable::VidMap;
 use crate::sampler::HopEdges;
 use gt_graph::{Coo, Csc, Csr};
@@ -42,23 +43,31 @@ impl LayerGraph {
 /// sampler for this hop.
 ///
 /// Panics if an edge references a node missing from the hash table (a
-/// scheduler-ordering bug: R ran before its S finished).
+/// scheduler-ordering bug: R ran before its S finished); see
+/// [`try_reindex_layer`] for the non-panicking variant.
 pub fn reindex_layer(
     hop: &HopEdges,
     vidmap: &VidMap,
     num_dst: usize,
     num_src: usize,
 ) -> LayerGraph {
+    try_reindex_layer(hop, vidmap, num_dst, num_src).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`reindex_layer`] returning a missing hash-table mapping as a
+/// [`SampleError::MissingMapping`] instead of panicking.
+pub fn try_reindex_layer(
+    hop: &HopEdges,
+    vidmap: &VidMap,
+    num_dst: usize,
+    num_src: usize,
+) -> Result<LayerGraph, SampleError> {
     let n = hop.len();
     let mut src_new = Vec::with_capacity(n);
     let mut dst_new = Vec::with_capacity(n);
     for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
-        let sn = vidmap
-            .get(s)
-            .unwrap_or_else(|| panic!("src {s} missing from hash table"));
-        let dn = vidmap
-            .get(d)
-            .unwrap_or_else(|| panic!("dst {d} missing from hash table"));
+        let sn = vidmap.get(s).ok_or(SampleError::MissingMapping { v: s })?;
+        let dn = vidmap.get(d).ok_or(SampleError::MissingMapping { v: d })?;
         debug_assert!((sn as usize) < num_src, "src id beyond boundary");
         debug_assert!((dn as usize) < num_dst, "dst id beyond boundary");
         src_new.push(sn);
@@ -73,22 +82,19 @@ pub fn reindex_layer(
         let (full, _) = gt_graph::convert::coo_to_csr(&coo);
         // Truncate the pointer array to the dst space (no edges land above
         // num_dst by construction).
-        Csr::new(
-            full.indptr[..=num_dst].to_vec(),
-            full.srcs.clone(),
-        )
+        Csr::new(full.indptr[..=num_dst].to_vec(), full.srcs.clone())
     };
     let csc = {
         let coo = Coo::new(num_src, src_new, dst_new);
         let (c, _) = gt_graph::convert::coo_to_csc(&coo);
         c
     };
-    LayerGraph {
+    Ok(LayerGraph {
         csr,
         csc,
         num_dst,
         num_src,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -188,5 +194,22 @@ mod tests {
         };
         let vm = VidMap::new();
         reindex_layer(&hop, &vm, 1, 1);
+    }
+
+    #[test]
+    fn try_reindex_reports_missing_node_as_value() {
+        let hop = HopEdges {
+            src_orig: vec![9],
+            dst_orig: vec![10],
+        };
+        let vm = VidMap::new();
+        assert_eq!(
+            try_reindex_layer(&hop, &vm, 1, 1).err(),
+            Some(SampleError::MissingMapping { v: 9 })
+        );
+        // With the mapping present, the same call succeeds.
+        vm.insert_or_get(9);
+        vm.insert_or_get(10);
+        assert!(try_reindex_layer(&hop, &vm, 2, 2).is_ok());
     }
 }

@@ -11,6 +11,7 @@
 //! guarantees each hop's destination set is a subset of its source set, so
 //! layer outputs are defined for every node a later layer reads.
 
+use crate::error::SampleError;
 use crate::hashtable::VidMap;
 use gt_graph::{Csr, VId};
 use rand::rngs::StdRng;
@@ -115,10 +116,38 @@ impl SampleOutput {
 }
 
 /// Sample the per-layer subgraphs for `batch` destination vertices from the
-/// full graph's in-adjacency `graph` (dst-indexed CSR).
+/// full graph's in-adjacency `graph` (dst-indexed CSR). Panics on invalid
+/// input; [`try_sample_batch`] returns the violation as a value instead.
 pub fn sample_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> SampleOutput {
-    assert!(cfg.layers > 0, "need at least one GNN layer");
-    assert!(!batch.is_empty(), "empty batch");
+    try_sample_batch(graph, batch, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validate a sampling request without running it: the supervisor uses this
+/// to quarantine poison batches before they reach the pipeline.
+pub fn validate_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> Result<(), SampleError> {
+    if cfg.layers == 0 {
+        return Err(SampleError::ZeroLayers);
+    }
+    if batch.is_empty() {
+        return Err(SampleError::EmptyBatch);
+    }
+    let n = graph.num_vertices();
+    for &v in batch {
+        if v as usize >= n {
+            return Err(SampleError::VertexOutOfRange { v, n });
+        }
+    }
+    Ok(())
+}
+
+/// [`sample_batch`] returning invalid requests (zero layers, empty batch,
+/// out-of-range batch ids) as [`SampleError`]s instead of panicking.
+pub fn try_sample_batch(
+    graph: &Csr,
+    batch: &[VId],
+    cfg: &SamplerConfig,
+) -> Result<SampleOutput, SampleError> {
+    validate_batch(graph, batch, cfg)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let vidmap = VidMap::new();
     let mut stats = SampleStats::default();
@@ -155,9 +184,7 @@ pub fn sample_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> SampleOu
             let neigh = graph.srcs(dst);
             stats.edges_visited += neigh.len() as u64;
             let picked = match cfg.priority {
-                Priority::UniqueRandom => {
-                    sample_unique(neigh, cfg.fanout, &mut rng, &mut stats)
-                }
+                Priority::UniqueRandom => sample_unique(neigh, cfg.fanout, &mut rng, &mut stats),
                 Priority::DegreeWeighted => {
                     sample_degree_weighted(graph, neigh, cfg.fanout, &mut rng, &mut stats)
                 }
@@ -185,12 +212,12 @@ pub fn sample_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> SampleOu
         frontier = next_frontier;
     }
 
-    SampleOutput {
+    Ok(SampleOutput {
         hops,
         vidmap,
         boundaries,
         stats,
-    }
+    })
 }
 
 /// Degree-weighted sampling without replacement: repeatedly draw with
@@ -430,6 +457,31 @@ mod tests {
             let set: std::collections::HashSet<_> = srcs.iter().collect();
             assert_eq!(set.len(), srcs.len(), "duplicate sampled neighbor");
         }
+    }
+
+    #[test]
+    fn try_sample_batch_reports_bad_requests_as_values() {
+        let g = chain_graph();
+        assert_eq!(
+            try_sample_batch(&g, &[], &cfg(2, 1)).err(),
+            Some(SampleError::EmptyBatch)
+        );
+        assert_eq!(
+            try_sample_batch(&g, &[0], &cfg(2, 0)).err(),
+            Some(SampleError::ZeroLayers)
+        );
+        assert_eq!(
+            try_sample_batch(&g, &[0, 99], &cfg(2, 1)).err(),
+            Some(SampleError::VertexOutOfRange { v: 99, n: 5 })
+        );
+        assert!(try_sample_batch(&g, &[0, 4], &cfg(2, 1)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_still_panics_via_wrapper() {
+        let g = chain_graph();
+        sample_batch(&g, &[], &cfg(2, 1));
     }
 
     #[test]

@@ -51,7 +51,12 @@ pub struct TaskSpec {
 
 impl TaskSpec {
     /// Convenience constructor with no deps, no lock, zero items.
-    pub fn new(label: impl Into<String>, resource: Resource, duration_us: f64, phase: Phase) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        resource: Resource,
+        duration_us: f64,
+        phase: Phase,
+    ) -> Self {
         TaskSpec {
             label: label.into(),
             resource,
@@ -105,9 +110,17 @@ pub struct ScheduledEvent {
 pub struct Schedule {
     pub events: Vec<ScheduledEvent>,
     pub makespan_us: f64,
+    /// Tasks whose execution was failed by an injected fault (e.g. every
+    /// PCIe task under a `TransferFailure`). Empty for fault-free runs.
+    pub failed: Vec<TaskId>,
 }
 
 impl Schedule {
+    /// True when any task was failed by an injected fault.
+    pub fn has_failures(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
     /// Completion time of the last task in `phase` (0 if none ran).
     pub fn phase_finish_us(&self, phase: Phase) -> f64 {
         self.events
@@ -190,6 +203,23 @@ impl Simulator {
     /// possible start (ties broken by submission order) on the
     /// earliest-available unit of its resource pool.
     pub fn run(&self) -> Schedule {
+        self.run_inner(None)
+    }
+
+    /// Run list scheduling under injected faults: stragglers stretch tasks
+    /// on their core, stalls stretch PCIe tasks, contention spikes stretch
+    /// lock-holding tasks, and transfer failures mark PCIe tasks failed.
+    ///
+    /// An empty fault set takes the exact [`run`](Self::run) code path, so
+    /// fault-free schedules are bit-identical to unsupervised ones.
+    pub fn run_with_faults(&self, faults: &crate::fault::ActiveFaults) -> Schedule {
+        if faults.is_empty() {
+            return self.run_inner(None);
+        }
+        self.run_inner(Some(faults))
+    }
+
+    fn run_inner(&self, faults: Option<&crate::fault::ActiveFaults>) -> Schedule {
         let n = self.tasks.len();
         let mut finish: Vec<Option<f64>> = vec![None; n];
         let mut host_free = vec![0.0f64; self.host_cores];
@@ -198,6 +228,7 @@ impl Simulator {
         let mut lock_free: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
         let mut events: Vec<ScheduledEvent> = Vec::with_capacity(n);
         let mut scheduled = vec![false; n];
+        let mut failed: Vec<TaskId> = Vec::new();
 
         for _round in 0..n {
             // Find the ready task with the earliest possible start time.
@@ -248,7 +279,31 @@ impl Simulator {
             let lock_ready = t.lock.map_or(0.0, |g| *lock_free.get(&g).unwrap_or(&0.0));
             let unblocked = data_ready.max(unit_ready);
             let start = unblocked.max(lock_ready);
-            let end = start + t.duration_us;
+            // Fault adjustments are Option-gated: with no applicable fault
+            // the duration arithmetic is exactly the fault-free path, so an
+            // empty fault set yields a bit-identical schedule.
+            let mut duration = t.duration_us;
+            if let Some(f) = faults {
+                if t.resource == Resource::HostCore {
+                    if let Some(factor) = f.straggler(unit) {
+                        duration *= factor;
+                    }
+                }
+                if t.resource == Resource::Pcie {
+                    if let Some(factor) = f.pcie_slowdown() {
+                        duration *= factor;
+                    }
+                }
+                if t.lock.is_some() {
+                    if let Some(factor) = f.lock_slowdown() {
+                        duration *= factor;
+                    }
+                }
+                if t.resource == Resource::Pcie && f.fails_transfers() {
+                    failed.push(i);
+                }
+            }
+            let end = start + duration;
             pool[unit] = end;
             if let Some(g) = t.lock {
                 lock_free.insert(g, end);
@@ -272,6 +327,7 @@ impl Simulator {
         Schedule {
             events,
             makespan_us,
+            failed,
         }
     }
 }
@@ -361,6 +417,100 @@ mod tests {
     fn forward_dependency_rejected() {
         let mut sim = Simulator::new(1);
         sim.add(host_task(1.0).after(&[5]));
+    }
+
+    #[test]
+    fn empty_faults_match_plain_run() {
+        use crate::fault::ActiveFaults;
+        let mut sim = Simulator::new(2);
+        let a = sim.add(host_task(50.0));
+        sim.add(host_task(30.0).after(&[a]).locked(1));
+        sim.add(TaskSpec::new("x", Resource::Pcie, 40.0, Phase::Transfer));
+        let plain = sim.run();
+        let faulted = sim.run_with_faults(&ActiveFaults::none());
+        assert_eq!(plain.events.len(), faulted.events.len());
+        for (p, f) in plain.events.iter().zip(&faulted.events) {
+            assert_eq!(p.start_us.to_bits(), f.start_us.to_bits());
+            assert_eq!(p.end_us.to_bits(), f.end_us.to_bits());
+            assert_eq!(p.unit, f.unit);
+        }
+        assert_eq!(plain.makespan_us.to_bits(), faulted.makespan_us.to_bits());
+        assert!(faulted.failed.is_empty());
+    }
+
+    #[test]
+    fn straggler_slows_only_its_core() {
+        use crate::fault::{ActiveFaults, FaultKind};
+        // Two cores, two tasks: one lands on core 0, one on core 1.
+        let mut sim = Simulator::new(2);
+        sim.add(host_task(100.0));
+        sim.add(host_task(100.0));
+        let faults = ActiveFaults {
+            faults: vec![FaultKind::StragglerCore {
+                core: 1,
+                factor: 3.0,
+            }],
+        };
+        let s = sim.run_with_faults(&faults);
+        let on0 = s.events.iter().find(|e| e.unit == 0).unwrap();
+        let on1 = s.events.iter().find(|e| e.unit == 1).unwrap();
+        assert!((on0.end_us - on0.start_us - 100.0).abs() < 1e-9);
+        assert!((on1.end_us - on1.start_us - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_stall_stretches_pcie_only() {
+        use crate::fault::{ActiveFaults, FaultKind};
+        let mut sim = Simulator::new(1);
+        sim.add(host_task(100.0));
+        sim.add(TaskSpec::new("x", Resource::Pcie, 100.0, Phase::Transfer));
+        let faults = ActiveFaults {
+            faults: vec![FaultKind::TransferStall { factor: 2.5 }],
+        };
+        let s = sim.run_with_faults(&faults);
+        let host = s
+            .events
+            .iter()
+            .find(|e| e.resource == Resource::HostCore)
+            .unwrap();
+        let pcie = s
+            .events
+            .iter()
+            .find(|e| e.resource == Resource::Pcie)
+            .unwrap();
+        assert!((host.end_us - host.start_us - 100.0).abs() < 1e-9);
+        assert!((pcie.end_us - pcie.start_us - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_failure_marks_pcie_tasks() {
+        use crate::fault::{ActiveFaults, FaultKind};
+        let mut sim = Simulator::new(1);
+        sim.add(host_task(10.0));
+        let x = sim.add(TaskSpec::new("x", Resource::Pcie, 10.0, Phase::Transfer));
+        let faults = ActiveFaults {
+            faults: vec![FaultKind::TransferFailure],
+        };
+        let s = sim.run_with_faults(&faults);
+        assert!(s.has_failures());
+        assert_eq!(s.failed, vec![x]);
+        assert!(!sim.run().has_failures());
+    }
+
+    #[test]
+    fn contention_spike_stretches_locked_tasks() {
+        use crate::fault::{ActiveFaults, FaultKind};
+        let mut sim = Simulator::new(2);
+        sim.add(host_task(100.0).locked(1));
+        sim.add(host_task(100.0));
+        let faults = ActiveFaults {
+            faults: vec![FaultKind::HashContention { factor: 4.0 }],
+        };
+        let s = sim.run_with_faults(&faults);
+        let locked = s.events.iter().find(|e| e.task == 0).unwrap();
+        let free = s.events.iter().find(|e| e.task == 1).unwrap();
+        assert!((locked.end_us - locked.start_us - 400.0).abs() < 1e-9);
+        assert!((free.end_us - free.start_us - 100.0).abs() < 1e-9);
     }
 
     #[test]

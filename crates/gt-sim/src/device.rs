@@ -64,7 +64,7 @@ impl DeviceSpec {
         }
     }
 
-/// NVIDIA A100 (SXM4 80GB): the sensitivity-study companion device —
+    /// NVIDIA A100 (SXM4 80GB): the sensitivity-study companion device —
     /// more SMs, much higher HBM2e bandwidth, same roofline shape.
     pub fn a100() -> Self {
         DeviceSpec {

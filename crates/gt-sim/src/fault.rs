@@ -1,0 +1,408 @@
+//! Deterministic, seedable fault injection for the DES engine.
+//!
+//! Production GNN serving must survive stragglers, transfer stalls, memory
+//! pressure, and contended hash tables (NeutronTP identifies load imbalance
+//! as the dominant failure mode of GNN pipelines at scale). This module
+//! models those faults *inside the simulated timeline*: a [`FaultPlan`]
+//! holds seeded rules, and [`FaultPlan::active`] resolves which faults fire
+//! for a given (batch, attempt) pair — a pure function of the plan seed, so
+//! a run is exactly reproducible and a retry of the same batch re-rolls
+//! only the transient rules.
+//!
+//! The DES engine consumes an [`ActiveFaults`] set via
+//! [`Simulator::run_with_faults`](crate::des::Simulator::run_with_faults);
+//! memory-pressure faults are consumed by the serving layer when it sizes
+//! the device memory tracker. An empty set takes the exact `run()` code
+//! path, so fault-free schedules are bit-identical to unsupervised ones.
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// PCIe transfers take `factor`× longer (congested/downtrained link).
+    TransferStall { factor: f64 },
+    /// The batch's DMA fails outright; every PCIe task in the schedule is
+    /// recorded as failed and the serving layer must retry the batch.
+    TransferFailure,
+    /// Host core `core` runs `factor`× slower (thermal throttling, noisy
+    /// neighbor). Tasks placed on that core stretch; others are untouched.
+    StragglerCore { core: usize, factor: f64 },
+    /// Device memory capacity is reduced to `fraction` of nominal, forcing
+    /// OOM on batches that would otherwise fit.
+    MemoryPressure { fraction: f64 },
+    /// Tasks holding a lock group take `factor`× longer (VID hash-table
+    /// contention spike, Fig 14).
+    HashContention { factor: f64 },
+}
+
+/// A seeded rule: which batches a fault applies to and how often it fires.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    pub kind: FaultKind,
+    /// Probability the fault fires for a given batch (1.0 = always).
+    pub probability: f64,
+    /// First batch index the rule applies to.
+    pub from_batch: usize,
+    /// One-past-last batch index (`None` = open-ended).
+    pub until_batch: Option<usize>,
+    /// Transient rules re-roll on every retry attempt (a retried batch
+    /// usually clears them); persistent rules roll once per batch, so every
+    /// attempt of an afflicted batch sees the same fault.
+    pub transient: bool,
+}
+
+/// A deterministic, seedable collection of fault rules.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// True when the plan has no rules (the fault-free fast path).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules in the plan.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Add an arbitrary rule.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Transient transfer failure with probability `p` per attempt.
+    pub fn with_transfer_failure(self, p: f64) -> Self {
+        self.with_rule(FaultRule {
+            kind: FaultKind::TransferFailure,
+            probability: p,
+            from_batch: 0,
+            until_batch: None,
+            transient: true,
+        })
+    }
+
+    /// Transient PCIe slowdown by `factor` with probability `p` per attempt.
+    pub fn with_transfer_stall(self, factor: f64, p: f64) -> Self {
+        assert!(factor >= 1.0, "stall factor must be >= 1");
+        self.with_rule(FaultRule {
+            kind: FaultKind::TransferStall { factor },
+            probability: p,
+            from_batch: 0,
+            until_batch: None,
+            transient: true,
+        })
+    }
+
+    /// Persistent straggler: host core `core` always runs `factor`× slower.
+    pub fn with_straggler(self, core: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.with_rule(FaultRule {
+            kind: FaultKind::StragglerCore { core, factor },
+            probability: 1.0,
+            from_batch: 0,
+            until_batch: None,
+            transient: false,
+        })
+    }
+
+    /// Memory pressure for batches in `[from, until)`: capacity is reduced
+    /// to `fraction` of nominal for every attempt of those batches.
+    pub fn with_memory_pressure(self, fraction: f64, from: usize, until: Option<usize>) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "memory fraction must be in (0, 1]"
+        );
+        self.with_rule(FaultRule {
+            kind: FaultKind::MemoryPressure { fraction },
+            probability: 1.0,
+            from_batch: from,
+            until_batch: until,
+            transient: false,
+        })
+    }
+
+    /// Transient memory pressure: capacity drops to `fraction` with
+    /// probability `p`, re-rolled on each retry (co-tenant burst).
+    pub fn with_transient_memory_pressure(self, fraction: f64, p: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "memory fraction must be in (0, 1]"
+        );
+        self.with_rule(FaultRule {
+            kind: FaultKind::MemoryPressure { fraction },
+            probability: p,
+            from_batch: 0,
+            until_batch: None,
+            transient: true,
+        })
+    }
+
+    /// Transient hash-table contention spike by `factor` with probability `p`.
+    pub fn with_contention_spike(self, factor: f64, p: f64) -> Self {
+        assert!(factor >= 1.0, "contention factor must be >= 1");
+        self.with_rule(FaultRule {
+            kind: FaultKind::HashContention { factor },
+            probability: p,
+            from_batch: 0,
+            until_batch: None,
+            transient: true,
+        })
+    }
+
+    /// Resolve the faults that fire for `(batch, attempt)`.
+    ///
+    /// Deterministic: the roll for rule `i` hashes `(seed, batch, i)` — plus
+    /// `attempt` for transient rules — through splitmix64, so two runs with
+    /// the same plan see identical faults, and persistent faults afflict
+    /// every retry of a batch identically.
+    pub fn active(&self, batch: usize, attempt: usize) -> ActiveFaults {
+        let mut faults = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if batch < rule.from_batch {
+                continue;
+            }
+            if let Some(until) = rule.until_batch {
+                if batch >= until {
+                    continue;
+                }
+            }
+            let roll_attempt = if rule.transient { attempt } else { 0 };
+            if roll(self.seed, batch, roll_attempt, i) < rule.probability {
+                faults.push(rule.kind);
+            }
+        }
+        ActiveFaults { faults }
+    }
+}
+
+/// The faults that fire for one (batch, attempt) — what the DES engine and
+/// the serving layer actually consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActiveFaults {
+    pub faults: Vec<FaultKind>,
+}
+
+impl ActiveFaults {
+    /// No faults: the DES takes the exact unsupervised code path.
+    pub fn none() -> Self {
+        ActiveFaults::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Combined PCIe slowdown factor, if any stall is active.
+    pub fn pcie_slowdown(&self) -> Option<f64> {
+        let f: f64 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::TransferStall { factor } => Some(*factor),
+                _ => None,
+            })
+            .product();
+        if f == 1.0 {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// Combined slowdown for tasks holding a lock group, if any.
+    pub fn lock_slowdown(&self) -> Option<f64> {
+        let f: f64 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::HashContention { factor } => Some(*factor),
+                _ => None,
+            })
+            .product();
+        if f == 1.0 {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// Slowdown for host core `core`, if a straggler fault targets it.
+    pub fn straggler(&self, core: usize) -> Option<f64> {
+        let f: f64 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::StragglerCore { core: c, factor } if *c == core => Some(*factor),
+                _ => None,
+            })
+            .product();
+        if f == 1.0 {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// True when a transfer failure is active.
+    pub fn fails_transfers(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|k| matches!(k, FaultKind::TransferFailure))
+    }
+
+    /// Tightest device-memory capacity fraction, if memory pressure is
+    /// active.
+    pub fn memory_fraction(&self) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::MemoryPressure { fraction } => Some(*fraction),
+                _ => None,
+            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.min(f))))
+    }
+
+    /// True when any fault stretches DES task durations (the schedule
+    /// differs from the fault-free one).
+    pub fn perturbs_schedule(&self) -> bool {
+        self.faults.iter().any(|k| {
+            matches!(
+                k,
+                FaultKind::TransferStall { .. }
+                    | FaultKind::StragglerCore { .. }
+                    | FaultKind::HashContention { .. }
+                    | FaultKind::TransferFailure
+            )
+        })
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic roll in `[0, 1)` for `(seed, batch, attempt, rule)`.
+fn roll(seed: u64, batch: usize, attempt: usize, rule: usize) -> f64 {
+    let mut h = splitmix64(seed);
+    h = splitmix64(h ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    h = splitmix64(h ^ (attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    h = splitmix64(h ^ (rule as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_fires_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        for b in 0..100 {
+            assert!(plan.active(b, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn active_is_deterministic() {
+        let plan = FaultPlan::new(42)
+            .with_transfer_failure(0.3)
+            .with_contention_spike(4.0, 0.5)
+            .with_straggler(1, 8.0);
+        for b in 0..50 {
+            for a in 0..3 {
+                assert_eq!(plan.active(b, a), plan.active(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let always = FaultPlan::new(1).with_transfer_failure(1.0);
+        let never = FaultPlan::new(1).with_transfer_failure(0.0);
+        for b in 0..50 {
+            assert!(always.active(b, 0).fails_transfers());
+            assert!(!never.active(b, 0).fails_transfers());
+        }
+    }
+
+    #[test]
+    fn probability_is_roughly_respected() {
+        let plan = FaultPlan::new(9).with_transfer_failure(0.25);
+        let fired = (0..2000)
+            .filter(|&b| plan.active(b, 0).fails_transfers())
+            .count();
+        let frac = fired as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "observed {frac}");
+    }
+
+    #[test]
+    fn transient_rules_reroll_per_attempt_persistent_do_not() {
+        let plan = FaultPlan::new(3)
+            .with_transfer_failure(0.5)
+            .with_straggler(0, 2.0);
+        // Persistent straggler identical across attempts for every batch.
+        for b in 0..30 {
+            let s0 = plan.active(b, 0).straggler(0);
+            for a in 1..4 {
+                assert_eq!(plan.active(b, a).straggler(0), s0);
+            }
+        }
+        // Transient failure differs across attempts for at least one batch.
+        let differs = (0..30)
+            .any(|b| plan.active(b, 0).fails_transfers() != plan.active(b, 1).fails_transfers());
+        assert!(differs, "transient rolls never changed across attempts");
+    }
+
+    #[test]
+    fn batch_window_is_honored() {
+        let plan = FaultPlan::new(0).with_memory_pressure(0.5, 3, Some(5));
+        for b in 0..10 {
+            let active = plan.active(b, 0).memory_fraction().is_some();
+            assert_eq!(active, (3..5).contains(&b), "batch {b}");
+        }
+    }
+
+    #[test]
+    fn combined_factors_multiply() {
+        let f = ActiveFaults {
+            faults: vec![
+                FaultKind::TransferStall { factor: 2.0 },
+                FaultKind::TransferStall { factor: 3.0 },
+                FaultKind::MemoryPressure { fraction: 0.5 },
+                FaultKind::MemoryPressure { fraction: 0.25 },
+            ],
+        };
+        assert_eq!(f.pcie_slowdown(), Some(6.0));
+        assert_eq!(f.memory_fraction(), Some(0.25));
+        assert_eq!(f.lock_slowdown(), None);
+        assert!(!f.perturbs_schedule() || f.pcie_slowdown().is_some());
+    }
+
+    #[test]
+    fn none_has_no_effects() {
+        let f = ActiveFaults::none();
+        assert!(f.is_empty());
+        assert!(f.pcie_slowdown().is_none());
+        assert!(f.lock_slowdown().is_none());
+        assert!(f.straggler(0).is_none());
+        assert!(f.memory_fraction().is_none());
+        assert!(!f.fails_transfers());
+        assert!(!f.perturbs_schedule());
+    }
+}

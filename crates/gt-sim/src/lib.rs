@@ -15,16 +15,18 @@ pub mod cache;
 pub mod counters;
 pub mod des;
 pub mod device;
+pub mod fault;
 pub mod lru;
 pub mod memory;
 pub mod timeline;
 pub mod transfer;
 
 pub use cache::CacheSim;
-pub use lru::LruCacheSim;
 pub use counters::{KernelRecord, KernelStats, Phase, SimContext};
 pub use des::{Resource, Schedule, ScheduledEvent, Simulator, TaskId, TaskSpec};
 pub use device::{DeviceSpec, HostSpec, PcieSpec, SystemSpec};
-pub use memory::MemoryTracker;
+pub use fault::{ActiveFaults, FaultKind, FaultPlan, FaultRule};
+pub use lru::LruCacheSim;
+pub use memory::{MemoryTracker, OutOfMemory};
 pub use timeline::{Timeline, TimelineEvent};
 pub use transfer::TransferKind;

@@ -80,12 +80,8 @@ mod tests {
 
     fn schedule() -> Schedule {
         let mut sim = Simulator::new(1);
-        sim.add(
-            TaskSpec::new("s1", Resource::HostCore, 10.0, Phase::Sampling).items(30),
-        );
-        sim.add(
-            TaskSpec::new("s2", Resource::HostCore, 10.0, Phase::Sampling).items(70),
-        );
+        sim.add(TaskSpec::new("s1", Resource::HostCore, 10.0, Phase::Sampling).items(30));
+        sim.add(TaskSpec::new("s2", Resource::HostCore, 10.0, Phase::Sampling).items(70));
         sim.add(TaskSpec::new("k", Resource::HostCore, 5.0, Phase::Lookup).items(100));
         sim.run()
     }

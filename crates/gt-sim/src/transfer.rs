@@ -43,7 +43,9 @@ mod tests {
     fn pinned_faster_than_pageable() {
         let p = PcieSpec::gen3_x16();
         let big = 100 << 20;
-        assert!(p.transfer_us(big, TransferKind::Pinned) < p.transfer_us(big, TransferKind::Pageable));
+        assert!(
+            p.transfer_us(big, TransferKind::Pinned) < p.transfer_us(big, TransferKind::Pageable)
+        );
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Property-based tests on the discrete-event simulator's guarantees.
 
-use gt_sim::{Phase, Resource, Simulator, TaskSpec};
+use gt_sim::{ActiveFaults, FaultPlan, Phase, Resource, Simulator, TaskSpec};
 use proptest::prelude::*;
 
 /// A random DAG of host tasks: each task may depend on earlier ones and may
 /// join one of two lock groups.
 fn dag() -> impl Strategy<Value = Vec<(f64, Vec<usize>, Option<u32>)>> {
     prop::collection::vec(
-        (1.0f64..50.0, prop::collection::vec(any::<prop::sample::Index>(), 0..3), prop::option::of(0u32..2)),
+        (
+            1.0f64..50.0,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+            prop::option::of(0u32..2),
+        ),
         1..25,
     )
     .prop_map(|raw| {
@@ -99,6 +103,99 @@ proptest! {
         }
         let lower = cp.iter().copied().fold(0.0, f64::max);
         prop_assert!(schedule.makespan_us + 1e-6 >= lower);
+    }
+
+    /// Fault-injected runs are deterministic: the same DAG and the same
+    /// resolved fault set produce bitwise-identical schedules.
+    #[test]
+    fn faulted_runs_are_deterministic(
+        tasks in dag(),
+        seed in any::<u64>(),
+        batch in 0usize..64,
+        attempt in 0usize..4,
+    ) {
+        let build = || {
+            let mut sim = Simulator::new(3);
+            let mut ids = Vec::new();
+            for (i, (dur, deps, lock)) in tasks.iter().enumerate() {
+                let dep_ids: Vec<usize> = deps.iter().map(|&d| ids[d]).collect();
+                let res = if i % 4 == 3 { Resource::Pcie } else { Resource::HostCore };
+                let mut spec = TaskSpec::new("t", res, *dur, Phase::Other).after(&dep_ids);
+                if let Some(g) = lock {
+                    spec = spec.locked(*g);
+                }
+                ids.push(sim.add(spec));
+            }
+            sim
+        };
+        let plan = FaultPlan::new(seed)
+            .with_transfer_stall(3.0, 0.5)
+            .with_straggler(0, 4.0)
+            .with_contention_spike(2.0, 0.5)
+            .with_transfer_failure(0.3);
+        let faults = plan.active(batch, attempt);
+        prop_assert_eq!(&faults, &plan.active(batch, attempt));
+        let a = build().run_with_faults(&faults);
+        let b = build().run_with_faults(&faults);
+        prop_assert_eq!(a.makespan_us.to_bits(), b.makespan_us.to_bits());
+        prop_assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            prop_assert_eq!(x.task, y.task);
+            prop_assert_eq!(x.unit, y.unit);
+            prop_assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
+            prop_assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+        }
+        prop_assert_eq!(&a.failed, &b.failed);
+    }
+
+    /// An empty fault set takes the exact plain-run code path: schedules
+    /// are bitwise identical and nothing is marked failed.
+    #[test]
+    fn empty_faults_bit_identical_to_plain(tasks in dag(), cores in 1usize..5) {
+        let build = || {
+            let mut sim = Simulator::new(cores);
+            let mut ids = Vec::new();
+            for (dur, deps, lock) in &tasks {
+                let dep_ids: Vec<usize> = deps.iter().map(|&d| ids[d]).collect();
+                let mut spec =
+                    TaskSpec::new("t", Resource::HostCore, *dur, Phase::Other).after(&dep_ids);
+                if let Some(g) = lock {
+                    spec = spec.locked(*g);
+                }
+                ids.push(sim.add(spec));
+            }
+            sim
+        };
+        let plain = build().run();
+        let faulted = build().run_with_faults(&ActiveFaults::none());
+        prop_assert_eq!(plain.makespan_us.to_bits(), faulted.makespan_us.to_bits());
+        prop_assert_eq!(plain.events.len(), faulted.events.len());
+        for (x, y) in plain.events.iter().zip(&faulted.events) {
+            prop_assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
+            prop_assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+        }
+        prop_assert!(!faulted.has_failures());
+    }
+
+    /// A straggler core can only stretch the schedule, never shrink it.
+    #[test]
+    fn straggler_never_speeds_up(tasks in dag(), core in 0usize..3) {
+        let build = || {
+            let mut sim = Simulator::new(3);
+            let mut ids = Vec::new();
+            for (dur, deps, _) in &tasks {
+                let dep_ids: Vec<usize> = deps.iter().map(|&d| ids[d]).collect();
+                ids.push(sim.add(
+                    TaskSpec::new("t", Resource::HostCore, *dur, Phase::Other).after(&dep_ids),
+                ));
+            }
+            sim
+        };
+        let plain = build().run();
+        let slowed = build().run_with_faults(
+            &FaultPlan::new(0).with_straggler(core, 8.0).active(0, 0),
+        );
+        prop_assert!(slowed.makespan_us + 1e-9 >= plain.makespan_us);
     }
 
     /// More cores never makes a lock-free schedule slower.

@@ -13,6 +13,7 @@
 //! [`ExecCtx`], so a DFG execution doubles as a measured GPU run.
 
 use crate::dense::Matrix;
+use crate::error::TensorError;
 use gt_sim::{Phase, SimContext};
 use std::collections::HashMap;
 
@@ -38,11 +39,20 @@ impl ParamStore {
         self.values.insert(name.into(), value);
     }
 
-    /// Parameter by name; panics if missing (a model wiring bug).
+    /// Parameter by name; panics if missing (a model wiring bug). Use
+    /// [`try_get`](Self::try_get) to receive the failure as a value.
     pub fn get(&self, name: &str) -> &Matrix {
+        self.try_get(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parameter by name, reporting an unregistered name as a
+    /// [`TensorError::MissingParam`].
+    pub fn try_get(&self, name: &str) -> Result<&Matrix, TensorError> {
         self.values
             .get(name)
-            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+            .ok_or_else(|| TensorError::MissingParam {
+                name: name.to_string(),
+            })
     }
 
     /// True if `name` is registered.
@@ -131,6 +141,12 @@ pub trait Op: std::fmt::Debug {
 
     /// Output shape from input shapes (for the DKP cost model's dry run).
     fn out_shape(&self, in_shapes: &[(usize, usize)], params: &ParamStore) -> (usize, usize);
+
+    /// Names of the [`ParamStore`] entries this op reads, so executions can
+    /// be validated before any kernel runs. Default: none.
+    fn params(&self) -> Vec<&str> {
+        Vec::new()
+    }
 }
 
 enum NodeKind {
@@ -214,9 +230,15 @@ impl Dfg {
         self.output = Some(id);
     }
 
-    /// The output node.
+    /// The output node; panics if [`Dfg::set_output`] was never called.
     pub fn output(&self) -> NodeId {
-        self.output.expect("output not set")
+        self.try_output().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The output node, reporting an unset output as a
+    /// [`TensorError::OutputUnset`].
+    pub fn try_output(&self) -> Result<NodeId, TensorError> {
+        self.output.ok_or(TensorError::OutputUnset)
     }
 
     /// Number of nodes (including dead ones).
@@ -300,6 +322,47 @@ impl Dfg {
         };
     }
 
+    /// Validate an execution without running it: every live input slot must
+    /// be fed and every live op's parameters must be registered. Catching
+    /// wiring bugs *before* any kernel runs means a failed validation
+    /// leaves the sim accounting and parameter store untouched.
+    pub fn validate(&self, num_inputs: usize, params: &ParamStore) -> Result<(), TensorError> {
+        let live = self.live();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !live[id] {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Input(slot) => {
+                    if *slot >= num_inputs {
+                        return Err(TensorError::MissingInput { slot: *slot });
+                    }
+                }
+                NodeKind::Op(op) => {
+                    for name in op.params() {
+                        if !params.contains(name) {
+                            return Err(TensorError::MissingParam {
+                                name: name.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Dfg::forward`] with up-front validation: wiring bugs come back as
+    /// [`TensorError`]s instead of panics mid-execution.
+    pub fn try_forward(
+        &self,
+        inputs: &[Matrix],
+        ctx: &mut ExecCtx,
+    ) -> Result<DfgValues, TensorError> {
+        self.validate(inputs.len(), ctx.params)?;
+        Ok(self.forward(inputs, ctx))
+    }
+
     /// Run the forward pass. `inputs[slot]` feeds `Input(slot)` nodes.
     pub fn forward(&self, inputs: &[Matrix], ctx: &mut ExecCtx) -> DfgValues {
         let live = self.live();
@@ -351,8 +414,7 @@ impl Dfg {
                 _ => None,
             })
             .max();
-        let mut input_grads: Vec<Option<Matrix>> =
-            vec![None; max_slot.map_or(0, |m| m + 1)];
+        let mut input_grads: Vec<Option<Matrix>> = vec![None; max_slot.map_or(0, |m| m + 1)];
 
         for id in (0..self.nodes.len()).rev() {
             if !live[id] {
@@ -512,6 +574,14 @@ impl Op for Linear {
 
     fn out_shape(&self, in_shapes: &[(usize, usize)], params: &ParamStore) -> (usize, usize) {
         (in_shapes[0].0, params.get(&self.weight).cols())
+    }
+
+    fn params(&self) -> Vec<&str> {
+        let mut names = vec![self.weight.as_str()];
+        if let Some(b) = &self.bias {
+            names.push(b.as_str());
+        }
+        names
     }
 }
 
@@ -739,6 +809,52 @@ mod tests {
         let shapes = dfg.shapes(&[(10, 8)], &params);
         assert_eq!(shapes[l], Some((10, 3)));
         assert_eq!(shapes[r], Some((10, 3)));
+    }
+
+    #[test]
+    fn try_forward_reports_wiring_bugs_as_values() {
+        use crate::error::TensorError;
+        let (mut sim, mut params) = ctx_parts();
+        let mut dfg = Dfg::new();
+        let x = dfg.input(0);
+        let l = dfg.op(Linear::new("w", "b"), &[x]);
+        dfg.set_output(l);
+        assert_eq!(dfg.try_output(), Ok(l));
+        assert_eq!(Dfg::new().try_output(), Err(TensorError::OutputUnset));
+
+        // Unregistered weight: caught before any kernel runs.
+        let mut ctx = ExecCtx {
+            sim: &mut sim,
+            params: &mut params,
+        };
+        let xval = Matrix::from_vec(1, 2, vec![1., 1.]);
+        assert_eq!(
+            dfg.try_forward(std::slice::from_ref(&xval), &mut ctx).err(),
+            Some(TensorError::MissingParam {
+                name: "w".to_string()
+            })
+        );
+        assert_eq!(
+            ctx.params.try_get("w").err(),
+            Some(TensorError::MissingParam {
+                name: "w".to_string()
+            })
+        );
+
+        // Missing input slot.
+        ctx.params
+            .register("w", Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        ctx.params.register("b", Matrix::zeros(1, 2));
+        assert_eq!(
+            dfg.try_forward(&[], &mut ctx).err(),
+            Some(TensorError::MissingInput { slot: 0 })
+        );
+
+        // Fully wired: matches the panicking path.
+        let vals = dfg
+            .try_forward(std::slice::from_ref(&xval), &mut ctx)
+            .unwrap();
+        assert_eq!(vals.get(l).data(), &[4., 6.]);
     }
 
     #[test]

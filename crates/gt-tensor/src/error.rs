@@ -1,0 +1,61 @@
+//! Typed errors for the tensor substrate.
+//!
+//! Model-wiring mistakes (an unregistered parameter, a missing input slot,
+//! a graph with no output) used to abort through `panic!`/`expect`. The
+//! serving supervisor needs them as values so a bad model configuration can
+//! be reported per batch instead of killing the process; the panicking
+//! accessors now delegate to the `try_*` variants.
+
+/// A tensor-substrate failure, as a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A DFG op referenced a parameter name never registered in the store.
+    MissingParam {
+        /// The unregistered parameter name.
+        name: String,
+    },
+    /// A DFG execution was given fewer input matrices than the graph's
+    /// highest live `Input(slot)` node requires.
+    MissingInput {
+        /// The unfed input slot.
+        slot: usize,
+    },
+    /// The DFG's output node was never set.
+    OutputUnset,
+    /// The least-squares normal matrix was singular (fewer independent
+    /// samples than coefficients) — no unique solution exists.
+    SingularSystem,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::MissingParam { name } => write!(f, "unknown parameter {name:?}"),
+            TensorError::MissingInput { slot } => write!(f, "missing input slot {slot}"),
+            TensorError::OutputUnset => write!(f, "output not set"),
+            TensorError::SingularSystem => {
+                write!(f, "singular least-squares system (rank-deficient samples)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TensorError::MissingParam {
+            name: "w".to_string()
+        }
+        .to_string()
+        .contains("\"w\""));
+        assert!(TensorError::MissingInput { slot: 2 }
+            .to_string()
+            .contains("2"));
+        assert_eq!(TensorError::OutputUnset.to_string(), "output not set");
+    }
+}

@@ -17,6 +17,7 @@
 pub mod checkpoint;
 pub mod dense;
 pub mod dfg;
+pub mod error;
 pub mod init;
 pub mod loss;
 pub mod lstsq;
@@ -26,4 +27,5 @@ pub mod sparse;
 
 pub use dense::Matrix;
 pub use dfg::{Dfg, ExecCtx, NodeId, Op, ParamStore};
-pub use lstsq::lstsq;
+pub use error::TensorError;
+pub use lstsq::{lstsq, try_lstsq};

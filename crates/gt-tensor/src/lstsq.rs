@@ -6,10 +6,19 @@
 //! samples), so normal equations with Gaussian elimination and partial
 //! pivoting are exact enough and dependency-free.
 
+use crate::error::TensorError;
+
 /// Solve `min ‖A·x − b‖²` for `x`, where `a` is row-major with `cols`
 /// columns. Returns `None` when the normal matrix is singular (e.g. fewer
 /// independent samples than coefficients).
 pub fn lstsq(a: &[f64], cols: usize, b: &[f64]) -> Option<Vec<f64>> {
+    try_lstsq(a, cols, b).ok()
+}
+
+/// [`lstsq`] with a typed error: a rank-deficient system comes back as
+/// [`TensorError::SingularSystem`] so callers can distinguish "no unique
+/// fit" from other failures when reporting degradation decisions.
+pub fn try_lstsq(a: &[f64], cols: usize, b: &[f64]) -> Result<Vec<f64>, TensorError> {
     assert!(cols > 0, "need at least one coefficient");
     assert_eq!(a.len() % cols, 0, "a must be rows×cols");
     let rows = a.len() / cols;
@@ -27,7 +36,7 @@ pub fn lstsq(a: &[f64], cols: usize, b: &[f64]) -> Option<Vec<f64>> {
             }
         }
     }
-    solve_dense(&mut ata, &mut atb, cols)
+    solve_dense(&mut ata, &mut atb, cols).ok_or(TensorError::SingularSystem)
 }
 
 /// Gaussian elimination with partial pivoting on an n×n system (in place).
@@ -122,6 +131,10 @@ mod tests {
         // Two identical columns → rank-deficient.
         let a = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
         assert!(lstsq(&a, 2, &[1.0, 2.0, 3.0]).is_none());
+        assert_eq!(
+            try_lstsq(&a, 2, &[1.0, 2.0, 3.0]),
+            Err(TensorError::SingularSystem)
+        );
     }
 
     #[test]

@@ -177,7 +177,10 @@ mod tests {
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
         assert_eq!(zeros + kept, 1000);
-        assert!((300..700).contains(&zeros), "zeroed {zeros} of 1000 at p=0.5");
+        assert!(
+            (300..700).contains(&zeros),
+            "zeroed {zeros} of 1000 at p=0.5"
+        );
         // Expectation preserved: mean ≈ 1.
         let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
         assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
@@ -193,7 +196,12 @@ mod tests {
         let d = Dropout::new(0.3, 9, true);
         let x = Matrix::from_vec(1, 200, vec![1.0; 200]);
         let y = d.forward(&[&x], &mut ctx);
-        let g = d.backward(&[&x], &y, &Matrix::from_vec(1, 200, vec![1.0; 200]), &mut ctx);
+        let g = d.backward(
+            &[&x],
+            &y,
+            &Matrix::from_vec(1, 200, vec![1.0; 200]),
+            &mut ctx,
+        );
         let gx = g[0].as_ref().unwrap();
         // Gradient flows exactly where the forward kept the value.
         for i in 0..200 {
@@ -225,7 +233,12 @@ mod tests {
         let b = Matrix::from_vec(1, 2, vec![10., 20.]);
         let y = r.forward(&[&a, &b], &mut ctx);
         assert_eq!(y.data(), &[11., 22.]);
-        let g = r.backward(&[&a, &b], &y, &Matrix::from_vec(1, 2, vec![1., 1.]), &mut ctx);
+        let g = r.backward(
+            &[&a, &b],
+            &y,
+            &Matrix::from_vec(1, 2, vec![1., 1.]),
+            &mut ctx,
+        );
         assert_eq!(g[0].as_ref().unwrap().data(), &[1., 1.]);
         assert_eq!(g[1].as_ref().unwrap().data(), &[1., 1.]);
     }

@@ -202,7 +202,10 @@ mod tests {
         let w = params.get("w");
         let d0 = (1.0 - w.at(0, 0)).abs();
         let d1 = (1.0 - w.at(0, 1)).abs();
-        assert!((d0 - d1).abs() < 0.05, "updates {d0} vs {d1} not normalized");
+        assert!(
+            (d0 - d1).abs() < 0.05,
+            "updates {d0} vs {d1} not normalized"
+        );
     }
 
     #[test]

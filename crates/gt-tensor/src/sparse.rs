@@ -68,7 +68,11 @@ pub fn spmm_weighted(
     edge_weights: &Matrix,
     reduce: Reduce,
 ) -> Matrix {
-    assert_eq!(edge_weights.rows(), csr.num_edges(), "one weight row per edge");
+    assert_eq!(
+        edge_weights.rows(),
+        csr.num_edges(),
+        "one weight row per edge"
+    );
     assert_eq!(edge_weights.cols(), features.cols(), "weight dim mismatch");
     let f = features.cols();
     let mut out = Matrix::zeros(csr.num_vertices(), f);
@@ -143,7 +147,10 @@ pub fn sddmm(csr: &Csr, features: &Matrix, op: EdgeOp) -> Matrix {
 /// (`f'` of Fig 3b). For `Mean`, each edge contribution is scaled by
 /// 1/deg(dst) to match the forward.
 pub fn spmm_backward(csr: &Csr, grad: &Matrix, num_srcs: usize, reduce: Reduce) -> Matrix {
-    assert!(reduce != Reduce::Max, "max backward needs forward argmax state");
+    assert!(
+        reduce != Reduce::Max,
+        "max backward needs forward argmax state"
+    );
     let f = grad.cols();
     let mut out = Matrix::zeros(num_srcs, f);
     for (d, srcs) in csr.iter() {
@@ -167,7 +174,11 @@ pub fn spmm_backward(csr: &Csr, grad: &Matrix, num_srcs: usize, reduce: Reduce) 
 /// Number of sources referenced by a CSR (max src id + 1), handy when the
 /// src id space differs from the dst space (per-layer subgraphs).
 pub fn max_src_plus_one(csr: &Csr) -> usize {
-    csr.srcs.iter().copied().max().map_or(0, |v: VId| v as usize + 1)
+    csr.srcs
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |v: VId| v as usize + 1)
 }
 
 #[cfg(test)]

@@ -1,0 +1,90 @@
+//! Fault-tolerant serving: a multi-batch training loop that survives
+//! injected transfer failures, a straggler host core, and bursts of device
+//! memory pressure — zero panics, every batch resolving to a structured
+//! outcome (succeeded / recovered / degraded / quarantined).
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerant_serving
+//! ```
+//!
+//! The fault plan is seeded, so this run is exactly reproducible: same
+//! seed, same retries, same outcomes. With an empty plan the supervisor is
+//! a pass-through and numerics are bit-identical to the plain trainer.
+
+use graphtensor::prelude::*;
+
+fn main() {
+    let data = GraphData::synthetic_learnable(2_000, 24_000, 32, 2, 7);
+    let mut trainer = GraphTensor::new(
+        GtVariant::Prepro,
+        gcn(2, data.num_classes),
+        SystemSpec::paper_testbed(),
+    );
+    trainer.sampler = SamplerConfig {
+        fanout: 4,
+        layers: 2,
+        seed: 1,
+        ..Default::default()
+    };
+    trainer.lr = 0.3;
+
+    // An unkind environment: 30% of DMAs fail per attempt, host core 0
+    // runs 4x slow, and a co-tenant occasionally grabs nearly all device
+    // memory (transient — a retry usually clears it).
+    let plan = FaultPlan::new(2026)
+        .with_transfer_failure(0.3)
+        .with_straggler(0, 4.0)
+        .with_transient_memory_pressure(1e-6, 0.2);
+    let mut server = Supervisor::new(trainer, plan);
+
+    println!("serving 20 batches under injected faults...\n");
+    let mut trained = 0usize;
+    for (i, batch) in BatchIter::new(2_000, 100, 3).take(20).enumerate() {
+        let report = server.serve_batch(&data, &batch);
+        let desc = match report.outcome {
+            BatchOutcome::Succeeded => "ok".to_string(),
+            BatchOutcome::Recovered { retries } => {
+                format!(
+                    "recovered after {retries} retr{}",
+                    if retries == 1 { "y" } else { "ies" }
+                )
+            }
+            BatchOutcome::Degraded { action, retries } => match action {
+                DegradeAction::HalvedBatch { from, to } => {
+                    format!("degraded: batch {from}->{to} nodes ({retries} retries)")
+                }
+                DegradeAction::SerializedPrepro => {
+                    format!("degraded: serialized preprocessing ({retries} retries)")
+                }
+            },
+            BatchOutcome::Failed { reason } => format!("failed: {reason:?}"),
+            BatchOutcome::Quarantined { reason, attempts } => {
+                format!("QUARANTINED after {attempts} attempts ({reason:?})")
+            }
+        };
+        if report.outcome.trained() {
+            trained += 1;
+            println!("batch {i:>2}: loss {:>7.4}  {desc}", report.loss);
+        } else {
+            println!("batch {i:>2}: loss     ---  {desc}");
+        }
+    }
+
+    println!(
+        "\n{trained}/20 batches trained; {} quarantined; {:.0} µs spent in retry backoff",
+        server.quarantine.len(),
+        server.backoff_paid_us,
+    );
+    for q in &server.quarantine {
+        println!(
+            "  quarantined batch {} ({} nodes): {:?} after {} attempts",
+            q.batch_index,
+            q.batch.len(),
+            q.reason,
+            q.attempts
+        );
+    }
+    if server.is_prepro_degraded() {
+        println!("  preprocessing degraded to the serialized strategy");
+    }
+}

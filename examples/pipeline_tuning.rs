@@ -31,7 +31,10 @@ fn main() {
     );
 
     let sys = SystemSpec::paper_testbed();
-    println!("\n{:<18} {:>12} {:>14}", "strategy", "makespan us", "lock wait us");
+    println!(
+        "\n{:<18} {:>12} {:>14}",
+        "strategy", "makespan us", "lock wait us"
+    );
     for strategy in [
         PreproStrategy::Serial,
         PreproStrategy::SerialPinned,

@@ -46,6 +46,9 @@ fn main() {
     let (af, cf) = trainer.dkp_decisions();
     println!("DKP decisions: {af} aggregation-first, {cf} combination-first");
     if let Some(err) = trainer.cost_model().fit_error() {
-        println!("DKP cost-model fit error: {:.1}% (paper: 12.5%)", err * 100.0);
+        println!(
+            "DKP cost-model fit error: {:.1}% (paper: 12.5%)",
+            err * 100.0
+        );
     }
 }

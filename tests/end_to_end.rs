@@ -76,16 +76,22 @@ fn variant_ordering_on_heavy_features() {
     base.sampler = sampler();
     let rb = base.train_batch(&data, &batch);
 
-    let mut dynamic =
-        GraphTensor::new(GtVariant::Dynamic, model.clone(), SystemSpec::paper_testbed());
+    let mut dynamic = GraphTensor::new(
+        GtVariant::Dynamic,
+        model.clone(),
+        SystemSpec::paper_testbed(),
+    );
     dynamic.sampler = sampler();
     for _ in 0..3 {
         dynamic.train_batch(&data, &batch);
     }
     let rd = dynamic.train_batch(&data, &batch);
 
-    let mut prepro =
-        GraphTensor::new(GtVariant::Prepro, model.clone(), SystemSpec::paper_testbed());
+    let mut prepro = GraphTensor::new(
+        GtVariant::Prepro,
+        model.clone(),
+        SystemSpec::paper_testbed(),
+    );
     prepro.sampler = sampler();
     for _ in 0..3 {
         prepro.train_batch(&data, &batch);
@@ -177,7 +183,10 @@ fn checkpoint_restore_preserves_predictions() {
     let eval: Vec<u32> = (0..80).collect();
     let a = evaluate(&mut t, &data, &eval);
     let b = evaluate(&mut served, &data, &eval);
-    assert!((a - b).abs() < 1e-9, "restored accuracy {b} != original {a}");
+    assert!(
+        (a - b).abs() < 1e-9,
+        "restored accuracy {b} != original {a}"
+    );
 }
 
 /// Full-graph mode matches the scalability story: small graphs train,

@@ -72,7 +72,11 @@ fn pcie_bandwidth_matters() {
 /// Device presets stay self-consistent.
 #[test]
 fn device_presets() {
-    for dev in [DeviceSpec::rtx3090(), DeviceSpec::a100(), DeviceSpec::tiny()] {
+    for dev in [
+        DeviceSpec::rtx3090(),
+        DeviceSpec::a100(),
+        DeviceSpec::tiny(),
+    ] {
         assert!(dev.num_sms > 0);
         assert!(dev.effective_bw_per_us(false) > dev.effective_bw_per_us(true));
         assert!(dev.device_mem_bytes > 0);
