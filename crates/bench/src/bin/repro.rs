@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! repro <experiment|all> [--scale test|small|medium|N] [--seed S]
-//!       [--batch B] [--fanout F] [--layers L]
+//!       [--batch B] [--fanout F] [--layers L] [--trace-out PATH]
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
 //! ```
+//!
+//! With `--trace-out`, the run records wall-clock spans and metrics and
+//! writes a Chrome trace (load it at <https://ui.perfetto.dev>) plus a
+//! metrics summary on stderr; see `docs/telemetry.md`.
 
 use gt_bench::experiments::*;
 use gt_bench::ExpConfig;
@@ -15,7 +19,7 @@ use gt_datasets::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
-         [--seed S] [--batch B] [--fanout F] [--layers L]\n\
+         [--seed S] [--batch B] [--fanout F] [--layers L] [--trace-out PATH]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation"
     );
@@ -29,6 +33,7 @@ fn main() {
     }
     let exp = args[0].clone();
     let mut cfg = ExpConfig::default();
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,9 +75,17 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(usage_v);
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(usage_v));
+            }
             _ => usage(),
         }
         i += 1;
+    }
+
+    if trace_out.is_some() {
+        gt_telemetry::set_global(gt_telemetry::Telemetry::recording());
     }
 
     println!(
@@ -130,6 +143,20 @@ fn main() {
         }
     } else {
         run_one(&exp, &cfg);
+    }
+
+    if let Some(path) = trace_out {
+        let telemetry = gt_telemetry::global();
+        let trace = telemetry.trace(&format!("repro {exp}"));
+        let json = gt_telemetry::write_chrome_json(&[&trace]);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!(
+                "wrote {} spans to {path} (open at https://ui.perfetto.dev)",
+                trace.events.len()
+            ),
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+        eprint!("{}", gt_telemetry::summary::render(&telemetry.snapshot()));
     }
 }
 

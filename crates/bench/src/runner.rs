@@ -97,10 +97,21 @@ impl ExpConfig {
         data: &GraphData,
         warmup: usize,
     ) -> Vec<BatchReport> {
+        let telemetry = gt_telemetry::global();
         let batch = self.batch_ids(data);
-        for _ in 0..warmup {
-            fw.train_batch(data, &batch);
+        {
+            let _s = telemetry
+                .span("bench", "warmup")
+                .arg("framework", fw.name())
+                .arg("batches", warmup);
+            for _ in 0..warmup {
+                fw.train_batch(data, &batch);
+            }
         }
+        let _s = telemetry
+            .span("bench", "measure")
+            .arg("framework", fw.name())
+            .arg("batches", self.measure_batches);
         (0..self.measure_batches)
             .map(|_| fw.train_batch(data, &batch))
             .collect()

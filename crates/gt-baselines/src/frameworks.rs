@@ -301,6 +301,7 @@ impl Framework for Baseline {
             num_edges,
             oom,
             outcome: BatchOutcome::Succeeded,
+            telemetry: gt_telemetry::global(),
         }
     }
 }

@@ -85,6 +85,18 @@ pub enum BatchOutcome {
     },
 }
 
+impl FailReason {
+    /// Stable kebab-case label used in telemetry events and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailReason::TransferFailure => "transfer-failure",
+            FailReason::OutOfMemory => "out-of-memory",
+            FailReason::InvalidBatch => "invalid-batch",
+            FailReason::PreproStall => "prepro-stall",
+        }
+    }
+}
+
 impl BatchOutcome {
     /// True when the batch produced a committed training step.
     pub fn trained(&self) -> bool {
@@ -94,6 +106,17 @@ impl BatchOutcome {
                 | BatchOutcome::Recovered { .. }
                 | BatchOutcome::Degraded { .. }
         )
+    }
+
+    /// Stable kebab-case label used in telemetry events and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchOutcome::Succeeded => "succeeded",
+            BatchOutcome::Recovered { .. } => "recovered",
+            BatchOutcome::Degraded { .. } => "degraded",
+            BatchOutcome::Failed { .. } => "failed",
+            BatchOutcome::Quarantined { .. } => "quarantined",
+        }
     }
 }
 
@@ -114,6 +137,10 @@ pub struct BatchReport {
     pub oom: Option<String>,
     /// How the batch resolved (always `Succeeded` outside the supervisor).
     pub outcome: BatchOutcome,
+    /// Handle to the telemetry (spans, events, metrics) recorded while this
+    /// batch ran; [`gt_telemetry::Telemetry::null`] unless the trainer was
+    /// given a recording handle.
+    pub telemetry: gt_telemetry::Telemetry,
 }
 
 impl BatchReport {
@@ -167,6 +194,55 @@ pub trait Framework {
     fn train_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport;
 }
 
+/// Machine-readable forms for the serving/report types, behind the `serde`
+/// feature. Implemented over the in-tree JSON layer (the offline build
+/// cannot vendor serde proper; see gt-telemetry's crate docs).
+#[cfg(feature = "serde")]
+mod machine_readable {
+    use super::*;
+    use gt_telemetry::json::obj;
+    use gt_telemetry::{Json, ToJson};
+
+    impl ToJson for FailReason {
+        fn to_json(&self) -> Json {
+            Json::from(self.label())
+        }
+    }
+
+    impl ToJson for DegradeAction {
+        fn to_json(&self) -> Json {
+            match self {
+                DegradeAction::HalvedBatch { from, to } => obj([
+                    ("action", "halved-batch".into()),
+                    ("from", (*from).into()),
+                    ("to", (*to).into()),
+                ]),
+                DegradeAction::SerializedPrepro => obj([("action", "serialized-prepro".into())]),
+            }
+        }
+    }
+
+    impl ToJson for BatchOutcome {
+        fn to_json(&self) -> Json {
+            let mut pairs = vec![("outcome", Json::from(self.label()))];
+            match self {
+                BatchOutcome::Succeeded => {}
+                BatchOutcome::Recovered { retries } => pairs.push(("retries", (*retries).into())),
+                BatchOutcome::Degraded { action, retries } => {
+                    pairs.push(("action", action.to_json()));
+                    pairs.push(("retries", (*retries).into()));
+                }
+                BatchOutcome::Failed { reason } => pairs.push(("reason", reason.to_json())),
+                BatchOutcome::Quarantined { reason, attempts } => {
+                    pairs.push(("reason", reason.to_json()));
+                    pairs.push(("attempts", (*attempts).into()));
+                }
+            }
+            obj(pairs)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,9 +273,34 @@ mod tests {
             num_edges: 1,
             oom: None,
             outcome: BatchOutcome::Succeeded,
+            telemetry: gt_telemetry::Telemetry::null(),
         };
         let g = report.gpu_us();
         assert!((report.e2e_us(true) - g.max(400.0)).abs() < 1e-6);
         assert!((report.e2e_us(false) - (g + 400.0)).abs() < 1e-6);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn outcomes_render_to_json() {
+        use crate::framework::DegradeAction;
+        use gt_telemetry::ToJson;
+        let o = BatchOutcome::Degraded {
+            action: DegradeAction::HalvedBatch { from: 64, to: 16 },
+            retries: 2,
+        };
+        let j = o.to_json();
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("degraded"));
+        let action = j.get("action").unwrap();
+        assert_eq!(action.get("from").unwrap().as_f64(), Some(64.0));
+        assert_eq!(action.get("to").unwrap().as_f64(), Some(16.0));
+
+        let q = BatchOutcome::Quarantined {
+            reason: FailReason::OutOfMemory,
+            attempts: 4,
+        };
+        let text = q.to_json().to_json_string();
+        assert!(text.contains("\"quarantined\""));
+        assert!(text.contains("\"out-of-memory\""));
     }
 }

@@ -70,6 +70,22 @@ pub struct QuarantineRecord {
     pub attempts: usize,
 }
 
+#[cfg(feature = "serde")]
+impl gt_telemetry::ToJson for QuarantineRecord {
+    fn to_json(&self) -> gt_telemetry::Json {
+        use gt_telemetry::Json;
+        gt_telemetry::json::obj([
+            ("batch_index", self.batch_index.into()),
+            (
+                "batch",
+                Json::Arr(self.batch.iter().map(|&v| Json::from(v as u64)).collect()),
+            ),
+            ("reason", self.reason.to_json()),
+            ("attempts", self.attempts.into()),
+        ])
+    }
+}
+
 /// Wraps a trainer in the retry/degrade/quarantine ladder described in the
 /// module docs.
 pub struct Supervisor {
@@ -121,6 +137,17 @@ impl Supervisor {
     pub fn serve_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
         let batch_index = self.batches_served;
         self.batches_served += 1;
+        let telemetry = self.trainer.telemetry.clone();
+        let _span = telemetry
+            .span("serve", "serve_batch")
+            .arg("batch", batch_index)
+            .arg("batch_size", batch.len());
+        telemetry
+            .counter(
+                "gt_serve_batches_total",
+                "Batches submitted to the supervisor",
+            )
+            .inc();
 
         // Poison batches are rejected before they can touch the trainer.
         // Repeated ids are valid for the sampler (a BPR user may recur
@@ -137,6 +164,11 @@ impl Supervisor {
                 reason: FailReason::InvalidBatch,
                 attempts: 0,
             });
+            let outcome = BatchOutcome::Quarantined {
+                reason: FailReason::InvalidBatch,
+                attempts: 0,
+            };
+            self.note_outcome(&telemetry, batch_index, &outcome);
             return BatchReport {
                 loss: f32::NAN,
                 sim: SimContext::new(self.trainer.sys.gpu.clone()),
@@ -144,10 +176,8 @@ impl Supervisor {
                 num_nodes: 0,
                 num_edges: 0,
                 oom: None,
-                outcome: BatchOutcome::Quarantined {
-                    reason: FailReason::InvalidBatch,
-                    attempts: 0,
-                },
+                outcome,
+                telemetry: telemetry.clone(),
             };
         }
 
@@ -174,6 +204,17 @@ impl Supervisor {
                         self.strikes += 1;
                         if self.strikes >= self.config.stall_strikes {
                             self.degraded_prepro = true;
+                            telemetry
+                                .counter(
+                                    "gt_serve_prepro_serializations_total",
+                                    "Pipelined→serialized preprocessing fallbacks",
+                                )
+                                .inc();
+                            telemetry.event(
+                                "serve",
+                                "prepro_serialized",
+                                &[("batch", &batch_index), ("strikes", &self.strikes)],
+                            );
                         }
                         self.degraded_prepro
                     } else {
@@ -194,6 +235,7 @@ impl Supervisor {
                     } else {
                         BatchOutcome::Succeeded
                     };
+                    self.note_outcome(&telemetry, batch_index, &report.outcome);
                     return report;
                 }
             };
@@ -209,13 +251,21 @@ impl Supervisor {
                     reason,
                     attempts: attempt + 1,
                 };
+                self.note_outcome(&telemetry, batch_index, &report.outcome);
                 return report;
             }
 
             match reason {
                 FailReason::TransferFailure => {
                     // Transient by assumption: back off and re-roll.
-                    self.backoff_paid_us += self.config.backoff_base_us * (1u64 << attempt) as f64;
+                    let wait_us = self.config.backoff_base_us * (1u64 << attempt) as f64;
+                    self.backoff_paid_us += wait_us;
+                    telemetry
+                        .counter(
+                            "gt_serve_backoff_us_total",
+                            "Virtual µs spent in retry backoff",
+                        )
+                        .add(wait_us as u64);
                     consecutive_oom = 0;
                 }
                 FailReason::OutOfMemory => {
@@ -223,7 +273,8 @@ impl Supervisor {
                     // One plain retry first (transient pressure clears);
                     // a second OOM in a row means the batch must shrink.
                     if consecutive_oom >= 2 && cur.len() > self.config.min_batch {
-                        let to = (cur.len() / 2).max(self.config.min_batch);
+                        let from = cur.len();
+                        let to = (from / 2).max(self.config.min_batch);
                         halved = Some(match halved {
                             Some(DegradeAction::HalvedBatch { from, .. }) => {
                                 DegradeAction::HalvedBatch { from, to }
@@ -235,11 +286,61 @@ impl Supervisor {
                         });
                         cur.truncate(to);
                         consecutive_oom = 0;
+                        telemetry
+                            .counter("gt_serve_halvings_total", "OOM batch halvings")
+                            .inc();
+                        telemetry.event(
+                            "serve",
+                            "oom_halving",
+                            &[("batch", &batch_index), ("from", &from), ("to", &to)],
+                        );
                     }
                 }
                 FailReason::InvalidBatch | FailReason::PreproStall => {}
             }
+            telemetry
+                .counter("gt_serve_retries_total", "Retry attempts after a failure")
+                .inc();
+            telemetry.event(
+                "serve",
+                "retry",
+                &[
+                    ("batch", &batch_index),
+                    ("attempt", &attempt),
+                    ("reason", &reason.label()),
+                ],
+            );
             attempt += 1;
         }
+    }
+
+    /// Funnel every resolved [`BatchOutcome`] into one structured event and
+    /// the per-outcome counters — the supervisor's externally visible
+    /// transition record.
+    fn note_outcome(
+        &self,
+        telemetry: &gt_telemetry::Telemetry,
+        batch_index: usize,
+        outcome: &BatchOutcome,
+    ) {
+        let (name, help) = match outcome {
+            BatchOutcome::Succeeded => ("gt_serve_succeeded_total", "Batches trained first try"),
+            BatchOutcome::Recovered { .. } => {
+                ("gt_serve_recovered_total", "Batches trained after retries")
+            }
+            BatchOutcome::Degraded { .. } => {
+                ("gt_serve_degraded_total", "Batches trained degraded")
+            }
+            BatchOutcome::Failed { .. } => ("gt_serve_failed_total", "Single failed attempts"),
+            BatchOutcome::Quarantined { .. } => {
+                ("gt_serve_quarantined_total", "Batches quarantined")
+            }
+        };
+        telemetry.counter(name, help).inc();
+        telemetry.event(
+            "serve",
+            "outcome",
+            &[("batch", &batch_index), ("outcome", &outcome.label())],
+        );
     }
 }

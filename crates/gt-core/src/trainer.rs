@@ -74,6 +74,11 @@ pub struct GraphTensor {
     /// Overrides the variant's preprocessing strategy (the supervisor's
     /// pipelined→serialized degradation).
     pub prepro_override: Option<PreproStrategy>,
+    /// Where spans, events, and metrics go. Defaults to the process-wide
+    /// handle ([`gt_telemetry::global`], a null collector unless installed
+    /// otherwise), so the uninstrumented path costs nothing; swap in
+    /// [`gt_telemetry::Telemetry::recording`] to capture traces.
+    pub telemetry: gt_telemetry::Telemetry,
     params: ParamStore,
     cost: Arc<CostModel>,
     counters: Arc<DkpCounters>,
@@ -98,6 +103,7 @@ impl GraphTensor {
             fail_fast: false,
             injected: None,
             prepro_override: None,
+            telemetry: gt_telemetry::global(),
             params: ParamStore::new(),
             cost,
             counters: Arc::new(DkpCounters::default()),
@@ -199,6 +205,11 @@ impl GraphTensor {
     /// argument for sampling-based preprocessing.
     pub fn train_full_graph(&mut self, data: &GraphData) -> BatchReport {
         self.ensure_params(data.feature_dim());
+        let _span = self
+            .telemetry
+            .span("train", "train_full_graph")
+            .arg("variant", self.variant.label())
+            .arg("vertices", data.num_vertices());
         let pr = crate::full_graph::full_graph_prepro(data, self.model.layers);
         let mut sim = SimContext::new(self.sys.gpu.clone());
         let _ = sim.memory.alloc(pr.features.bytes());
@@ -233,6 +244,7 @@ impl GraphTensor {
             num_edges: data.graph.num_edges(),
             oom,
             outcome: BatchOutcome::Succeeded,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -240,6 +252,10 @@ impl GraphTensor {
     /// logits (row `i` = `batch[i]`). No gradients, no parameter update.
     pub fn infer_batch(&mut self, data: &GraphData, batch: &[VId]) -> Matrix {
         self.ensure_params(data.feature_dim());
+        let _span = self
+            .telemetry
+            .span("train", "infer_batch")
+            .arg("batch_size", batch.len());
         let mut cfg = self.sampler.clone();
         // Fixed offset, independent of training progress: inference must be
         // a pure function of (params, sampler config) so a trainer restored
@@ -331,16 +347,30 @@ impl GraphTensor {
         L: FnOnce(&Matrix, &[VId]) -> (f32, Matrix),
     {
         self.ensure_params(data.feature_dim());
+        let telemetry = self.telemetry.clone();
+        let _batch_span = telemetry
+            .span("train", "train_batch")
+            .arg("variant", self.variant.label())
+            .arg("batch", self.batches_run)
+            .arg("batch_size", batch.len())
+            .arg("layers", self.model.layers);
         let faults = self.injected.take().unwrap_or_default();
         let mut cfg = self.sampler.clone();
         cfg.seed = cfg.seed.wrapping_add(self.batches_run as u64);
-        let pr = run_prepro(data, batch, &cfg);
+        let pr = {
+            let _s = telemetry.span("train", "run_prepro").arg("phase", "prepro");
+            run_prepro(data, batch, &cfg)
+        };
 
         // The preprocessing schedule is a pure function of the measured
         // work, so it can run up front; with an empty fault set it is
         // bit-identical to the unsupervised schedule.
-        let prepro =
-            schedule_prepro_with_faults(&pr.work, &self.sys, self.prepro_strategy(), &faults);
+        let prepro = {
+            let _s = telemetry
+                .span("train", "schedule_prepro")
+                .arg("phase", "prepro");
+            schedule_prepro_with_faults(&pr.work, &self.sys, self.prepro_strategy(), &faults)
+        };
 
         let mut gpu = self.sys.gpu.clone();
         if let Some(frac) = faults.memory_fraction() {
@@ -365,6 +395,7 @@ impl GraphTensor {
                 // Abort before any parameter update: the supervisor will
                 // retry or degrade, and a retried batch must see the same
                 // seed, so `batches_run` stays untouched too.
+                telemetry.event("train", "fail_fast", &[("reason", &reason.label())]);
                 let oom = sim.memory.oom().map(|e| e.to_string());
                 return BatchReport {
                     loss: f32::NAN,
@@ -374,6 +405,7 @@ impl GraphTensor {
                     num_edges: pr.layers.iter().map(|l| l.csr.num_edges()).sum(),
                     oom,
                     outcome: BatchOutcome::Failed { reason },
+                    telemetry: telemetry.clone(),
                 };
             }
         }
@@ -381,11 +413,28 @@ impl GraphTensor {
         let (mut dfg, pairs) = self.build_dfg(&pr);
         if self.variant != GtVariant::Base {
             let calibrate = self.batches_run < self.calibration_batches;
+            let (af0, cf0) = self.counters.snapshot();
             apply_dkp(&mut dfg, pairs, &self.cost, calibrate, &self.counters);
+            let (af, cf) = self.counters.snapshot();
+            telemetry
+                .counter(
+                    "gt_dkp_aggregation_first_total",
+                    "DKP pairs placed aggregation-first",
+                )
+                .add((af - af0) as u64);
+            telemetry
+                .counter(
+                    "gt_dkp_combination_first_total",
+                    "DKP pairs placed combination-first",
+                )
+                .add((cf - cf0) as u64);
         }
 
         self.params.zero_grads();
         let (loss, num_edges) = {
+            let _s = telemetry
+                .span("train", "forward_backward")
+                .arg("layers", self.model.layers);
             let mut ctx = ExecCtx {
                 sim: &mut sim,
                 params: &mut self.params,
@@ -403,6 +452,11 @@ impl GraphTensor {
                 // Intermediates blew the budget mid-compute: do not commit
                 // the parameter update (gradients are zeroed at the start of
                 // the next attempt, so nothing leaks into it).
+                telemetry.event(
+                    "train",
+                    "fail_fast",
+                    &[("reason", &FailReason::OutOfMemory.label())],
+                );
                 return BatchReport {
                     loss: f32::NAN,
                     sim,
@@ -413,10 +467,14 @@ impl GraphTensor {
                     outcome: BatchOutcome::Failed {
                         reason: FailReason::OutOfMemory,
                     },
+                    telemetry: telemetry.clone(),
                 };
             }
         }
-        self.optimizer_step();
+        {
+            let _s = telemetry.span("train", "optimizer_step");
+            self.optimizer_step();
+        }
 
         self.batches_run += 1;
         if self.variant != GtVariant::Base && self.batches_run == self.calibration_batches {
@@ -425,7 +483,7 @@ impl GraphTensor {
         }
 
         let oom = sim.memory.oom().map(|e| e.to_string());
-        BatchReport {
+        let report = BatchReport {
             loss,
             sim,
             prepro: Some(prepro),
@@ -433,7 +491,24 @@ impl GraphTensor {
             num_edges,
             oom,
             outcome: BatchOutcome::Succeeded,
-        }
+            telemetry: telemetry.clone(),
+        };
+        telemetry
+            .counter("gt_train_batches_total", "Training batches completed")
+            .inc();
+        telemetry
+            .histogram_us(
+                "gt_batch_e2e_us",
+                "End-to-end batch latency (overlapped), µs",
+            )
+            .observe(report.e2e_us(true));
+        telemetry
+            .histogram_us("gt_prepro_makespan_us", "Preprocessing makespan, µs")
+            .observe(report.prepro_us());
+        telemetry
+            .counter("gt_transfer_bytes_total", "Bytes moved over PCIe")
+            .add(pr.work.total_feature_bytes + pr.work.total_structure_bytes());
+        report
     }
 }
 

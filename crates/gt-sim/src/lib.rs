@@ -19,6 +19,7 @@ pub mod fault;
 pub mod lru;
 pub mod memory;
 pub mod timeline;
+pub mod trace;
 pub mod transfer;
 
 pub use cache::CacheSim;
@@ -29,4 +30,5 @@ pub use fault::{ActiveFaults, FaultKind, FaultPlan, FaultRule};
 pub use lru::LruCacheSim;
 pub use memory::{MemoryTracker, OutOfMemory};
 pub use timeline::{Timeline, TimelineEvent};
+pub use trace::{resource_track, schedule_to_trace};
 pub use transfer::TransferKind;

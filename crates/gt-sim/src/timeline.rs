@@ -26,24 +26,48 @@ pub struct Timeline {
 impl Timeline {
     /// Build normalized curves for `phases` out of a DES schedule.
     /// Phases with zero processed items are omitted.
+    ///
+    /// Fault-injected schedules can carry non-finite or non-monotonic event
+    /// times (a stretched task finishing "before" an earlier one, or a
+    /// failed transfer with garbage timing); those are tolerated here —
+    /// non-finite samples are dropped and times/fractions are clamped to be
+    /// non-decreasing with fraction never exceeding 1.0.
     pub fn from_schedule(schedule: &Schedule, phases: &[Phase]) -> Self {
         let mut curves = Vec::new();
         for &phase in phases {
-            let raw = schedule.progress_curve(phase);
-            let total = raw.last().map(|p| p.1).unwrap_or(0);
+            let raw: Vec<(f64, u64)> = schedule
+                .progress_curve(phase)
+                .into_iter()
+                .filter(|(t, _)| t.is_finite())
+                .collect();
+            let total = raw.iter().map(|p| p.1).max().unwrap_or(0);
             if total == 0 {
                 continue;
             }
-            let pts = raw
-                .into_iter()
-                .map(|(t, c)| TimelineEvent {
-                    time_us: t,
-                    fraction: c as f64 / total as f64,
-                })
-                .collect();
-            curves.push((phase, pts));
+            curves.push((phase, sanitized(raw, total)));
         }
         Timeline { curves }
+    }
+
+    /// Record a curve manually from `(time, cumulative items)` samples in
+    /// arrival order, normalized against a declared `total`. The same
+    /// clamping as [`from_schedule`](Self::from_schedule) applies, so
+    /// samples with out-of-order times or counts overshooting `total`
+    /// (both possible under fault injection) still yield a well-formed
+    /// curve. Zero `total` or empty samples record nothing.
+    pub fn push_curve(&mut self, phase: Phase, samples: &[(f64, u64)], total: u64) {
+        if total == 0 || samples.is_empty() {
+            return;
+        }
+        let finite: Vec<(f64, u64)> = samples
+            .iter()
+            .copied()
+            .filter(|(t, _)| t.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return;
+        }
+        self.curves.push((phase, sanitized(finite, total)));
     }
 
     /// Curves in insertion order.
@@ -73,10 +97,27 @@ impl Timeline {
     }
 }
 
+/// Clamp `(time, cumulative items)` samples into a well-formed curve:
+/// times non-decreasing (running max) and fractions non-decreasing, capped
+/// at 1.0.
+fn sanitized(points: impl IntoIterator<Item = (f64, u64)>, total: u64) -> Vec<TimelineEvent> {
+    let mut out = Vec::new();
+    let mut last_time = 0.0f64;
+    let mut last_frac = 0.0f64;
+    for (t, c) in points {
+        let time_us = t.max(last_time);
+        let fraction = (c as f64 / total as f64).clamp(last_frac, 1.0);
+        out.push(TimelineEvent { time_us, fraction });
+        last_time = time_us;
+        last_frac = fraction;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::des::{Resource, Simulator, TaskSpec};
+    use crate::des::{Resource, ScheduledEvent, Simulator, TaskSpec};
 
     fn schedule() -> Schedule {
         let mut sim = Simulator::new(1);
@@ -108,5 +149,74 @@ mod tests {
         assert_eq!(tl.fraction_at(Phase::Sampling, 0.0), 0.0);
         assert!((tl.fraction_at(Phase::Sampling, 10.0) - 0.3).abs() < 1e-12);
         assert!((tl.fraction_at(Phase::Sampling, 25.0) - 1.0).abs() < 1e-12);
+    }
+
+    fn event(end_us: f64, items: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            task: 0,
+            label: "s".to_string(),
+            phase: Phase::Sampling,
+            resource: Resource::HostCore,
+            unit: 0,
+            start_us: 0.0,
+            end_us,
+            lock_wait_us: 0.0,
+            items,
+        }
+    }
+
+    #[test]
+    fn fault_injected_schedule_times_are_tolerated() {
+        // Regression: a fault-stretched schedule can carry non-finite event
+        // times. These must not poison the curve or push fractions past 1.
+        let schedule = Schedule {
+            events: vec![
+                event(30.0, 50),
+                event(f64::NAN, 10),
+                event(f64::INFINITY, 5),
+                event(20.0, 50),
+            ],
+            makespan_us: 30.0,
+            failed: vec![],
+        };
+        let tl = Timeline::from_schedule(&schedule, &[Phase::Sampling]);
+        let (_, pts) = &tl.curves()[0];
+        // Only the two finite events survive; the curve still reaches 1.0.
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|e| e.time_us.is_finite()));
+        assert!(pts.iter().all(|e| (0.0..=1.0).contains(&e.fraction)));
+        assert!((pts.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].time_us <= w[1].time_us && w[0].fraction <= w[1].fraction));
+    }
+
+    #[test]
+    fn push_curve_clamps_overshoot_and_disorder() {
+        let mut tl = Timeline::default();
+        // Non-monotonic times and a count overshooting the declared total,
+        // as a fault-injected run can record them.
+        tl.push_curve(
+            Phase::Reindex,
+            &[(5.0, 40), (3.0, 60), (f64::NAN, 70), (9.0, 120)],
+            100,
+        );
+        let (_, pts) = &tl.curves()[0];
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].time_us, 5.0);
+        // 3.0 clamps up to the running max.
+        assert_eq!(pts[1].time_us, 5.0);
+        // 120/100 clamps to 1.0, never above.
+        assert!((pts[2].fraction - 1.0).abs() < 1e-12);
+        assert!(pts.iter().all(|e| e.fraction <= 1.0));
+    }
+
+    #[test]
+    fn push_curve_ignores_degenerate_input() {
+        let mut tl = Timeline::default();
+        tl.push_curve(Phase::Sampling, &[], 10);
+        tl.push_curve(Phase::Sampling, &[(1.0, 5)], 0);
+        tl.push_curve(Phase::Sampling, &[(f64::NAN, 5)], 10);
+        assert!(tl.curves().is_empty());
     }
 }

@@ -1,0 +1,501 @@
+//! Metrics registry: monotonic counters, gauges, and fixed-bucket
+//! histograms, all updatable from the hot path with single atomic ops.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones;
+//! the registry's mutex is only taken at registration and snapshot time,
+//! never per update. [`MetricsSnapshot`] is a point-in-time copy that the
+//! exporters ([`crate::prometheus`], [`crate::summary`]) render.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{obj, Json, ToJson};
+
+/// Monotonically increasing counter (events, retries, bytes).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (queue depth, cache hit rate).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` to the gauge (compare-and-swap loop).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some((f64::from_bits(b) + delta).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram for latency-style distributions. Buckets are
+/// cumulative-at-snapshot, not at update: each `observe` increments exactly
+/// one bucket counter plus sum/count/min/max, all relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, ascending; an implicit +Inf
+    /// bucket catches the rest.
+    bounds: Vec<f64>,
+    /// One count per finite bound, plus the overflow bucket at the end.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending finite bucket bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            }),
+        }
+    }
+
+    /// Default buckets for microsecond latencies: 10µs .. 10s, roughly
+    /// logarithmic (1-2-5 per decade).
+    pub fn latency_us() -> Histogram {
+        let mut bounds = Vec::new();
+        let mut decade = 10.0;
+        while decade <= 1e7 {
+            for mult in [1.0, 2.0, 5.0] {
+                bounds.push(decade * mult);
+            }
+            decade *= 10.0;
+        }
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.inner;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let _ = inner
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some((f64::from_bits(b) + v).to_bits())
+            });
+        let _ = inner
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                (v < f64::from_bits(b)).then(|| v.to_bits())
+            });
+        let _ = inner
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                (v > f64::from_bits(b)).then(|| v.to_bits())
+            });
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            counts: inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(inner.sum_bits.load(Ordering::Relaxed)),
+            count: inner.count.load(Ordering::Relaxed),
+            min: f64::from_bits(inner.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(inner.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Frozen histogram state, with quantile estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow bucket last).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate quantile `q` in `[0, 1]` by linear interpolation within the
+    /// bucket holding the target rank. Returns `None` when empty. The
+    /// overflow bucket interpolates toward the observed max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= rank && c > 0 {
+                let lower = if i == 0 {
+                    self.min.min(self.bound_or_max(0))
+                } else {
+                    self.bounds[i - 1]
+                };
+                let upper = self.bound_or_max(i);
+                let within = (rank - cumulative as f64) / c as f64;
+                return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+            }
+            cumulative = next;
+        }
+        Some(self.max)
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    fn bound_or_max(&self, i: usize) -> f64 {
+        if i < self.bounds.len() {
+            self.bounds[i].min(self.max)
+        } else {
+            self.max
+        }
+    }
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name (e.g. `gt_serve_retries_total`).
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time copy of every registered metric, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Counter value by name (0 when absent — counters start at zero).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name).map(|m| &m.value) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name, `None` when absent.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name).map(|m| &m.value) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by name, `None` when absent.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name).map(|m| &m.value) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Registered {
+    help: String,
+    entry: Entry,
+}
+
+/// Named metric registry. Get-or-register returns a shared handle, so two
+/// call sites asking for the same name update the same metric.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Registered>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register a counter. Panics if `name` is already registered as
+    /// a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut map = self.metrics.lock().unwrap();
+        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            entry: Entry::Counter(Counter::default()),
+        });
+        match &reg.entry {
+            Entry::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut map = self.metrics.lock().unwrap();
+        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            entry: Entry::Gauge(Gauge::default()),
+        });
+        match &reg.entry {
+            Entry::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register a histogram with default latency buckets.
+    pub fn histogram_us(&self, name: &str, help: &str) -> Histogram {
+        self.histogram(name, help, Histogram::latency_us)
+    }
+
+    /// Get or register a histogram, building it with `make` on first use.
+    pub fn histogram(&self, name: &str, help: &str, make: impl FnOnce() -> Histogram) -> Histogram {
+        let mut map = self.metrics.lock().unwrap();
+        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            entry: Entry::Histogram(make()),
+        });
+        match &reg.entry {
+            Entry::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Freeze every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.lock().unwrap();
+        MetricsSnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, reg)| MetricSnapshot {
+                    name: name.clone(),
+                    help: reg.help.clone(),
+                    value: match &reg.entry {
+                        Entry::Counter(c) => MetricValue::Counter(c.get()),
+                        Entry::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Entry::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        obj([
+            (
+                "bounds",
+                Json::Arr(self.bounds.iter().map(|&b| Json::from(b)).collect()),
+            ),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("sum", self.sum.into()),
+            ("count", self.count.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+        ])
+    }
+}
+
+impl ToJson for MetricSnapshot {
+    fn to_json(&self) -> Json {
+        let (kind, value) = match &self.value {
+            MetricValue::Counter(v) => ("counter", Json::from(*v)),
+            MetricValue::Gauge(v) => ("gauge", Json::from(*v)),
+            MetricValue::Histogram(h) => ("histogram", h.to_json()),
+        };
+        obj([
+            ("name", self.name.as_str().into()),
+            ("help", self.help.as_str().into()),
+            ("kind", kind.into()),
+            ("value", value),
+        ])
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        obj([(
+            "metrics",
+            Json::Arr(self.metrics.iter().map(|m| m.to_json()).collect()),
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("gt_test_total", "test counter");
+        c.inc();
+        c.add(4);
+        // Same name returns the same underlying counter.
+        assert_eq!(reg.counter("gt_test_total", "ignored").get(), 5);
+
+        let g = reg.gauge("gt_test_gauge", "test gauge");
+        g.set(1.5);
+        g.add(0.25);
+        assert_eq!(g.get(), 1.75);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("gt_test_total"), 5);
+        assert_eq!(snap.gauge("gt_test_gauge"), Some(1.75));
+        assert_eq!(snap.counter("gt_missing_total"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0, 1000.0]);
+        for v in [5.0, 50.0, 500.0, 5000.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 5555.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5000.0);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((10.0..=100.0).contains(&p50), "p50 = {p50}");
+        // p99 lands in the overflow bucket, which interpolates toward max.
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99 <= 5000.0 && p99 > 1000.0, "p99 = {p99}");
+        assert_eq!(s.quantile(1.0).unwrap(), 5000.0);
+        assert_eq!(s.mean(), Some(5555.0 / 4.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::latency_us().snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn single_value_histogram_quantiles_are_tight() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0]);
+        h.observe(42.0);
+        let s = h.snapshot();
+        // Interpolation is clamped by the observed min/max.
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((10.0..=42.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("gt_x", "");
+        let _ = reg.gauge("gt_x", "");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_json_renders() {
+        let reg = Registry::new();
+        reg.counter("gt_b_total", "b").inc();
+        reg.gauge("gt_a_gauge", "a").set(2.0);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["gt_a_gauge", "gt_b_total"]);
+        let text = snap.to_json().to_json_string();
+        assert!(text.contains("\"gt_b_total\""));
+        assert!(text.contains("\"counter\""));
+    }
+}

@@ -1,0 +1,98 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`]. Histograms render cumulative `_bucket{le=...}`
+//! series plus `_sum`/`_count`, matching what a scraper expects.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+
+/// Render the snapshot as Prometheus exposition text.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for m in &snapshot.metrics {
+        let kind = match &m.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if !m.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help.replace('\n', " "));
+        }
+        let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{} {}", m.name, v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", m.name, fmt_f64(*v));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    cumulative += h.counts[i];
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"{}\"}} {}",
+                        m.name,
+                        fmt_f64(*bound),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count);
+                let _ = writeln!(out, "{}_sum {}", m.name, fmt_f64(h.sum));
+                let _ = writeln!(out, "{}_count {}", m.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, Registry};
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("gt_serve_retries_total", "Total retry attempts")
+            .add(3);
+        reg.gauge("gt_cache_hit_rate", "Feature cache hit rate")
+            .set(0.75);
+        let h = reg.histogram("gt_batch_e2e_us", "Batch latency", || {
+            Histogram::with_bounds(vec![100.0, 1000.0])
+        });
+        h.observe(50.0);
+        h.observe(500.0);
+        h.observe(5000.0);
+
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE gt_serve_retries_total counter"));
+        assert!(text.contains("gt_serve_retries_total 3"));
+        assert!(text.contains("# HELP gt_cache_hit_rate Feature cache hit rate"));
+        assert!(text.contains("gt_cache_hit_rate 0.75"));
+        // Cumulative buckets: 1 at le=100, 2 at le=1000, 3 at +Inf.
+        assert!(text.contains("gt_batch_e2e_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("gt_batch_e2e_us_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("gt_batch_e2e_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("gt_batch_e2e_us_sum 5550"));
+        assert!(text.contains("gt_batch_e2e_us_count 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&Registry::new().snapshot()), "");
+    }
+}

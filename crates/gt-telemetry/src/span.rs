@@ -1,0 +1,349 @@
+//! RAII spans and the pluggable [`Collector`] behind them.
+//!
+//! A [`Span`] measures one region of wall-clock time on a named *track*
+//! (e.g. `"serve"`, `"train"`) with key/value labels (phase, batch index,
+//! layer). Spans nest: a per-thread stack links each span to its parent, so
+//! exported traces reconstruct the call tree.
+//!
+//! Storage is behind the [`Collector`] trait. [`NullCollector`] is the
+//! default and compiles to near-zero cost: `enabled()` is `false`, so span
+//! construction takes no clock reading, allocates nothing, and the guard's
+//! `Drop` is a no-op — the instrumented path is observationally identical
+//! to the uninstrumented one (verified by a bit-identity test in gt-core).
+//! [`MemoryCollector`] keeps finished spans in memory for export.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A finished span, as stored by a collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Collector-unique id (1-based; 0 is reserved for "no span").
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"train_batch"`).
+    pub name: String,
+    /// Track (exported as one Chrome-trace thread per track).
+    pub track: String,
+    /// Start, µs since the collector's epoch.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub dur_us: f64,
+    /// Key/value labels (`batch`, `layer`, `phase`, ...).
+    pub args: Vec<(String, String)>,
+}
+
+/// A point-in-time structured event (e.g. a serving outcome transition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name (e.g. `"quarantine"`).
+    pub name: String,
+    /// Track the event belongs to.
+    pub track: String,
+    /// Timestamp, µs since the collector's epoch.
+    pub ts_us: f64,
+    /// Key/value payload.
+    pub args: Vec<(String, String)>,
+}
+
+/// Where spans and events go. Implementations must be cheap and thread-safe;
+/// the hot path is `enabled()` + `now_us()` + one `record_*` per span.
+pub trait Collector: Send + Sync {
+    /// False for the null collector: spans skip clock reads entirely.
+    fn enabled(&self) -> bool;
+    /// Microseconds since this collector's epoch.
+    fn now_us(&self) -> f64;
+    /// Allocate a collector-unique span id (1-based).
+    fn next_span_id(&self) -> u64;
+    /// Store a finished span.
+    fn record_span(&self, span: SpanRecord);
+    /// Store an instant event.
+    fn record_event(&self, event: EventRecord);
+    /// Snapshot of finished spans (empty for non-recording collectors).
+    fn spans(&self) -> Vec<SpanRecord>;
+    /// Snapshot of recorded events.
+    fn events(&self) -> Vec<EventRecord>;
+}
+
+/// Discards everything; the default collector.
+#[derive(Debug, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn now_us(&self) -> f64 {
+        0.0
+    }
+    fn next_span_id(&self) -> u64 {
+        0
+    }
+    fn record_span(&self, _span: SpanRecord) {}
+    fn record_event(&self, _event: EventRecord) {}
+    fn spans(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+    fn events(&self) -> Vec<EventRecord> {
+        Vec::new()
+    }
+}
+
+/// Records spans and events into memory for later export. Span ids come
+/// from an atomic counter; the record vectors sit behind short-critical-
+/// section mutexes (one push per finished span).
+#[derive(Debug)]
+pub struct MemoryCollector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl Default for MemoryCollector {
+    fn default() -> Self {
+        MemoryCollector {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MemoryCollector {
+    /// A fresh collector whose epoch is "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+    fn record_span(&self, span: SpanRecord) {
+        self.spans.lock().unwrap().push(span);
+    }
+    fn record_event(&self, event: EventRecord) {
+        self.events.lock().unwrap().push(event);
+    }
+    fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+    fn events(&self) -> Vec<EventRecord> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parent linkage).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span. Created through
+/// [`Telemetry::span`](crate::Telemetry::span); records itself on drop.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("recording", &self.inner.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+struct SpanInner {
+    collector: Arc<dyn Collector>,
+    id: u64,
+    parent: Option<u64>,
+    name: Cow<'static, str>,
+    track: Cow<'static, str>,
+    start_us: f64,
+    args: Vec<(String, String)>,
+}
+
+impl Span {
+    pub(crate) fn start(
+        collector: &Arc<dyn Collector>,
+        track: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Span {
+        if !collector.enabled() {
+            return Span { inner: None };
+        }
+        let id = collector.next_span_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        Span {
+            inner: Some(SpanInner {
+                collector: Arc::clone(collector),
+                id,
+                parent,
+                name: name.into(),
+                track: track.into(),
+                start_us: collector.now_us(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// A disabled span (what the null collector hands out).
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// True when this span records anything on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a label. No-op (and no formatting cost beyond the call) on
+    /// disabled spans — callers pay `Display` formatting only when tracing.
+    pub fn arg(mut self, key: &str, value: impl std::fmt::Display) -> Span {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let end_us = inner.collector.now_us();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // LIFO in the common case; tolerate out-of-order drops.
+            if s.last() == Some(&inner.id) {
+                s.pop();
+            } else {
+                s.retain(|&x| x != inner.id);
+            }
+        });
+        inner.collector.record_span(SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name.into_owned(),
+            track: inner.track.into_owned(),
+            start_us: inner.start_us,
+            dur_us: (end_us - inner.start_us).max(0.0),
+            args: inner.args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recording() -> Arc<dyn Collector> {
+        Arc::new(MemoryCollector::new())
+    }
+
+    #[test]
+    fn null_collector_spans_are_free() {
+        let c: Arc<dyn Collector> = Arc::new(NullCollector);
+        let s = Span::start(&c, "t", "a");
+        assert!(!s.is_recording());
+        drop(s.arg("k", 1));
+        assert!(c.spans().is_empty());
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_args() {
+        let c = recording();
+        {
+            let _s = Span::start(&c, "serve", "batch").arg("index", 7);
+        }
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "batch");
+        assert_eq!(spans[0].track, "serve");
+        assert_eq!(spans[0].args, vec![("index".to_string(), "7".to_string())]);
+        assert!(spans[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let c = recording();
+        {
+            let _outer = Span::start(&c, "t", "outer");
+            {
+                let _inner = Span::start(&c, "t", "inner");
+            }
+        }
+        let spans = c.spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        // Inner finished first, so it was recorded first.
+        assert_eq!(spans[0].name, "inner");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let c = recording();
+        {
+            let _p = Span::start(&c, "t", "p");
+            let a = Span::start(&c, "t", "a");
+            drop(a);
+            let b = Span::start(&c, "t", "b");
+            drop(b);
+        }
+        let spans = c.spans();
+        let p = spans.iter().find(|s| s.name == "p").unwrap();
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(p.id));
+        }
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let c = recording();
+        let p = Span::start(&c, "t", "p");
+        let q = Span::start(&c, "t", "q");
+        drop(p); // dropped before its child
+        {
+            let _r = Span::start(&c, "t", "r");
+        }
+        drop(q);
+        let spans = c.spans();
+        let q_id = spans.iter().find(|s| s.name == "q").unwrap().id;
+        let r = spans.iter().find(|s| s.name == "r").unwrap();
+        assert_eq!(r.parent, Some(q_id));
+    }
+
+    #[test]
+    fn events_record_timestamps() {
+        let c = recording();
+        c.record_event(EventRecord {
+            name: "retry".to_string(),
+            track: "serve".to_string(),
+            ts_us: c.now_us(),
+            args: vec![("attempt".to_string(), "1".to_string())],
+        });
+        assert_eq!(c.events().len(), 1);
+    }
+}

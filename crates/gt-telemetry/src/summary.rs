@@ -1,0 +1,131 @@
+//! Human-readable summary rendering: a metrics table (with p50/p95/p99 for
+//! histograms) and an aggregated per-(track, name) span table. Meant for
+//! end-of-run console output in the bench runner and examples.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::SpanRecord;
+
+/// Render the snapshot as an aligned plain-text table.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for m in &snapshot.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => rows.push((m.name.clone(), v.to_string())),
+            MetricValue::Gauge(v) => rows.push((m.name.clone(), format!("{v:.4}"))),
+            MetricValue::Histogram(h) => {
+                let cell = if h.count == 0 {
+                    "count=0".to_string()
+                } else {
+                    format!(
+                        "count={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+                        h.count,
+                        h.mean().unwrap_or(0.0),
+                        h.quantile(0.50).unwrap_or(0.0),
+                        h.quantile(0.95).unwrap_or(0.0),
+                        h.quantile(0.99).unwrap_or(0.0),
+                        h.max,
+                    )
+                };
+                rows.push((m.name.clone(), cell));
+            }
+        }
+    }
+    table("metric", "value", &rows)
+}
+
+/// Aggregate spans by (track, name) and render totals/averages.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total_us: f64,
+        max_us: f64,
+    }
+    let mut by_key: BTreeMap<(String, String), Agg> = BTreeMap::new();
+    for s in spans {
+        let a = by_key.entry((s.track.clone(), s.name.clone())).or_default();
+        a.count += 1;
+        a.total_us += s.dur_us;
+        a.max_us = a.max_us.max(s.dur_us);
+    }
+    let rows: Vec<(String, String)> = by_key
+        .into_iter()
+        .map(|((track, name), a)| {
+            (
+                format!("{track}/{name}"),
+                format!(
+                    "count={} total={:.1}us mean={:.1}us max={:.1}us",
+                    a.count,
+                    a.total_us,
+                    a.total_us / a.count as f64,
+                    a.max_us
+                ),
+            )
+        })
+        .collect();
+    table("span (track/name)", "timing", &rows)
+}
+
+fn table(key_header: &str, value_header: &str, rows: &[(String, String)]) -> String {
+    let key_width = rows
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain([key_header.len()])
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{key_header:<key_width$}  {value_header}");
+    let _ = writeln!(
+        out,
+        "{}  {}",
+        "-".repeat(key_width),
+        "-".repeat(value_header.len().max(5))
+    );
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k:<key_width$}  {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, Registry};
+
+    #[test]
+    fn metrics_table_includes_quantiles() {
+        let reg = Registry::new();
+        reg.counter("gt_serve_retries_total", "").add(2);
+        let h = reg.histogram("gt_batch_e2e_us", "", || {
+            Histogram::with_bounds(vec![100.0, 1000.0])
+        });
+        for v in [50.0, 60.0, 700.0] {
+            h.observe(v);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("gt_serve_retries_total"));
+        assert!(text.contains("count=3"));
+        assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn span_table_aggregates_by_track_and_name() {
+        let mk = |name: &str, dur: f64| SpanRecord {
+            id: 0,
+            parent: None,
+            name: name.to_string(),
+            track: "serve".to_string(),
+            start_us: 0.0,
+            dur_us: dur,
+            args: vec![],
+        };
+        let text = render_spans(&[mk("batch", 10.0), mk("batch", 30.0), mk("retry", 5.0)]);
+        assert!(text.contains("serve/batch"));
+        assert!(text.contains("count=2"));
+        assert!(text.contains("mean=20.0us"));
+        assert!(text.contains("serve/retry"));
+    }
+}

@@ -11,6 +11,7 @@
 //! * [`tensor`] — dense/sparse kernels and the autodiff dataflow graph;
 //! * [`sim`] — device models, work counters, discrete-event simulation;
 //! * [`sample`] — neighbor sampling, VID hash table, reindexing, lookup;
+//! * [`telemetry`] — spans, metrics, Chrome-trace / Prometheus exporters;
 //! * [`core`] — NAPA, the DKP orchestrator, the tensor scheduler, and the
 //!   [`core::trainer::GraphTensor`] framework;
 //! * [`models`] — GCN / NGCF / GIN / GAT-lite presets + train/eval loops;
@@ -42,6 +43,7 @@ pub use gt_graph as graph;
 pub use gt_models as models;
 pub use gt_sample as sample;
 pub use gt_sim as sim;
+pub use gt_telemetry as telemetry;
 pub use gt_tensor as tensor;
 
 /// Everything needed for typical use.
@@ -58,4 +60,5 @@ pub mod prelude {
     pub use gt_models::{evaluate, gat_lite, gcn, gin, ngcf, train_epochs};
     pub use gt_sample::{BatchIter, SamplerConfig};
     pub use gt_sim::{FaultPlan, SystemSpec};
+    pub use gt_telemetry::Telemetry;
 }
