@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! repro <experiment|all> [--scale test|small|medium|N] [--seed S]
-//!       [--batch B] [--fanout F] [--layers L] [--trace-out PATH]
+//!       [--batch B] [--fanout F] [--layers L] [--threads N]
+//!       [--trace-out PATH]
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
+//!              threads
 //! ```
+//!
+//! `--threads N` pins the process-wide `gt_par` pool (same effect as
+//! `GT_THREADS=N`); results are bit-identical at every width, see
+//! `docs/parallelism.md`. The `threads` experiment sweeps pool widths
+//! 1/2/4/8 itself and ignores the knob.
 //!
 //! With `--trace-out`, the run records wall-clock spans and metrics and
 //! writes a Chrome trace (load it at <https://ui.perfetto.dev>) plus a
@@ -19,9 +26,10 @@ use gt_datasets::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
-         [--seed S] [--batch B] [--fanout F] [--layers L] [--trace-out PATH]\n\
+         [--seed S] [--batch B] [--fanout F] [--layers L] [--threads N] \
+         [--trace-out PATH]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
-         fig19 fig20 table1 table2 table3 scalability ablation"
+         fig19 fig20 table1 table2 table3 scalability ablation threads"
     );
     std::process::exit(2);
 }
@@ -75,6 +83,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(usage_v);
             }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
+                // The global pool reads GT_THREADS on first use; nothing has
+                // touched it yet, so this pins every experiment's pool width.
+                std::env::set_var(gt_par::THREADS_ENV, n.to_string());
+            }
             "--trace-out" => {
                 i += 1;
                 trace_out = Some(args.get(i).cloned().unwrap_or_else(usage_v));
@@ -117,6 +135,7 @@ fn main() {
         "table3" => table3::print(),
         "ablation" => ablation::print(cfg),
         "scalability" => scalability::print(cfg),
+        "threads" => threads::print(cfg),
         _ => usage(),
     };
 
@@ -138,6 +157,7 @@ fn main() {
             "fig20",
             "scalability",
             "ablation",
+            "threads",
         ] {
             run_one(name, &cfg);
         }

@@ -20,3 +20,4 @@ pub mod scalability;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod threads;

@@ -58,7 +58,11 @@ impl ModelConfig {
     }
 
     /// NGCF (§VI): average-based aggregation with elementwise-product
-    /// similarity weights accumulated by sum.
+    /// similarity weights folded in additively, matching NGCF's message
+    /// m_{u←i} = e_i + e_i ⊙ e_u. Folding with `h = Mul` instead would make
+    /// each message cubic in the (sub-unit) embeddings — e_i ⊙ e_i ⊙ e_u —
+    /// which collapses activations and gradients toward zero and freezes
+    /// BPR training at ln 2.
     pub fn ngcf(layers: usize, hidden: usize, out_dim: usize) -> Self {
         ModelConfig {
             name: "NGCF".into(),
@@ -68,7 +72,7 @@ impl ModelConfig {
             agg: Reduce::Mean,
             edge: Some(EdgeWeighting {
                 g: EdgeOp::ElemMul,
-                h: HFn::Mul,
+                h: HFn::Add,
             }),
         }
     }
@@ -111,7 +115,7 @@ mod tests {
         let m = ModelConfig::ngcf(2, 64, 2);
         let e = m.edge.unwrap();
         assert_eq!(e.g, EdgeOp::ElemMul);
-        assert_eq!(e.h, HFn::Mul);
+        assert_eq!(e.h, HFn::Add);
     }
 
     #[test]

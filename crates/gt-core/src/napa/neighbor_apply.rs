@@ -6,15 +6,18 @@
 //! one destination are processed in the same SM, so "NAPA loads dst nodes'
 //! embedding only once and reuses the embedding during NeighborApply".
 
+use gt_par::ThreadPool;
 use gt_sample::LayerGraph;
 use gt_sim::{KernelStats, Phase};
 use gt_tensor::dense::Matrix;
 use gt_tensor::dfg::{ExecCtx, Op, ParamStore};
 use gt_tensor::sparse::EdgeOp;
-use rayon::prelude::*;
 use std::sync::Arc;
 
 use super::schedule::feature_wise_cache;
+
+/// Edge rows per pool chunk (fixed — never derived from the worker count).
+const EDGE_CHUNK: usize = 128;
 
 /// The NeighborApply DFG op. Input: `[features]`; output: per-edge weight
 /// vectors in CSR edge order (`num_edges × feat_dim`).
@@ -24,12 +27,24 @@ pub struct NeighborApply {
     pub layer: Arc<LayerGraph>,
     /// The weight function `g`.
     pub g: EdgeOp,
+    /// Worker pool for edge-row-parallel compute.
+    pub pool: &'static ThreadPool,
 }
 
 impl NeighborApply {
     /// Weight `layer`'s edges with `g`.
     pub fn new(layer: Arc<LayerGraph>, g: EdgeOp) -> Self {
-        NeighborApply { layer, g }
+        NeighborApply {
+            layer,
+            g,
+            pool: ThreadPool::global(),
+        }
+    }
+
+    /// Same kernel on an explicit pool (determinism tests pin widths).
+    pub fn with_pool(mut self, pool: &'static ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Forward numerics (shared with tests/benches).
@@ -38,49 +53,55 @@ impl NeighborApply {
         let layer = &self.layer;
         assert!(features.rows() >= layer.num_src, "features cover src space");
         let mut out = Matrix::zeros(layer.csr.num_edges(), f);
-        // Parallelize over destinations; each dst owns a contiguous edge
-        // range, so a per-dst split of the output is disjoint. We iterate
-        // dsts and split at edge boundaries.
+        // Parallelize over edge rows: each edge owns one output row, so a
+        // chunked split of the output is disjoint. The edge's dst is found
+        // by binary search on indptr (edge ranges are dst-sorted).
         let indptr = &layer.csr.indptr;
         let srcs_arr = &layer.csr.srcs;
         let num_dst = layer.num_dst;
-        out.data_mut()
-            .par_chunks_mut(f)
-            .enumerate()
-            .for_each(|(e, wrow)| {
-                // Find this edge's dst by binary search on indptr.
-                let d = match indptr.binary_search(&(e as u32)) {
-                    Ok(mut i) => {
-                        // Skip empty ranges that share the boundary.
-                        while i < num_dst && indptr[i + 1] == e as u32 {
-                            i += 1;
+        self.pool.for_each_chunk_mut(
+            "napa.neighbor_apply",
+            out.data_mut(),
+            EDGE_CHUNK * f,
+            |ci, chunk| {
+                let edge_base = ci * EDGE_CHUNK;
+                for (r, wrow) in chunk.chunks_mut(f).enumerate() {
+                    let e = edge_base + r;
+                    // Find this edge's dst by binary search on indptr.
+                    let d = match indptr.binary_search(&(e as u32)) {
+                        Ok(mut i) => {
+                            // Skip empty ranges that share the boundary.
+                            while i < num_dst && indptr[i + 1] == e as u32 {
+                                i += 1;
+                            }
+                            i
                         }
-                        i
-                    }
-                    Err(i) => i - 1,
-                };
-                let s = srcs_arr[e] as usize;
-                let srow = features.row(s);
-                let drow = features.row(d);
-                match self.g {
-                    EdgeOp::ElemMul => {
-                        for ((o, &a), &b) in wrow.iter_mut().zip(srow).zip(drow) {
-                            *o = a * b;
+                        Err(i) => i - 1,
+                    };
+                    let s = srcs_arr[e] as usize;
+                    let srow = features.row(s);
+                    let drow = features.row(d);
+                    match self.g {
+                        EdgeOp::ElemMul => {
+                            for ((o, &a), &b) in wrow.iter_mut().zip(srow).zip(drow) {
+                                *o = a * b;
+                            }
                         }
-                    }
-                    EdgeOp::ElemAdd => {
-                        for ((o, &a), &b) in wrow.iter_mut().zip(srow).zip(drow) {
-                            *o = a + b;
+                        EdgeOp::ElemAdd => {
+                            for ((o, &a), &b) in wrow.iter_mut().zip(srow).zip(drow) {
+                                *o = a + b;
+                            }
                         }
-                    }
-                    EdgeOp::Dot => {
-                        let dot: f32 = srow.iter().zip(drow).map(|(&a, &b)| a * b).sum();
-                        for o in wrow.iter_mut() {
-                            *o = dot;
+                        EdgeOp::Dot => {
+                            let dot: f32 = srow.iter().zip(drow).map(|(&a, &b)| a * b).sum();
+                            for o in wrow.iter_mut() {
+                                *o = dot;
+                            }
                         }
                     }
                 }
-            });
+            },
+        );
         out
     }
 

@@ -10,17 +10,24 @@
 //! Backward (`f'`, Fig 3b) traverses the same subgraph in CSC — "CSC is
 //! better at traversing the graph in BWP" — producing per-source gradients,
 //! plus per-edge weight gradients in CSR edge order.
+//!
+//! Row-parallelism runs on the deterministic `gt_par` pool: each output row
+//! has exactly one writer and chunk geometry is fixed, so results are
+//! bit-identical at any `GT_THREADS`.
 
 use crate::config::HFn;
+use gt_par::ThreadPool;
 use gt_sample::LayerGraph;
 use gt_sim::{KernelStats, Phase};
 use gt_tensor::dense::Matrix;
 use gt_tensor::dfg::{ExecCtx, Op, ParamStore};
 use gt_tensor::sparse::Reduce;
-use rayon::prelude::*;
 use std::sync::Arc;
 
 use super::schedule::feature_wise_cache;
+
+/// Output rows per pool chunk (fixed — never derived from the worker count).
+const ROW_CHUNK: usize = 64;
 
 /// The Pull DFG op. Inputs: `[features]` (unweighted) or
 /// `[features, edge_weights]` (weighted; weight row order = CSR edge order).
@@ -33,6 +40,8 @@ pub struct Pull {
     /// `h`: how an edge weight transforms its src embedding. `None` for
     /// unweighted aggregation (GCN).
     pub h: Option<HFn>,
+    /// Worker pool for row-parallel compute (the process pool by default).
+    pub pool: &'static ThreadPool,
 }
 
 impl Pull {
@@ -42,6 +51,7 @@ impl Pull {
             layer,
             agg,
             h: None,
+            pool: ThreadPool::global(),
         }
     }
 
@@ -51,7 +61,14 @@ impl Pull {
             layer,
             agg,
             h: Some(h),
+            pool: ThreadPool::global(),
         }
+    }
+
+    /// Same kernel on an explicit pool (determinism tests pin widths).
+    pub fn with_pool(mut self, pool: &'static ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Forward numerics, shared with the fused Cost-DKP node.
@@ -68,50 +85,57 @@ impl Pull {
             assert_eq!(w.cols(), f, "weight dim");
         }
         let mut out = Matrix::zeros(layer.num_dst, f);
-        // Destination-centric: disjoint output rows → safe rayon partition.
-        out.data_mut()
-            .par_chunks_mut(f)
-            .enumerate()
-            .for_each(|(d, orow)| {
-                let srcs = layer.csr.srcs(d as u32);
-                if srcs.is_empty() {
-                    return;
-                }
-                let erange = layer.csr.edge_range(d as u32);
-                match self.agg {
-                    Reduce::Sum | Reduce::Mean => {
-                        for (&s, e) in srcs.iter().zip(erange) {
-                            let srow = features.row(s as usize);
-                            match (self.h, weights) {
-                                (Some(HFn::Mul), Some(w)) => {
-                                    for ((o, &x), &wk) in orow.iter_mut().zip(srow).zip(w.row(e)) {
-                                        *o += x * wk;
-                                    }
-                                }
-                                (Some(HFn::Add), Some(w)) => {
-                                    for ((o, &x), &wk) in orow.iter_mut().zip(srow).zip(w.row(e)) {
-                                        *o += x + wk;
-                                    }
-                                }
-                                _ => {
-                                    for (o, &x) in orow.iter_mut().zip(srow) {
-                                        *o += x;
-                                    }
-                                }
-                            }
-                        }
-                        if self.agg == Reduce::Mean {
-                            let inv = 1.0 / srcs.len() as f32;
-                            for o in orow.iter_mut() {
-                                *o *= inv;
-                            }
-                        }
+        // Destination-centric: disjoint output rows → each row has exactly
+        // one writer on the pool.
+        self.pool
+            .for_each_chunk_mut("napa.pull", out.data_mut(), ROW_CHUNK * f, |ci, chunk| {
+                let row_base = ci * ROW_CHUNK;
+                for (r, orow) in chunk.chunks_mut(f).enumerate() {
+                    let d = row_base + r;
+                    let srcs = layer.csr.srcs(d as u32);
+                    if srcs.is_empty() {
+                        continue;
                     }
-                    Reduce::Max => {
-                        orow.copy_from_slice(features.row(srcs[0] as usize));
-                        for &s in &srcs[1..] {
-                            for (o, &x) in orow.iter_mut().zip(features.row(s as usize)) {
-                                *o = o.max(x);
+                    let erange = layer.csr.edge_range(d as u32);
+                    match self.agg {
+                        Reduce::Sum | Reduce::Mean => {
+                            for (&s, e) in srcs.iter().zip(erange) {
+                                let srow = features.row(s as usize);
+                                match (self.h, weights) {
+                                    (Some(HFn::Mul), Some(w)) => {
+                                        for ((o, &x), &wk) in
+                                            orow.iter_mut().zip(srow).zip(w.row(e))
+                                        {
+                                            *o += x * wk;
+                                        }
+                                    }
+                                    (Some(HFn::Add), Some(w)) => {
+                                        for ((o, &x), &wk) in
+                                            orow.iter_mut().zip(srow).zip(w.row(e))
+                                        {
+                                            *o += x + wk;
+                                        }
+                                    }
+                                    _ => {
+                                        for (o, &x) in orow.iter_mut().zip(srow) {
+                                            *o += x;
+                                        }
+                                    }
+                                }
+                            }
+                            if self.agg == Reduce::Mean {
+                                let inv = 1.0 / srcs.len() as f32;
+                                for o in orow.iter_mut() {
+                                    *o *= inv;
+                                }
+                            }
+                        }
+                        Reduce::Max => {
+                            orow.copy_from_slice(features.row(srcs[0] as usize));
+                            for &s in &srcs[1..] {
+                                for (o, &x) in orow.iter_mut().zip(features.row(s as usize)) {
+                                    *o = o.max(x);
+                                }
                             }
                         }
                     }
@@ -162,44 +186,53 @@ impl Pull {
         // Degree of each dst (for Mean scaling).
         let deg = |d: u32| layer.csr.degree(d).max(1) as f32;
 
-        // d_features via CSC: vertex-centric over sources (disjoint rows).
+        // d_features via CSC: vertex-centric over sources (disjoint rows),
+        // row-parallel on the pool like the forward pass.
         let mut dx = Matrix::zeros(features.rows(), f);
-        dx.data_mut()
-            .par_chunks_mut(f)
-            .enumerate()
-            .for_each(|(s, xrow)| {
-                if s >= layer.num_src {
-                    return;
-                }
-                let dsts = layer.csc.dsts(s as u32);
-                if dsts.is_empty() {
-                    return;
-                }
-                for &d in dsts {
-                    let scale = match self.agg {
-                        Reduce::Mean => 1.0 / deg(d),
-                        _ => 1.0,
-                    };
-                    let grow = grad.row(d as usize);
-                    match (self.h, weights) {
-                        (Some(HFn::Mul), Some(w)) => {
-                            // Need this edge's weight row: find the edge id
-                            // in CSR order (s within dsts' src slice).
-                            let e = edge_id(layer, d, s as u32);
-                            for ((x, &g), &wk) in xrow.iter_mut().zip(grow).zip(w.row(e)) {
-                                *x += g * wk * scale;
+        self.pool.for_each_chunk_mut(
+            "napa.pull_bwd",
+            dx.data_mut(),
+            ROW_CHUNK * f,
+            |ci, chunk| {
+                let row_base = ci * ROW_CHUNK;
+                for (r, xrow) in chunk.chunks_mut(f).enumerate() {
+                    let s = row_base + r;
+                    if s >= layer.num_src {
+                        continue;
+                    }
+                    let dsts = layer.csc.dsts(s as u32);
+                    if dsts.is_empty() {
+                        continue;
+                    }
+                    for &d in dsts {
+                        let scale = match self.agg {
+                            Reduce::Mean => 1.0 / deg(d),
+                            _ => 1.0,
+                        };
+                        let grow = grad.row(d as usize);
+                        match (self.h, weights) {
+                            (Some(HFn::Mul), Some(w)) => {
+                                // Need this edge's weight row: find the edge id
+                                // in CSR order (s within dsts' src slice).
+                                let e = edge_id(layer, d, s as u32);
+                                for ((x, &g), &wk) in xrow.iter_mut().zip(grow).zip(w.row(e)) {
+                                    *x += g * wk * scale;
+                                }
                             }
-                        }
-                        _ => {
-                            for (x, &g) in xrow.iter_mut().zip(grow) {
-                                *x += g * scale;
+                            _ => {
+                                for (x, &g) in xrow.iter_mut().zip(grow) {
+                                    *x += g * scale;
+                                }
                             }
                         }
                     }
                 }
-            });
+            },
+        );
 
-        // d_weights via CSR: per-edge independent.
+        // d_weights via CSR: serial — dw rows are written in CSR edge order
+        // while reading per-dst gradient rows; the loop is cheap relative
+        // to dx and keeping it serial avoids a second edge-id index.
         let dw = match (self.h, weights) {
             (Some(HFn::Mul), Some(_)) | (Some(HFn::Add), Some(_)) => {
                 let mut dw = Matrix::zeros(layer.csr.num_edges(), f);

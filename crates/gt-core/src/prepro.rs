@@ -3,11 +3,18 @@
 //! The measured work counts feed the service-wide tensor scheduler's cost
 //! model, which prices the same work under different schedules (serialized
 //! baselines vs GraphTensor's pipelined subtasks) on the modeled 12-core
-//! host (DESIGN.md §2).
+//! host (DESIGN.md §2). The work itself executes on the `gt_par` thread
+//! pool (S split into A + H phases, R and K chunk-parallel); each stage is
+//! wrapped in a telemetry span on the `prepro` track so real overlap shows
+//! up next to the DES-predicted schedule in a Perfetto trace.
 
 use crate::data::GraphData;
 use gt_graph::VId;
-use gt_sample::{lookup_all, reindex_layer, sample_batch, LayerGraph, SamplerConfig};
+use gt_par::ThreadPool;
+use gt_sample::{
+    lookup_all_with_pool, try_reindex_layer_with_pool, try_sample_batch_with_pool, LayerGraph,
+    SamplerConfig,
+};
 use gt_tensor::dense::Matrix;
 use std::sync::Arc;
 
@@ -81,9 +88,24 @@ pub struct PreproResult {
     pub work: PreproWork,
 }
 
-/// Run S, R, and K for one batch.
+/// Run S, R, and K for one batch on the process-wide pool (`GT_THREADS`).
 pub fn run_prepro(data: &GraphData, batch: &[VId], cfg: &SamplerConfig) -> PreproResult {
-    let sample = sample_batch(&data.graph, batch, cfg);
+    run_prepro_with_pool(data, batch, cfg, ThreadPool::global())
+}
+
+/// [`run_prepro`] on an explicit pool — determinism tests and the scaling
+/// bench pin pool widths directly.
+pub fn run_prepro_with_pool(
+    data: &GraphData,
+    batch: &[VId],
+    cfg: &SamplerConfig,
+    pool: &ThreadPool,
+) -> PreproResult {
+    let telemetry = gt_telemetry::global();
+    let sample = {
+        let _s = telemetry.span("prepro", "S (sample)");
+        try_sample_batch_with_pool(&data.graph, batch, cfg, pool).unwrap_or_else(|e| panic!("{e}"))
+    };
     let nhops = sample.hops.len();
     let feat_row_bytes = (data.feature_dim() * 4) as u64;
 
@@ -101,12 +123,17 @@ pub fn run_prepro(data: &GraphData, batch: &[VId], cfg: &SamplerConfig) -> Prepr
         } else {
             edges as f64 / total_edges as f64
         };
-        let lg = reindex_layer(
-            hop,
-            &sample.vidmap,
-            sample.boundaries[k],
-            sample.boundaries[k + 1],
-        );
+        let lg = {
+            let _s = telemetry.span("prepro", "R (reindex)");
+            try_reindex_layer_with_pool(
+                hop,
+                &sample.vidmap,
+                sample.boundaries[k],
+                sample.boundaries[k + 1],
+                pool,
+            )
+            .unwrap_or_else(|e| panic!("{e}"))
+        };
         let nodes_added = (sample.boundaries[k + 1] - sample.boundaries[k]) as u64;
         hops.push(HopWork {
             sample_alg_ops: ((sample.stats.edges_visited + sample.stats.draws) as f64 * share)
@@ -125,7 +152,10 @@ pub fn run_prepro(data: &GraphData, batch: &[VId], cfg: &SamplerConfig) -> Prepr
     let layers: Vec<Arc<LayerGraph>> = layers_rev.into_iter().rev().collect();
 
     let new_to_orig = sample.new_to_orig();
-    let gathered = lookup_all(&data.features, &new_to_orig);
+    let gathered = {
+        let _s = telemetry.span("prepro", "K (lookup)");
+        lookup_all_with_pool(&data.features, &new_to_orig, pool)
+    };
     let features = Matrix::from_vec(gathered.rows(), gathered.dim(), gathered.into_vec());
 
     let total_nodes = sample.num_nodes() as u64;

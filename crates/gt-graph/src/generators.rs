@@ -10,6 +10,7 @@
 //! * [`grid2d`] — near-planar constant-degree road networks (roadnet-ca);
 //! * [`bipartite`] — user–item interaction graphs (amazon, gowalla).
 //! * [`erdos_renyi`] — uniform random baseline used by tests.
+//! * [`planted_partition`] — homophilous block graphs for learnability tests.
 
 use crate::{Coo, VId};
 use rand::rngs::StdRng;
@@ -116,6 +117,46 @@ pub fn bipartite(users: usize, items: usize, num_edges: usize, seed: u64) -> Coo
     Coo::new(users + items, src, dst).dedup().symmetrize()
 }
 
+/// Planted-partition (stochastic-block) graph with `num_classes` blocks laid
+/// out round-robin (vertex `v` belongs to block `v % num_classes`). Each edge
+/// picks a uniform destination; with probability `intra` the source is drawn
+/// from the destination's own block, otherwise uniformly. High `intra` gives
+/// the homophily that message-passing GNNs rely on — neighbors of a vertex
+/// mostly share its label, so mean aggregation concentrates the class signal
+/// instead of washing it out (unlike [`erdos_renyi`], whose neighborhoods are
+/// label-uncorrelated).
+pub fn planted_partition(
+    num_vertices: usize,
+    num_edges: usize,
+    num_classes: usize,
+    intra: f64,
+    seed: u64,
+) -> Coo {
+    assert!(num_vertices > 1);
+    assert!(num_classes > 0 && num_classes <= num_vertices);
+    assert!((0.0..=1.0).contains(&intra));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = num_classes;
+    let mut src = Vec::with_capacity(num_edges);
+    let mut dst = Vec::with_capacity(num_edges);
+    while src.len() < num_edges {
+        let d = rng.gen_range(0..num_vertices);
+        let s = if rng.gen_bool(intra) {
+            // Same block as d: vertices {base, base+stride, base+2*stride, ...}.
+            let base = d % stride;
+            let k = rng.gen_range(0..(num_vertices - base).div_ceil(stride));
+            base + k * stride
+        } else {
+            rng.gen_range(0..num_vertices)
+        };
+        if s != d {
+            src.push(s as VId);
+            dst.push(d as VId);
+        }
+    }
+    Coo::new(num_vertices, src, dst).dedup()
+}
+
 /// Erdős–Rényi G(n, m) with distinct uniform random edges.
 pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Coo {
     assert!(num_vertices > 1);
@@ -186,6 +227,25 @@ mod tests {
             set.len()
         });
         assert!(g.edges().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn planted_partition_is_homophilous_and_deterministic() {
+        let g = planted_partition(400, 4000, 4, 0.9, 11);
+        assert_eq!(g, planted_partition(400, 4000, 4, 0.9, 11));
+        assert!(g.edges().all(|(s, d)| s != d));
+        let intra = g
+            .edges()
+            .filter(|(s, d)| (*s as usize) % 4 == (*d as usize) % 4)
+            .count();
+        // With intra=0.9 and a 1/4 chance the uniform branch also lands
+        // intra-class, well over 80% of edges stay within a block.
+        assert!(
+            intra * 10 > g.num_edges() * 8,
+            "intra {} of {}",
+            intra,
+            g.num_edges()
+        );
     }
 
     #[test]

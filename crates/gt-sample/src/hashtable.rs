@@ -13,9 +13,9 @@
 //! use is fully deterministic (new VIDs are allocated in insertion order).
 
 use crate::error::SampleError;
+use crate::idhash::IdHashMap;
 use gt_graph::VId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Number of shards; power of two for cheap masking.
@@ -44,7 +44,7 @@ impl VidMapStats {
 /// Concurrent original-VID → new-VID map with dense id allocation.
 #[derive(Debug)]
 pub struct VidMap {
-    shards: Vec<Mutex<HashMap<VId, VId>>>,
+    shards: Vec<Mutex<IdHashMap<VId, VId>>>,
     next: AtomicU32,
     /// Insertion log: `new_to_orig[new]` = original id. Sharded appends
     /// would race, so each insert also records into a per-shard log merged
@@ -67,7 +67,9 @@ impl VidMap {
     /// Empty map.
     pub fn new() -> Self {
         VidMap {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(IdHashMap::default()))
+                .collect(),
             next: AtomicU32::new(0),
             new_to_orig: Mutex::new(Vec::new()),
             inserts: AtomicU64::new(0),
@@ -77,16 +79,20 @@ impl VidMap {
         }
     }
 
-    fn shard(&self, orig: VId) -> &Mutex<HashMap<VId, VId>> {
+    fn shard_index(orig: VId) -> usize {
         // Multiplicative hash spreads sequential ids across shards.
         let h = (orig as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
-        &self.shards[h as usize & (SHARDS - 1)]
+        h as usize & (SHARDS - 1)
+    }
+
+    fn shard(&self, orig: VId) -> &Mutex<IdHashMap<VId, VId>> {
+        &self.shards[Self::shard_index(orig)]
     }
 
     fn lock_counting<'a>(
         &self,
-        m: &'a Mutex<HashMap<VId, VId>>,
-    ) -> parking_lot::MutexGuard<'a, HashMap<VId, VId>> {
+        m: &'a Mutex<IdHashMap<VId, VId>>,
+    ) -> parking_lot::MutexGuard<'a, IdHashMap<VId, VId>> {
         match m.try_lock() {
             Some(g) => g,
             None => {
@@ -116,11 +122,94 @@ impl VidMap {
         (new, true)
     }
 
+    /// H-phase batched update (Fig 14c): insert `origs` in slice order,
+    /// allocating dense new-VIDs for first occurrences. Semantically equal
+    /// to calling [`insert_or_get`](Self::insert_or_get) in a loop, but the
+    /// `new_to_orig` log lock and the insert counter are amortized to one
+    /// acquisition per batch instead of one per id — the sampler calls this
+    /// once per A-phase chunk, keeping the whole hash-update cost inside
+    /// the serial H region. Returns the number of fresh ids allocated.
+    pub fn insert_batch(&self, origs: &[VId]) -> usize {
+        let mut fresh: Vec<(VId, VId)> = Vec::new();
+        for &orig in origs {
+            let mut shard = self.lock_counting(self.shard(orig));
+            if shard.contains_key(&orig) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let new = self.next.fetch_add(1, Ordering::Relaxed);
+            shard.insert(orig, new);
+            drop(shard);
+            fresh.push((new, orig));
+        }
+        if fresh.is_empty() {
+            return 0;
+        }
+        self.inserts
+            .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        let mut log = self.new_to_orig.lock();
+        let max_new = fresh.iter().map(|&(n, _)| n).max().unwrap();
+        if log.len() <= max_new as usize {
+            log.resize(max_new as usize + 1, VId::MAX);
+        }
+        for &(new, orig) in &fresh {
+            log[new as usize] = orig;
+        }
+        fresh.len()
+    }
+
+    /// [`insert_batch`](Self::insert_batch) through exclusive access: no
+    /// shard locks, no atomics, one hash probe per id. This is the H
+    /// phase's fast path — H is serial by construction (Fig 14c serializes
+    /// hash updates), and the sampler owns its map, so exclusive access is
+    /// free. Allocation order (slice order) is identical to the locked
+    /// variants'.
+    pub fn insert_batch_mut(&mut self, origs: &[VId]) -> usize {
+        let mut next = *self.next.get_mut();
+        let mut fresh = 0usize;
+        let mut hit_count = 0u64;
+        for &orig in origs {
+            match self.shards[Self::shard_index(orig)].get_mut().entry(orig) {
+                std::collections::hash_map::Entry::Occupied(_) => hit_count += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(next);
+                    let log = self.new_to_orig.get_mut();
+                    debug_assert_eq!(log.len(), next as usize, "id log out of sync");
+                    log.push(orig);
+                    next += 1;
+                    fresh += 1;
+                }
+            }
+        }
+        *self.next.get_mut() = next;
+        *self.hits.get_mut() += hit_count;
+        *self.inserts.get_mut() += fresh as u64;
+        fresh
+    }
+
     /// Look up an existing mapping (reindexing read path).
     pub fn get(&self, orig: VId) -> Option<VId> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.lock_counting(self.shard(orig));
         shard.get(&orig).copied()
+    }
+
+    /// Acquire every shard once and serve lock-free lookups for the guard's
+    /// lifetime. This is R's bulk read path: per-id [`get`](Self::get) pays
+    /// a lock acquisition and a stats increment per edge endpoint, which is
+    /// pure cache-line traffic when reindex workers hammer it in parallel.
+    /// The guard's `get` touches no shared state; callers account the reads
+    /// afterwards with [`record_lookups`](Self::record_lookups).
+    pub fn read(&self) -> VidMapReadGuard<'_> {
+        VidMapReadGuard {
+            guards: self.shards.iter().map(|s| self.lock_counting(s)).collect(),
+        }
+    }
+
+    /// Bulk-add `n` to the lookup counter (pairs with [`read`](Self::read),
+    /// whose guard does not count per-`get`).
+    pub fn record_lookups(&self, n: u64) {
+        self.lookups.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of unique nodes mapped so far.
@@ -163,9 +252,48 @@ impl VidMap {
     }
 }
 
+/// Lock-free read view over the whole map: holds every shard's mutex, so
+/// `get` can read the maps directly. Shareable across pool workers
+/// (`MutexGuard<HashMap>` is `Sync`); writers block until it drops.
+pub struct VidMapReadGuard<'a> {
+    guards: Vec<parking_lot::MutexGuard<'a, IdHashMap<VId, VId>>>,
+}
+
+impl VidMapReadGuard<'_> {
+    /// Look up an existing mapping without touching shared counters; the
+    /// caller accounts reads in bulk via [`VidMap::record_lookups`].
+    pub fn get(&self, orig: VId) -> Option<VId> {
+        self.guards[VidMap::shard_index(orig)].get(&orig).copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn read_guard_matches_get() {
+        let m = VidMap::new();
+        for v in [100u32, 50, 7, 900, 13] {
+            m.insert_or_get(v);
+        }
+        // Collect expectations first: the guard holds every shard lock, so
+        // calling `m.get` while it lives would self-deadlock.
+        let expected: Vec<_> = [100u32, 50, 7, 900, 13]
+            .iter()
+            .map(|&v| (v, m.get(v)))
+            .collect();
+        let lookups_before = m.stats().lookups;
+        {
+            let view = m.read();
+            for &(v, want) in &expected {
+                assert_eq!(view.get(v), want);
+            }
+            assert_eq!(view.get(12345), None);
+        }
+        m.record_lookups(6);
+        assert_eq!(m.stats().lookups, lookups_before + 6);
+    }
 
     #[test]
     fn dense_sequential_allocation() {
@@ -184,6 +312,30 @@ mod tests {
         m.insert_or_get(7);
         assert_eq!(m.get(7), Some(0));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_looped_inserts() {
+        let ids = [5u32, 9, 5, 2, 9, 7, 2, 11];
+        let looped = VidMap::new();
+        for &v in &ids {
+            looped.insert_or_get(v);
+        }
+        let batched = VidMap::new();
+        assert_eq!(batched.insert_batch(&ids), 5);
+        assert_eq!(batched.new_to_orig(), looped.new_to_orig());
+        assert_eq!(batched.len(), looped.len());
+        assert_eq!(batched.stats().inserts, looped.stats().inserts);
+        assert_eq!(batched.stats().hits, looped.stats().hits);
+        // A second batch of already-seen ids allocates nothing.
+        assert_eq!(batched.insert_batch(&ids), 0);
+        // The exclusive-access fast path behaves identically.
+        let mut exclusive = VidMap::new();
+        assert_eq!(exclusive.insert_batch_mut(&ids), 5);
+        assert_eq!(exclusive.new_to_orig(), looped.new_to_orig());
+        assert_eq!(exclusive.stats().inserts, looped.stats().inserts);
+        assert_eq!(exclusive.stats().hits, looped.stats().hits);
+        assert_eq!(exclusive.insert_batch_mut(&ids), 0);
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! scheduler overlaps. This crate implements the real work of S, R, and K
 //! (T is a transfer priced by `gt_sim`), each reporting the work counts the
 //! scheduler's cost model converts into virtual durations.
+//!
+//! S, R, and K execute on the deterministic `gt_par` thread pool — S split
+//! into its algorithm and hash-update phases (A + H, Fig 14c) so the
+//! parallel part never touches the hash table. Output is bit-identical at
+//! any `GT_THREADS`; see docs/parallelism.md.
 
 pub mod batch;
 pub mod error;
 pub mod hashtable;
+pub mod idhash;
 pub mod lookup;
 pub mod reindex;
 pub mod sampler;
@@ -18,8 +24,10 @@ pub mod sampler;
 pub use batch::BatchIter;
 pub use error::SampleError;
 pub use hashtable::VidMap;
-pub use lookup::{lookup_all, lookup_chunk, LookupPlan};
-pub use reindex::{reindex_layer, try_reindex_layer, LayerGraph};
+pub use idhash::{BuildIdHasher, IdHashMap, IdHashSet};
+pub use lookup::{lookup_all, lookup_all_with_pool, lookup_chunk, LookupPlan};
+pub use reindex::{reindex_layer, try_reindex_layer, try_reindex_layer_with_pool, LayerGraph};
 pub use sampler::{
-    sample_batch, try_sample_batch, validate_batch, Priority, SampleOutput, SamplerConfig,
+    sample_batch, try_sample_batch, try_sample_batch_with_pool, validate_batch, Priority,
+    SampleOutput, SamplerConfig,
 };

@@ -8,10 +8,42 @@
 //! whenever it is ready on a buffer").
 
 use gt_graph::{EmbeddingTable, VId};
+use gt_par::ThreadPool;
+
+/// Rows per chunk for the parallel gather. Fixed so chunk geometry is
+/// independent of the worker count.
+const K_CHUNK_ROWS: usize = 512;
 
 /// Gather all sampled rows at once (the serialized baselines' K stage).
+/// Runs on the process-wide pool (`GT_THREADS`).
 pub fn lookup_all(global: &EmbeddingTable, new_to_orig: &[VId]) -> EmbeddingTable {
-    global.gather(new_to_orig)
+    lookup_all_with_pool(global, new_to_orig, ThreadPool::global())
+}
+
+/// [`lookup_all`] on an explicit pool. Each worker gathers disjoint row
+/// ranges straight into the output buffer; every output row has exactly one
+/// writer, so the result is bitwise-identical at any worker count.
+pub fn lookup_all_with_pool(
+    global: &EmbeddingTable,
+    new_to_orig: &[VId],
+    pool: &ThreadPool,
+) -> EmbeddingTable {
+    let dim = global.dim();
+    let rows = new_to_orig.len();
+    let mut data = vec![0.0f32; rows * dim];
+    if dim > 0 {
+        pool.for_each_chunk_mut(
+            "lookup.gather",
+            &mut data,
+            K_CHUNK_ROWS * dim,
+            |i, chunk| {
+                let row_lo = i * K_CHUNK_ROWS;
+                let ids = &new_to_orig[row_lo..row_lo + chunk.len() / dim];
+                global.gather_into(ids, chunk);
+            },
+        );
+    }
+    EmbeddingTable::from_vec(rows, dim, data)
 }
 
 /// Chunking plan for the pipelined K→T path.
@@ -80,6 +112,20 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t.row(0), &[3., 3.]);
         assert_eq!(t.row(1), &[1., 1.]);
+    }
+
+    #[test]
+    fn pooled_lookup_matches_serial() {
+        // Enough rows for several gather chunks.
+        let rows = 2000;
+        let global = EmbeddingTable::random(100, 8, 3);
+        let ids: Vec<VId> = (0..rows as u64).map(|i| ((i * 37) % 100) as VId).collect();
+        let serial = lookup_all_with_pool(&global, &ids, &ThreadPool::new(1));
+        for workers in [2, 8] {
+            let par = lookup_all_with_pool(&global, &ids, &ThreadPool::new(workers));
+            assert_eq!(serial.data(), par.data());
+        }
+        assert_eq!(serial.data(), global.gather(&ids).data());
     }
 
     #[test]

@@ -11,6 +11,11 @@ use crate::error::SampleError;
 use crate::hashtable::VidMap;
 use crate::sampler::HopEdges;
 use gt_graph::{Coo, Csc, Csr};
+use gt_par::ThreadPool;
+
+/// Edges per chunk for the parallel endpoint-mapping pass. Fixed so chunk
+/// geometry (and thus output) is independent of the worker count.
+const R_CHUNK: usize = 2048;
 
 /// Per-layer graph structures in new-id space.
 #[derive(Debug, Clone)]
@@ -55,24 +60,58 @@ pub fn reindex_layer(
 }
 
 /// [`reindex_layer`] returning a missing hash-table mapping as a
-/// [`SampleError::MissingMapping`] instead of panicking.
+/// [`SampleError::MissingMapping`] instead of panicking. Runs on the
+/// process-wide pool (`GT_THREADS`).
 pub fn try_reindex_layer(
     hop: &HopEdges,
     vidmap: &VidMap,
     num_dst: usize,
     num_src: usize,
 ) -> Result<LayerGraph, SampleError> {
+    try_reindex_layer_with_pool(hop, vidmap, num_dst, num_src, ThreadPool::global())
+}
+
+/// [`try_reindex_layer`] on an explicit pool. The endpoint mapping — the
+/// hash-read-heavy part R spends its time in — is chunked across workers;
+/// results are concatenated in chunk order, so the edge order (and the CSR
+/// and CSC built from it) is identical at any worker count.
+pub fn try_reindex_layer_with_pool(
+    hop: &HopEdges,
+    vidmap: &VidMap,
+    num_dst: usize,
+    num_src: usize,
+    pool: &ThreadPool,
+) -> Result<LayerGraph, SampleError> {
     let n = hop.len();
-    let mut src_new = Vec::with_capacity(n);
-    let mut dst_new = Vec::with_capacity(n);
-    for (&s, &d) in hop.src_orig.iter().zip(&hop.dst_orig) {
-        let sn = vidmap.get(s).ok_or(SampleError::MissingMapping { v: s })?;
-        let dn = vidmap.get(d).ok_or(SampleError::MissingMapping { v: d })?;
-        debug_assert!((sn as usize) < num_src, "src id beyond boundary");
-        debug_assert!((dn as usize) < num_dst, "dst id beyond boundary");
-        src_new.push(sn);
-        dst_new.push(dn);
-    }
+    // One all-shards read lock for the whole mapping phase: workers read
+    // the hash table with no per-id locking or stats traffic (the reads
+    // are accounted in bulk below).
+    let view = vidmap.read();
+    let map_ids = |ids: &[gt_graph::VId]| -> Result<Vec<gt_graph::VId>, SampleError> {
+        let chunks = pool.map_chunks("reindex.map", n, R_CHUNK, |_, range| {
+            ids[range]
+                .iter()
+                .map(|&v| view.get(v).ok_or(SampleError::MissingMapping { v }))
+                .collect::<Result<Vec<_>, _>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for c in chunks {
+            out.extend(c?);
+        }
+        Ok(out)
+    };
+    let src_new = map_ids(&hop.src_orig)?;
+    let dst_new = map_ids(&hop.dst_orig)?;
+    drop(view);
+    vidmap.record_lookups(2 * n as u64);
+    debug_assert!(
+        src_new.iter().all(|&s| (s as usize) < num_src),
+        "src id beyond boundary"
+    );
+    debug_assert!(
+        dst_new.iter().all(|&d| (d as usize) < num_dst),
+        "dst id beyond boundary"
+    );
 
     // Build dst-indexed CSR over the dst space and src-indexed CSC over the
     // src space. The two spaces differ (dsts are a prefix of srcs), so we

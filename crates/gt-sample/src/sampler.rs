@@ -1,10 +1,23 @@
-//! Neighbor sampling (S) — §II-B, Fig 4a.
+//! Neighbor sampling (S) — §II-B, Fig 4a — split into S = A + H (Fig 14c).
 //!
 //! For a batch of destination vertices, sample up to `fanout` unique random
 //! in-neighbors per frontier node, hop by hop (one hop per GNN layer,
 //! outer hops feeding earlier layers). New VIDs are allocated densely
 //! through the shared [`VidMap`]; already-seen nodes are found by scanning
 //! the hash table, exactly as steps ②/④ of Fig 4a describe.
+//!
+//! Each hop runs in two phases, the paper's contention-relaxing split:
+//!
+//! * **A (algorithm)** — the sampling proper. Frontier destinations are
+//!   chunked across the [`ThreadPool`]; each destination draws from its own
+//!   RNG stream keyed by `(seed, hop, dst)`, so the draws depend on neither
+//!   chunk geometry nor worker count. A touches the hash table not at all —
+//!   it emits per-chunk edge lists.
+//! * **H (hash update)** — serial, in chunk order: each chunk's sampled ids
+//!   are applied to the [`VidMap`] as one batch ([`VidMap::insert_batch`]),
+//!   allocating dense new-VIDs in first-occurrence order. Because H walks
+//!   chunks in index order and A is order-independent, `GT_THREADS=N`
+//!   produces bit-identical output to `GT_THREADS=1`.
 //!
 //! Every frontier node also samples itself (a self-loop edge): GCN's
 //! normalized adjacency includes self-loops (Â = A + I), and the self-edge
@@ -14,8 +27,26 @@
 use crate::error::SampleError;
 use crate::hashtable::VidMap;
 use gt_graph::{Csr, VId};
+use gt_par::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Frontier destinations per A-phase chunk. Fixed (never derived from the
+/// worker count) so chunk boundaries — and therefore H's id-allocation
+/// order — are the same for every `GT_THREADS`.
+const A_CHUNK: usize = 128;
+
+/// Per-destination RNG stream seed: a SplitMix64-style finalizer over
+/// `(seed, hop, dst)`. Giving every destination its own stream is what
+/// detaches the sampled neighbors from frontier iteration order.
+fn node_stream_seed(seed: u64, hop: usize, dst: VId) -> u64 {
+    let mut z = seed
+        ^ (hop as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (dst as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Sampling configuration.
 #[derive(Debug, Clone)]
@@ -141,15 +172,26 @@ pub fn validate_batch(graph: &Csr, batch: &[VId], cfg: &SamplerConfig) -> Result
 }
 
 /// [`sample_batch`] returning invalid requests (zero layers, empty batch,
-/// out-of-range batch ids) as [`SampleError`]s instead of panicking.
+/// out-of-range batch ids) as [`SampleError`]s instead of panicking. Runs
+/// on the process-wide pool (`GT_THREADS`).
 pub fn try_sample_batch(
     graph: &Csr,
     batch: &[VId],
     cfg: &SamplerConfig,
 ) -> Result<SampleOutput, SampleError> {
+    try_sample_batch_with_pool(graph, batch, cfg, ThreadPool::global())
+}
+
+/// [`try_sample_batch`] on an explicit pool — determinism tests compare
+/// pools of different widths directly.
+pub fn try_sample_batch_with_pool(
+    graph: &Csr,
+    batch: &[VId],
+    cfg: &SamplerConfig,
+    pool: &ThreadPool,
+) -> Result<SampleOutput, SampleError> {
     validate_batch(graph, batch, cfg)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let vidmap = VidMap::new();
+    let mut vidmap = VidMap::new();
     let mut stats = SampleStats::default();
 
     // Step ①/②: batch dsts get new ids in first-occurrence order. The
@@ -164,48 +206,70 @@ pub fn try_sample_batch(
     }
     let mut boundaries = vec![vidmap.len()];
     let mut hops = Vec::with_capacity(cfg.layers);
-    for _hop in 0..cfg.layers {
+    for hop in 0..cfg.layers {
+        // A phase: chunk-parallel sampling with zero hash-table traffic.
+        let frontier_ref = &frontier;
+        let chunks: Vec<(HopEdges, SampleStats)> =
+            pool.map_chunks("sample.A", frontier.len(), A_CHUNK, |_, range| {
+                let mut edges = HopEdges::default();
+                let mut st = SampleStats::default();
+                for &dst in &frontier_ref[range] {
+                    // Self-loop: a node always aggregates itself.
+                    edges.src_orig.push(dst);
+                    edges.dst_orig.push(dst);
+                    // Neighbors already taken for this dst ("unique random",
+                    // §II-B): the adjacency list may contain duplicate edges
+                    // or an explicit self-loop, both of which must not
+                    // produce repeat samples.
+                    let mut local: Vec<VId> = vec![dst];
+
+                    let neigh = graph.srcs(dst);
+                    st.edges_visited += neigh.len() as u64;
+                    let mut rng = StdRng::seed_from_u64(node_stream_seed(cfg.seed, hop, dst));
+                    let picked = match cfg.priority {
+                        Priority::UniqueRandom => {
+                            sample_unique(neigh, cfg.fanout, &mut rng, &mut st)
+                        }
+                        Priority::DegreeWeighted => {
+                            sample_degree_weighted(graph, neigh, cfg.fanout, &mut rng, &mut st)
+                        }
+                    };
+                    for s in picked {
+                        if local.contains(&s) {
+                            continue;
+                        }
+                        local.push(s);
+                        edges.src_orig.push(s);
+                        edges.dst_orig.push(dst);
+                    }
+                }
+                (edges, st)
+            });
+
+        // H phase: serial, in chunk order. Steps ③/④ — allocate-or-find the
+        // new ids, one batched hash update per chunk, and build the next
+        // frontier in first-occurrence order (Fig 4a iterates ③ "for all
+        // the previously sampled vertices"). The src list visits each dst
+        // before that dst's samples (self-loop first), so the frontier
+        // order matches what a fully serial pass would produce.
         let mut edges = HopEdges::default();
         let mut next_frontier: Vec<VId> = Vec::new();
-        let mut in_next: std::collections::HashSet<VId> =
-            std::collections::HashSet::with_capacity(frontier.len() * (cfg.fanout + 1));
-        for &dst in &frontier {
-            // Self-loop: a node always aggregates itself.
-            edges.src_orig.push(dst);
-            edges.dst_orig.push(dst);
-            if in_next.insert(dst) {
-                next_frontier.push(dst);
-            }
-            // Neighbors already taken for this dst ("unique random", §II-B):
-            // the adjacency list may contain duplicate edges or an explicit
-            // self-loop, both of which must not produce repeat samples.
-            let mut local: Vec<VId> = vec![dst];
-
-            let neigh = graph.srcs(dst);
-            stats.edges_visited += neigh.len() as u64;
-            let picked = match cfg.priority {
-                Priority::UniqueRandom => sample_unique(neigh, cfg.fanout, &mut rng, &mut stats),
-                Priority::DegreeWeighted => {
-                    sample_degree_weighted(graph, neigh, cfg.fanout, &mut rng, &mut stats)
-                }
-            };
-            for s in picked {
-                if local.contains(&s) {
-                    continue;
-                }
-                local.push(s);
-                // Step ③/④: allocate or find the new id; the hash probe
-                // itself is counted by the VidMap.
-                vidmap.insert_or_get(s);
-                edges.src_orig.push(s);
-                edges.dst_orig.push(dst);
-                // New or re-found, a sampled node joins the next frontier
-                // exactly once (Fig 4a iterates ③ "for all the previously
-                // sampled vertices").
+        let mut in_next: crate::idhash::IdHashSet<VId> =
+            crate::idhash::IdHashSet::with_capacity_and_hasher(
+                frontier.len() * (cfg.fanout + 1),
+                crate::idhash::BuildIdHasher,
+            );
+        for (chunk_edges, st) in chunks {
+            stats.edges_visited += st.edges_visited;
+            stats.draws += st.draws;
+            vidmap.insert_batch_mut(&chunk_edges.src_orig);
+            for &s in &chunk_edges.src_orig {
                 if in_next.insert(s) {
                     next_frontier.push(s);
                 }
             }
+            edges.src_orig.extend_from_slice(&chunk_edges.src_orig);
+            edges.dst_orig.extend_from_slice(&chunk_edges.dst_orig);
         }
         boundaries.push(vidmap.len());
         hops.push(edges);
@@ -426,6 +490,30 @@ mod tests {
         assert_eq!(a.hops[0].src_orig, b.hops[0].src_orig);
         assert_eq!(a.hops[1].src_orig, b.hops[1].src_orig);
         assert_eq!(a.new_to_orig(), b.new_to_orig());
+    }
+
+    #[test]
+    fn sampling_identical_across_pool_widths() {
+        // A batch large enough that hop frontiers span several A-phase
+        // chunks, so the parallel path is genuinely exercised.
+        let g = {
+            let coo = erdos_renyi(2000, 20000, 17);
+            coo_to_csr(&coo).0
+        };
+        let batch: Vec<VId> = (0..300).collect();
+        let c = cfg(6, 2);
+        let serial = try_sample_batch_with_pool(&g, &batch, &c, &ThreadPool::new(1)).unwrap();
+        for workers in [2, 8] {
+            let par =
+                try_sample_batch_with_pool(&g, &batch, &c, &ThreadPool::new(workers)).unwrap();
+            assert_eq!(serial.boundaries, par.boundaries);
+            assert_eq!(serial.new_to_orig(), par.new_to_orig());
+            for (a, b) in serial.hops.iter().zip(&par.hops) {
+                assert_eq!(a.src_orig, b.src_orig);
+                assert_eq!(a.dst_orig, b.dst_orig);
+            }
+            assert_eq!(serial.stats, par.stats);
+        }
     }
 
     #[test]

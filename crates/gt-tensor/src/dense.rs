@@ -2,11 +2,16 @@
 //! (MLP: matmul, bias add, ReLU — the `tf.matmul`/`tf.nn.*` primitives the
 //! paper's `Apply` delegates to, §IV-B).
 //!
-//! The matmul is cache-blocked and rayon-parallel over row bands; on a
-//! multi-core host it scales near-linearly, and its FLOP/traffic profile is
-//! what [`crate::dfg`] charges to the device model.
+//! The matmul is cache-blocked and parallel over row bands on the
+//! deterministic `gt_par` pool (each output row has one writer, so results
+//! are bit-identical at any `GT_THREADS`); on a multi-core host it scales
+//! near-linearly, and its FLOP/traffic profile is what [`crate::dfg`]
+//! charges to the device model.
 
-use rayon::prelude::*;
+use gt_par::ThreadPool;
+
+/// Output rows per matmul pool chunk (fixed, independent of worker count).
+const MM_ROW_CHUNK: usize = 32;
 
 /// Row-major dense matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,22 +118,28 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        // Parallelize over output rows; ikj loop order streams rhs rows.
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let arow = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &rhs.data[kk * n..(kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
+        // Parallelize over output row bands; ikj loop order streams rhs rows.
+        ThreadPool::global().for_each_chunk_mut(
+            "dense.matmul",
+            &mut out.data,
+            MM_ROW_CHUNK * n,
+            |ci, band| {
+                let row_base = ci * MM_ROW_CHUNK;
+                for (r, orow) in band.chunks_mut(n).enumerate() {
+                    let i = row_base + r;
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    for (kk, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &rhs.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
                     }
                 }
-            });
+            },
+        );
         out
     }
 
@@ -137,16 +148,22 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_tb shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Matrix::zeros(m, n);
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let arow = &self.data[i * k..(i + 1) * k];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &rhs.data[j * k..(j + 1) * k];
-                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+        ThreadPool::global().for_each_chunk_mut(
+            "dense.matmul_tb",
+            &mut out.data,
+            MM_ROW_CHUNK * n,
+            |ci, band| {
+                let row_base = ci * MM_ROW_CHUNK;
+                for (r, orow) in band.chunks_mut(n).enumerate() {
+                    let i = row_base + r;
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        let brow = &rhs.data[j * k..(j + 1) * k];
+                        *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                    }
                 }
-            });
+            },
+        );
         out
     }
 

@@ -190,6 +190,26 @@ mod tests {
     }
 
     #[test]
+    fn momentum_matches_hand_computed_sequence() {
+        // v = µ·v + g; w -= lr·v with µ = 0.9, lr = 0.1, w₀ = 1:
+        //   g₁ =  1.00 → v =  1.00          → w = 1.00 - 0.100 = 0.900
+        //   g₂ =  0.50 → v =  0.90 + 0.50   → w = 0.90 - 0.140 = 0.760
+        //   g₃ = -0.25 → v =  1.26 - 0.25   → w = 0.76 - 0.101 = 0.659
+        let mut params = ParamStore::new();
+        params.register("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut opt = Optimizer::momentum(0.1, 0.9);
+        let grads = [1.0f32, 0.5, -0.25];
+        let expected = [0.9f32, 0.76, 0.659];
+        for (g, want) in grads.iter().zip(expected) {
+            params.zero_grads();
+            params.accumulate_grad("w", &Matrix::from_vec(1, 1, vec![*g]));
+            opt.step(&mut params);
+            let got = params.get("w").at(0, 0);
+            assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
     fn adam_handles_sparse_gradient_scales() {
         // Adam normalizes per-coordinate: a huge-gradient coordinate moves
         // about as fast as a small-gradient one.
