@@ -3,11 +3,12 @@
 //! ```text
 //! repro <experiment|all> [--scale test|small|medium|N] [--seed S]
 //!       [--batch B] [--fanout F] [--layers L] [--threads N]
-//!       [--trace-out PATH]
+//!       [--trace-out PATH] [--checkpoint-dir DIR] [--crash-at N]
+//!       [--crash-site mid-journal|mid-checkpoint|after-commit]
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
-//!              threads
+//!              threads durability
 //! ```
 //!
 //! `--threads N` pins the process-wide `gt_par` pool (same effect as
@@ -18,6 +19,12 @@
 //! With `--trace-out`, the run records wall-clock spans and metrics and
 //! writes a Chrome trace (load it at <https://ui.perfetto.dev>) plus a
 //! metrics summary on stderr; see `docs/telemetry.md`.
+//!
+//! `--checkpoint-dir` / `--crash-at` / `--crash-site` apply to the
+//! `durability` experiment: serve durably into DIR, optionally dying at
+//! an injected crash site (exit code 3); re-running with the same DIR
+//! recovers from the journal and finishes bit-identically. See
+//! `docs/fault_model.md` §Durability & recovery.
 
 use gt_bench::experiments::*;
 use gt_bench::ExpConfig;
@@ -27,9 +34,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
          [--seed S] [--batch B] [--fanout F] [--layers L] [--threads N] \
-         [--trace-out PATH]\n\
+         [--trace-out PATH] [--checkpoint-dir DIR] [--crash-at N] \
+         [--crash-site mid-journal|mid-checkpoint|after-commit]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
-         fig19 fig20 table1 table2 table3 scalability ablation threads"
+         fig19 fig20 table1 table2 table3 scalability ablation threads \
+         durability"
     );
     std::process::exit(2);
 }
@@ -42,6 +51,7 @@ fn main() {
     let exp = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut trace_out: Option<String> = None;
+    let mut durability_opts = durability::DurabilityOpts::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,6 +107,25 @@ fn main() {
                 i += 1;
                 trace_out = Some(args.get(i).cloned().unwrap_or_else(usage_v));
             }
+            "--checkpoint-dir" => {
+                i += 1;
+                durability_opts.dir = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+            }
+            "--crash-at" => {
+                i += 1;
+                durability_opts.crash_at = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(usage_v),
+                );
+            }
+            "--crash-site" => {
+                i += 1;
+                durability_opts.crash_site = args
+                    .get(i)
+                    .and_then(|s| gt_sim::CrashSite::parse(s))
+                    .unwrap_or_else(usage_v);
+            }
             _ => usage(),
         }
         i += 1;
@@ -136,6 +165,7 @@ fn main() {
         "ablation" => ablation::print(cfg),
         "scalability" => scalability::print(cfg),
         "threads" => threads::print(cfg),
+        "durability" => durability::print(cfg, &durability_opts),
         _ => usage(),
     };
 
@@ -158,6 +188,7 @@ fn main() {
             "scalability",
             "ablation",
             "threads",
+            "durability",
         ] {
             run_one(name, &cfg);
         }

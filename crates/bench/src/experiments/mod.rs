@@ -5,6 +5,7 @@
 //! reference numbers alongside).
 
 pub mod ablation;
+pub mod durability;
 pub mod fig11b;
 pub mod fig12;
 pub mod fig14;

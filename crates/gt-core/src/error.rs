@@ -9,7 +9,7 @@
 
 use gt_graph::GraphError;
 use gt_sample::SampleError;
-use gt_sim::OutOfMemory;
+use gt_sim::{CrashSite, OutOfMemory};
 use gt_tensor::TensorError;
 
 /// Any failure the serving pipeline can observe, as a value.
@@ -35,6 +35,38 @@ pub enum GtError {
         /// Configured budget, µs.
         limit_us: f64,
     },
+    /// An underlying I/O operation failed (journal append, checkpoint
+    /// write). Message kept as a string so the error stays `Clone + Eq`.
+    Io {
+        /// The I/O error's message.
+        detail: String,
+    },
+    /// The outcome journal failed validation mid-file: a record whose CRC
+    /// does not match its payload but that is *not* the torn tail of an
+    /// interrupted append (torn tails are recoverable and silently dropped;
+    /// mid-file corruption means bit rot or tampering and is surfaced).
+    CorruptJournal {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// Deterministic replay of the journal produced a different outcome
+    /// than the one recorded — the journal and the code disagree, so the
+    /// recovered state cannot be trusted.
+    ReplayDiverged {
+        /// Serving index of the diverging batch.
+        batch_index: usize,
+        /// What diverged (recorded vs replayed).
+        detail: String,
+    },
+    /// A [`gt_sim::FaultKind::Crash`] fired: the simulated process died at
+    /// `site`. The supervisor must be rebuilt and recovered from its
+    /// journal, exactly as a real process would be after `kill -9`.
+    InjectedCrash {
+        /// Where in the durability protocol the process died.
+        site: CrashSite,
+    },
 }
 
 impl std::fmt::Display for GtError {
@@ -54,6 +86,17 @@ impl std::fmt::Display for GtError {
                 f,
                 "preprocessing stalled: {makespan_us:.0}µs exceeds budget {limit_us:.0}µs"
             ),
+            GtError::Io { detail } => write!(f, "i/o error: {detail}"),
+            GtError::CorruptJournal { offset, detail } => {
+                write!(f, "corrupt journal at byte {offset}: {detail}")
+            }
+            GtError::ReplayDiverged {
+                batch_index,
+                detail,
+            } => write!(f, "replay diverged at batch {batch_index}: {detail}"),
+            GtError::InjectedCrash { site } => {
+                write!(f, "injected crash ({})", site.label())
+            }
         }
     }
 }
@@ -91,6 +134,14 @@ impl From<TensorError> for GtError {
 impl From<OutOfMemory> for GtError {
     fn from(e: OutOfMemory) -> Self {
         GtError::Oom(e)
+    }
+}
+
+impl From<std::io::Error> for GtError {
+    fn from(e: std::io::Error) -> Self {
+        GtError::Io {
+            detail: e.to_string(),
+        }
     }
 }
 

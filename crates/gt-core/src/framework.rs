@@ -49,6 +49,34 @@ pub enum DegradeAction {
     },
     /// Preprocessing fell back from the pipelined strategy to serialized.
     SerializedPrepro,
+    /// The overload gateway reduced the sampling fanout to cut per-batch
+    /// work while the admission queue drains.
+    ReducedFanout {
+        /// Configured fanout.
+        from: usize,
+        /// Fanout actually sampled with.
+        to: usize,
+    },
+}
+
+/// Why the overload gateway refused to serve a batch at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The admission queue was full when the request arrived.
+    QueueFull,
+    /// The request waited in the queue past its deadline; serving it would
+    /// return an answer nobody is waiting for anymore.
+    DeadlineExpired,
+}
+
+impl ShedCause {
+    /// Stable kebab-case label used in telemetry events and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedCause::QueueFull => "queue-full",
+            ShedCause::DeadlineExpired => "deadline-expired",
+        }
+    }
 }
 
 /// Structured outcome of one serving attempt ladder.
@@ -83,6 +111,12 @@ pub enum BatchOutcome {
         /// Attempts spent (including the first).
         attempts: usize,
     },
+    /// The overload gateway dropped the batch without serving it (queue
+    /// overflow or an expired deadline). No training step happened.
+    Shed {
+        /// Why the gateway refused the batch.
+        cause: ShedCause,
+    },
 }
 
 impl FailReason {
@@ -116,6 +150,7 @@ impl BatchOutcome {
             BatchOutcome::Degraded { .. } => "degraded",
             BatchOutcome::Failed { .. } => "failed",
             BatchOutcome::Quarantined { .. } => "quarantined",
+            BatchOutcome::Shed { .. } => "shed",
         }
     }
 }
@@ -194,10 +229,11 @@ pub trait Framework {
     fn train_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport;
 }
 
-/// Machine-readable forms for the serving/report types, behind the `serde`
-/// feature. Implemented over the in-tree JSON layer (the offline build
-/// cannot vendor serde proper; see gt-telemetry's crate docs).
-#[cfg(feature = "serde")]
+/// Machine-readable forms for the serving/report types, implemented over
+/// the in-tree JSON layer (the offline build cannot vendor serde proper;
+/// see gt-telemetry's crate docs). Unconditional: the write-ahead outcome
+/// journal serializes through these exact impls, so telemetry exports and
+/// journal records are produced by one serializer.
 mod machine_readable {
     use super::*;
     use gt_telemetry::json::obj;
@@ -218,7 +254,18 @@ mod machine_readable {
                     ("to", (*to).into()),
                 ]),
                 DegradeAction::SerializedPrepro => obj([("action", "serialized-prepro".into())]),
+                DegradeAction::ReducedFanout { from, to } => obj([
+                    ("action", "reduced-fanout".into()),
+                    ("from", (*from).into()),
+                    ("to", (*to).into()),
+                ]),
             }
+        }
+    }
+
+    impl ToJson for ShedCause {
+        fn to_json(&self) -> Json {
+            Json::from(self.label())
         }
     }
 
@@ -237,6 +284,7 @@ mod machine_readable {
                     pairs.push(("reason", reason.to_json()));
                     pairs.push(("attempts", (*attempts).into()));
                 }
+                BatchOutcome::Shed { cause } => pairs.push(("cause", cause.to_json())),
             }
             obj(pairs)
         }
@@ -280,7 +328,6 @@ mod tests {
         assert!((report.e2e_us(false) - (g + 400.0)).abs() < 1e-6);
     }
 
-    #[cfg(feature = "serde")]
     #[test]
     fn outcomes_render_to_json() {
         use crate::framework::DegradeAction;

@@ -22,8 +22,10 @@ pub mod data;
 pub mod error;
 pub mod framework;
 pub mod full_graph;
+pub mod journal;
 pub mod napa;
 pub mod orchestrator;
+pub mod overload;
 pub mod prepro;
 pub mod scheduler;
 pub mod serve;
@@ -33,8 +35,9 @@ pub use config::{EdgeWeighting, ModelConfig};
 pub use data::GraphData;
 pub use error::GtError;
 pub use framework::{
-    BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, FrameworkTraits,
+    BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, FrameworkTraits, ShedCause,
 };
+pub use overload::{Completion, Gateway, OverloadConfig};
 pub use scheduler::{schedule_prepro_with_faults, PreproStrategy};
-pub use serve::{QuarantineRecord, ServeConfig, Supervisor};
+pub use serve::{DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor};
 pub use trainer::{GraphTensor, GtVariant};

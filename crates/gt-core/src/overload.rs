@@ -1,0 +1,540 @@
+//! Deadline watchdog and overload shedding in front of the supervisor.
+//!
+//! The [`Supervisor`](crate::serve::Supervisor) keeps individual batches
+//! alive through faults; this module keeps the *service* alive through
+//! load. A [`Gateway`] owns a bounded admission queue driven by a virtual
+//! clock (the same simulated-µs timeline the DES prices batches in) and
+//! applies a shed/degrade ladder ordered by queue pressure:
+//!
+//! 1. **Deadline watchdog** — a queued request whose wait exceeds
+//!    [`OverloadConfig::deadline_us`] at the moment it would start is shed
+//!    ([`ShedCause::DeadlineExpired`]): serving it would burn capacity on
+//!    an answer nobody is waiting for, which is how overload spirals.
+//! 2. **Reduced fanout** — at queue depth ≥
+//!    [`OverloadConfig::degrade_watermark`], batches are sampled with
+//!    [`OverloadConfig::reduced_fanout`] instead of the configured fanout,
+//!    shrinking per-batch preprocessing and GPU work while the queue
+//!    drains ([`DegradeAction::ReducedFanout`]).
+//! 3. **Halved batch** — at depth ≥ [`OverloadConfig::halve_watermark`],
+//!    batches are additionally cut in half ([`DegradeAction::HalvedBatch`]).
+//! 4. **Reject newest** — when the queue is full, the arriving request is
+//!    refused outright ([`ShedCause::QueueFull`]); the queue can never
+//!    grow past [`OverloadConfig::queue_capacity`].
+//!
+//! Every resolution — served, degraded, or shed — produces exactly one
+//! [`Completion`] and one structured telemetry event on the `gateway`
+//! track, so an exported trace reconciles 1:1 against the outcomes the
+//! caller saw.
+//!
+//! Service time for a batch is its overlapped end-to-end latency
+//! ([`BatchReport::e2e_us`]) plus any injected
+//! [`gt_sim::FaultKind::ServeDelay`] stall and any retry backoff the
+//! supervisor paid — so a fault plan with a sustained stall window is
+//! exactly how tests (and capacity planners) push the gateway into
+//! overload, deterministically.
+
+use crate::data::GraphData;
+use crate::framework::{BatchOutcome, BatchReport, DegradeAction, ShedCause};
+use crate::serve::Supervisor;
+use gt_graph::VId;
+use std::collections::VecDeque;
+
+/// Admission-control policy of the gateway.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Hard bound on queued requests; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// A request that has waited longer than this when it reaches the head
+    /// of the queue is shed instead of served (∞ = no deadline).
+    pub deadline_us: f64,
+    /// Queue depth at which batches are served with reduced fanout.
+    pub degrade_watermark: usize,
+    /// Queue depth at which batches are additionally halved.
+    pub halve_watermark: usize,
+    /// Fanout used while degraded (clamped to the configured fanout).
+    pub reduced_fanout: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_capacity: 8,
+            deadline_us: f64::INFINITY,
+            degrade_watermark: 4,
+            halve_watermark: 6,
+            reduced_fanout: 2,
+        }
+    }
+}
+
+/// One admitted request waiting for service.
+#[derive(Debug)]
+struct Pending {
+    request_index: usize,
+    arrival_us: f64,
+    batch: Vec<VId>,
+}
+
+/// How one submitted request resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Submission index of the request (0-based, in arrival order).
+    pub request_index: usize,
+    /// The resolution: a served outcome, or [`BatchOutcome::Shed`].
+    pub outcome: BatchOutcome,
+    /// Virtual µs the request waited in the admission queue.
+    pub queued_us: f64,
+    /// Virtual µs of service (0 for shed requests).
+    pub service_us: f64,
+    /// Virtual timestamp at which the request left the system.
+    pub done_us: f64,
+}
+
+/// Bounded admission queue + deadline watchdog + shed/degrade ladder in
+/// front of a [`Supervisor`]. See the module docs for the ladder.
+pub struct Gateway {
+    /// The supervised trainer behind the queue.
+    pub supervisor: Supervisor,
+    /// Admission-control policy.
+    pub config: OverloadConfig,
+    queue: VecDeque<Pending>,
+    busy_until_us: f64,
+    last_arrival_us: f64,
+    submitted: usize,
+}
+
+impl Gateway {
+    /// Put `supervisor` behind an admission queue with `config`.
+    pub fn new(supervisor: Supervisor, config: OverloadConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        Gateway {
+            supervisor,
+            config,
+            queue: VecDeque::new(),
+            busy_until_us: 0.0,
+            last_arrival_us: 0.0,
+            submitted: 0,
+        }
+    }
+
+    /// Requests currently waiting (never exceeds the configured capacity).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Submit a request arriving at `arrival_us` (arrivals must be
+    /// monotone). The virtual clock advances to the arrival: every queued
+    /// request whose service completes by then is processed first, and the
+    /// resulting completions — plus this request's own immediate shed, if
+    /// the queue is full — are returned in resolution order.
+    pub fn submit(&mut self, data: &GraphData, arrival_us: f64, batch: &[VId]) -> Vec<Completion> {
+        assert!(
+            arrival_us >= self.last_arrival_us,
+            "arrivals must be monotone: {arrival_us} < {}",
+            self.last_arrival_us
+        );
+        self.last_arrival_us = arrival_us;
+        let request_index = self.submitted;
+        self.submitted += 1;
+
+        let mut done = self.pump(data, arrival_us);
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        if self.queue.len() >= self.config.queue_capacity {
+            let cause = ShedCause::QueueFull;
+            telemetry
+                .counter("gt_gateway_shed_total", "Requests shed by the gateway")
+                .inc();
+            telemetry.event(
+                "gateway",
+                "shed",
+                &[
+                    ("request", &request_index),
+                    ("cause", &cause.label()),
+                    ("queue_depth", &self.queue.len()),
+                ],
+            );
+            done.push(Completion {
+                request_index,
+                outcome: BatchOutcome::Shed { cause },
+                queued_us: 0.0,
+                service_us: 0.0,
+                done_us: arrival_us,
+            });
+        } else {
+            self.queue.push_back(Pending {
+                request_index,
+                arrival_us,
+                batch: batch.to_vec(),
+            });
+        }
+        telemetry
+            .gauge("gt_gateway_queue_depth", "Admission-queue occupancy")
+            .set(self.queue.len() as f64);
+        done
+    }
+
+    /// Run the virtual clock forward until the queue is empty and return
+    /// the remaining completions.
+    pub fn drain(&mut self, data: &GraphData) -> Vec<Completion> {
+        let done = self.pump(data, f64::INFINITY);
+        self.supervisor
+            .trainer
+            .telemetry
+            .gauge("gt_gateway_queue_depth", "Admission-queue occupancy")
+            .set(0.0);
+        done
+    }
+
+    /// Process queued requests whose service starts by `now_us`.
+    fn pump(&mut self, data: &GraphData, now_us: f64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let start_us = self.busy_until_us.max(front.arrival_us);
+            if start_us > now_us {
+                break;
+            }
+            let p = self.queue.pop_front().expect("front checked");
+            let queued_us = start_us - p.arrival_us;
+            let telemetry = self.supervisor.trainer.telemetry.clone();
+            telemetry
+                .histogram_us("gt_gateway_queue_wait_us", "Admission-queue wait, µs")
+                .observe(queued_us);
+            if queued_us > self.config.deadline_us {
+                // Deadline watchdog: the answer is already too late.
+                let cause = ShedCause::DeadlineExpired;
+                telemetry
+                    .counter("gt_gateway_shed_total", "Requests shed by the gateway")
+                    .inc();
+                telemetry.event(
+                    "gateway",
+                    "shed",
+                    &[
+                        ("request", &p.request_index),
+                        ("cause", &cause.label()),
+                        ("queued_us", &format!("{queued_us:.0}")),
+                    ],
+                );
+                out.push(Completion {
+                    request_index: p.request_index,
+                    outcome: BatchOutcome::Shed { cause },
+                    queued_us,
+                    service_us: 0.0,
+                    done_us: start_us,
+                });
+                continue; // the server was never occupied
+            }
+            let depth = self.queue.len();
+            let (outcome, service_us) = self.serve_one(data, &p, depth);
+            self.busy_until_us = start_us + service_us;
+            telemetry.event(
+                "gateway",
+                "served",
+                &[
+                    ("request", &p.request_index),
+                    ("outcome", &outcome.label()),
+                    ("queue_depth", &depth),
+                ],
+            );
+            out.push(Completion {
+                request_index: p.request_index,
+                outcome,
+                queued_us,
+                service_us,
+                done_us: start_us + service_us,
+            });
+        }
+        out
+    }
+
+    /// Serve one admitted request, applying the degrade ladder for the
+    /// current queue `depth`, and price its service time.
+    fn serve_one(&mut self, data: &GraphData, p: &Pending, depth: usize) -> (BatchOutcome, f64) {
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        let batch_index = self.supervisor.batches_served();
+        // Injected serving stalls stretch the virtual service time; they
+        // never reach the trainer (see ActiveFaults::des_relevant), so the
+        // numerics stay on the fault-free path.
+        let stall_us = if self.supervisor.plan.is_empty() {
+            0.0
+        } else {
+            self.supervisor
+                .plan
+                .active(batch_index, 0)
+                .serve_delay_us()
+                .unwrap_or(0.0)
+        };
+
+        let mut batch: Vec<VId> = p.batch.clone();
+        let mut action: Option<DegradeAction> = None;
+        if depth >= self.config.halve_watermark && batch.len() > 1 {
+            let from = batch.len();
+            let to = (from / 2).max(1);
+            batch.truncate(to);
+            action = Some(DegradeAction::HalvedBatch { from, to });
+        }
+        let mut restore_fanout: Option<usize> = None;
+        if depth >= self.config.degrade_watermark {
+            let from = self.supervisor.trainer.sampler.fanout;
+            let to = self.config.reduced_fanout.min(from);
+            if to < from {
+                self.supervisor.trainer.sampler.fanout = to;
+                restore_fanout = Some(from);
+                if action.is_none() {
+                    action = Some(DegradeAction::ReducedFanout { from, to });
+                }
+            }
+        }
+        if let Some(a) = &action {
+            telemetry
+                .counter(
+                    "gt_gateway_degraded_total",
+                    "Requests served degraded under load",
+                )
+                .inc();
+            telemetry.event(
+                "gateway",
+                "degrade",
+                &[
+                    ("request", &p.request_index),
+                    ("queue_depth", &depth),
+                    (
+                        "action",
+                        &match a {
+                            DegradeAction::HalvedBatch { .. } => "halved-batch",
+                            DegradeAction::ReducedFanout { .. } => "reduced-fanout",
+                            DegradeAction::SerializedPrepro => "serialized-prepro",
+                        },
+                    ),
+                ],
+            );
+        }
+
+        let backoff_before = self.supervisor.backoff_paid_us;
+        let report: BatchReport = self.supervisor.serve_batch(data, &batch);
+        if let Some(fanout) = restore_fanout {
+            self.supervisor.trainer.sampler.fanout = fanout;
+        }
+        let backoff_us = self.supervisor.backoff_paid_us - backoff_before;
+        let service_us = report.e2e_us(true) + stall_us + backoff_us;
+
+        // A gateway degradation outranks a clean supervisor outcome in the
+        // report (the caller got less than it asked for); a supervisor
+        // degradation or quarantine is more severe and wins.
+        let outcome = match (report.outcome, action) {
+            (BatchOutcome::Succeeded, Some(a)) => BatchOutcome::Degraded {
+                action: a,
+                retries: 0,
+            },
+            (BatchOutcome::Recovered { retries }, Some(a)) => {
+                BatchOutcome::Degraded { action: a, retries }
+            }
+            (o, _) => o,
+        };
+        (outcome, service_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::serve::Supervisor;
+    use crate::trainer::{GraphTensor, GtVariant};
+    use gt_sample::SamplerConfig;
+    use gt_sim::{FaultPlan, SystemSpec};
+
+    fn data() -> GraphData {
+        GraphData::synthetic(300, 3000, 16, 4, 3)
+    }
+
+    fn supervisor(plan: FaultPlan) -> Supervisor {
+        let mut t = GraphTensor::new(
+            GtVariant::Dynamic,
+            ModelConfig::gcn(2, 16, 4),
+            SystemSpec::tiny(),
+        );
+        t.sampler = SamplerConfig {
+            fanout: 4,
+            layers: 2,
+            seed: 11,
+            ..Default::default()
+        };
+        t.telemetry = gt_telemetry::Telemetry::recording();
+        Supervisor::new(t, plan)
+    }
+
+    fn batches(n: usize) -> Vec<Vec<VId>> {
+        (0..n)
+            .map(|i| {
+                ((i * 8) as VId..(i * 8 + 8) as VId)
+                    .map(|v| v % 300)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// With arrivals far slower than service, the gateway is a pass-through:
+    /// everything succeeds, nothing is shed or degraded.
+    #[test]
+    fn underload_is_a_passthrough() {
+        let mut g = Gateway::new(supervisor(FaultPlan::new(0)), OverloadConfig::default());
+        let d = data();
+        let mut all = Vec::new();
+        for (i, b) in batches(6).iter().enumerate() {
+            all.extend(g.submit(&d, i as f64 * 1e9, b));
+        }
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), 6);
+        assert!(all.iter().all(|c| c.outcome == BatchOutcome::Succeeded));
+        assert!(all.iter().all(|c| c.queued_us == 0.0));
+    }
+
+    /// A sustained injected stall makes service far slower than arrivals:
+    /// the queue must stay bounded by shedding, the ladder must degrade,
+    /// and each completion must have exactly one matching gateway event.
+    #[test]
+    fn overload_sheds_and_degrades_with_bounded_queue() {
+        let plan = FaultPlan::new(7).with_serve_delay_window(50_000.0, 0, None);
+        let cfg = OverloadConfig {
+            queue_capacity: 4,
+            deadline_us: f64::INFINITY,
+            degrade_watermark: 2,
+            halve_watermark: 3,
+            reduced_fanout: 2,
+        };
+        let mut g = Gateway::new(supervisor(plan), cfg);
+        let d = data();
+        let mut all = Vec::new();
+        for (i, b) in batches(24).iter().enumerate() {
+            // Arrivals every 1 000 µs vs ≥50 000 µs of service: hard overload.
+            all.extend(g.submit(&d, i as f64 * 1000.0, b));
+            assert!(g.queue_depth() <= 4, "queue overflowed");
+        }
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), 24, "every request must resolve exactly once");
+        let shed = all
+            .iter()
+            .filter(|c| matches!(c.outcome, BatchOutcome::Shed { .. }))
+            .count();
+        let degraded = all
+            .iter()
+            .filter(|c| matches!(c.outcome, BatchOutcome::Degraded { .. }))
+            .count();
+        assert!(shed > 0, "hard overload must shed");
+        assert!(degraded > 0, "ladder must degrade under pressure");
+
+        // Telemetry ↔ outcome reconciliation: one gateway event per
+        // completion, with matching cause/outcome labels.
+        let events = g.supervisor.trainer.telemetry.events();
+        let resolution_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == "gateway" && (e.name == "shed" || e.name == "served"))
+            .collect();
+        assert_eq!(resolution_events.len(), all.len());
+        for c in &all {
+            let idx = c.request_index.to_string();
+            let ev = resolution_events
+                .iter()
+                .find(|e| e.args.iter().any(|(k, v)| k == "request" && *v == idx))
+                .unwrap_or_else(|| panic!("no event for request {idx}"));
+            match c.outcome {
+                BatchOutcome::Shed { cause } => {
+                    assert_eq!(ev.name, "shed");
+                    assert!(ev
+                        .args
+                        .iter()
+                        .any(|(k, v)| k == "cause" && v == cause.label()));
+                }
+                o => {
+                    assert_eq!(ev.name, "served");
+                    assert!(ev
+                        .args
+                        .iter()
+                        .any(|(k, v)| k == "outcome" && v == o.label()));
+                }
+            }
+        }
+    }
+
+    /// The watchdog sheds requests whose queue wait blows the deadline.
+    #[test]
+    fn deadline_watchdog_sheds_stale_requests() {
+        let plan = FaultPlan::new(3).with_serve_delay_window(100_000.0, 0, None);
+        let cfg = OverloadConfig {
+            queue_capacity: 16,
+            deadline_us: 150_000.0,
+            degrade_watermark: usize::MAX,
+            halve_watermark: usize::MAX,
+            reduced_fanout: 2,
+        };
+        let mut g = Gateway::new(supervisor(plan), cfg);
+        let d = data();
+        let mut all = Vec::new();
+        for (i, b) in batches(8).iter().enumerate() {
+            all.extend(g.submit(&d, i as f64 * 10.0, b));
+        }
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), 8);
+        let expired = all
+            .iter()
+            .filter(|c| {
+                c.outcome
+                    == BatchOutcome::Shed {
+                        cause: ShedCause::DeadlineExpired,
+                    }
+            })
+            .count();
+        assert!(expired > 0, "no deadline sheds under a 100ms/batch stall");
+        // Early requests (short waits) are still served.
+        assert!(all.iter().any(|c| c.outcome.trained()));
+        // Shed-by-deadline requests never occupied the server.
+        for c in &all {
+            if matches!(c.outcome, BatchOutcome::Shed { .. }) {
+                assert_eq!(c.service_us, 0.0);
+            }
+        }
+    }
+
+    /// Identical plans and arrival sequences resolve identically — the
+    /// gateway inherits the stack's determinism contract.
+    #[test]
+    fn gateway_is_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(9)
+                .with_serve_delay_window(30_000.0, 0, None)
+                .with_transfer_failure(0.2);
+            let mut g = Gateway::new(
+                supervisor(plan),
+                OverloadConfig {
+                    queue_capacity: 3,
+                    deadline_us: 200_000.0,
+                    degrade_watermark: 1,
+                    halve_watermark: 2,
+                    reduced_fanout: 2,
+                },
+            );
+            let d = data();
+            let mut all = Vec::new();
+            for (i, b) in batches(12).iter().enumerate() {
+                all.extend(g.submit(&d, i as f64 * 2000.0, b));
+            }
+            all.extend(g.drain(&d));
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_arrivals_are_rejected() {
+        let mut g = Gateway::new(supervisor(FaultPlan::new(0)), OverloadConfig::default());
+        let d = data();
+        g.submit(&d, 100.0, &[0, 1]);
+        g.submit(&d, 50.0, &[2, 3]);
+    }
+}

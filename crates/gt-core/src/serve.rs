@@ -22,12 +22,17 @@
 //! bit-identical.
 
 use crate::data::GraphData;
+use crate::error::GtError;
 use crate::framework::{BatchOutcome, BatchReport, DegradeAction, FailReason, Framework};
+use crate::journal::{self, Journal};
 use crate::scheduler::PreproStrategy;
 use crate::trainer::GraphTensor;
 use gt_graph::VId;
 use gt_sample::validate_batch;
-use gt_sim::{FaultPlan, SimContext};
+use gt_sim::{CrashSite, FaultPlan, SimContext};
+use gt_telemetry::ToJson;
+use gt_tensor::checkpoint;
+use std::path::PathBuf;
 
 /// Retry/degradation policy of the supervisor.
 #[derive(Debug, Clone)]
@@ -70,7 +75,6 @@ pub struct QuarantineRecord {
     pub attempts: usize,
 }
 
-#[cfg(feature = "serde")]
 impl gt_telemetry::ToJson for QuarantineRecord {
     fn to_json(&self) -> gt_telemetry::Json {
         use gt_telemetry::Json;
@@ -84,6 +88,60 @@ impl gt_telemetry::ToJson for QuarantineRecord {
             ("attempts", self.attempts.into()),
         ])
     }
+}
+
+/// Where durable state lives and how often parameters are checkpointed.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the journal and checkpoint (created on demand).
+    pub dir: PathBuf,
+    /// Checkpoint the parameters every N served batches (0 = only the
+    /// final/explicit checkpoints).
+    pub checkpoint_every: usize,
+}
+
+impl DurabilityConfig {
+    /// Durable state under `dir`, checkpointing every 8 batches.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 8,
+        }
+    }
+
+    /// Path of the write-ahead outcome journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("outcomes.gtj")
+    }
+
+    /// Path of the parameter checkpoint.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("params.gt")
+    }
+}
+
+/// What [`Supervisor::recover`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journaled batches replayed (the next batch's serving index).
+    pub batches_replayed: usize,
+    /// Quarantine records restored from the journal.
+    pub quarantine_restored: usize,
+    /// Checkpoint markers whose image CRC matched the replayed parameters.
+    pub checkpoints_verified: usize,
+    /// True when a torn tail (an append interrupted by the crash) was
+    /// dropped and truncated away.
+    pub torn_tail_dropped: bool,
+}
+
+struct DurabilityState {
+    journal: Journal,
+    cfg: DurabilityConfig,
+    /// Crash rules at batch indices below this are suppressed: the fault
+    /// already killed the previous process, and the recovered one has
+    /// outlived it (a real kill -9 does not re-fire on the restarted
+    /// process either).
+    suppress_crashes_below: usize,
 }
 
 /// Wraps a trainer in the retry/degrade/quarantine ladder described in the
@@ -102,6 +160,7 @@ pub struct Supervisor {
     batches_served: usize,
     strikes: usize,
     degraded_prepro: bool,
+    durability: Option<DurabilityState>,
 }
 
 impl Supervisor {
@@ -119,6 +178,7 @@ impl Supervisor {
             batches_served: 0,
             strikes: 0,
             degraded_prepro: false,
+            durability: None,
         }
     }
 
@@ -187,7 +247,11 @@ impl Supervisor {
         let mut attempt = 0usize;
         loop {
             if !self.plan.is_empty() {
-                self.trainer.injected = Some(self.plan.active(batch_index, attempt));
+                // Serving-layer faults (crashes, serve stalls) are filtered
+                // out: the trainer and DES must take the exact fault-free
+                // path for them, or replay-based recovery loses its
+                // bit-identity contract.
+                self.trainer.injected = Some(self.plan.active(batch_index, attempt).des_relevant());
             }
             if self.degraded_prepro {
                 self.trainer.prepro_override = Some(PreproStrategy::Serial);
@@ -335,6 +399,7 @@ impl Supervisor {
             BatchOutcome::Quarantined { .. } => {
                 ("gt_serve_quarantined_total", "Batches quarantined")
             }
+            BatchOutcome::Shed { .. } => ("gt_serve_shed_total", "Batches shed by the gateway"),
         };
         telemetry.counter(name, help).inc();
         telemetry.event(
@@ -342,5 +407,288 @@ impl Supervisor {
             "outcome",
             &[("batch", &batch_index), ("outcome", &outcome.label())],
         );
+    }
+
+    // ---- durable serving -------------------------------------------------
+
+    /// Turn on durability: create `cfg.dir`, start a fresh write-ahead
+    /// journal, and serve through [`Supervisor::serve_durable`] from now
+    /// on. For restarting over existing durable state use
+    /// [`Supervisor::recover`] instead.
+    pub fn make_durable(&mut self, cfg: DurabilityConfig) -> Result<(), GtError> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let journal = Journal::create(cfg.journal_path())?;
+        self.durability = Some(DurabilityState {
+            journal,
+            cfg,
+            suppress_crashes_below: 0,
+        });
+        Ok(())
+    }
+
+    /// True when outcomes are being journaled.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Serve one batch with the write-ahead guarantee: the outcome (and any
+    /// quarantine record) is journaled and fsynced *before* this returns,
+    /// so an acknowledged result can never be lost to a crash.
+    ///
+    /// An active [`gt_sim::FaultKind::Crash`] rule is honored here: the
+    /// call leaves exactly the on-disk state a process killed at that site
+    /// would leave (a torn journal record, a torn checkpoint staging file,
+    /// or a fully committed batch whose report was never delivered) and
+    /// returns [`GtError::InjectedCrash`]. The supervisor must then be
+    /// rebuilt and [`Supervisor::recover`]ed, as after a real `kill -9`.
+    pub fn serve_durable(
+        &mut self,
+        data: &GraphData,
+        batch: &[VId],
+    ) -> Result<BatchReport, GtError> {
+        let batch_index = self.batches_served;
+        let crash = {
+            let d = self.durability.as_ref().ok_or_else(|| GtError::Io {
+                detail: "serve_durable before make_durable/recover".to_string(),
+            })?;
+            if self.plan.is_empty() || batch_index < d.suppress_crashes_below {
+                None
+            } else {
+                // Crash rules are persistent (attempt 0 decides).
+                self.plan.active(batch_index, 0).crash_site()
+            }
+        };
+        let telemetry = self.trainer.telemetry.clone();
+        let report = self.serve_batch(data, batch);
+        let rec = journal::batch_record(batch_index, batch, &report.outcome);
+        let qrec = match report.outcome {
+            BatchOutcome::Quarantined { .. } => {
+                self.quarantine.last().map(journal::quarantine_record)
+            }
+            _ => None,
+        };
+
+        let ckpt_path;
+        let due;
+        {
+            let d = self.durability.as_mut().expect("checked above");
+            if crash == Some(CrashSite::MidJournal) {
+                d.journal.append_torn(&rec)?;
+                telemetry.event(
+                    "serve",
+                    "crash_injected",
+                    &[
+                        ("batch", &batch_index),
+                        ("site", &CrashSite::MidJournal.label()),
+                    ],
+                );
+                return Err(GtError::InjectedCrash {
+                    site: CrashSite::MidJournal,
+                });
+            }
+            d.journal.append(&rec)?;
+            if let Some(q) = &qrec {
+                d.journal.append(q)?;
+            }
+            telemetry
+                .counter(
+                    "gt_journal_records_total",
+                    "Records appended to the outcome journal",
+                )
+                .add(1 + qrec.is_some() as u64);
+            ckpt_path = d.cfg.checkpoint_path();
+            due = d.cfg.checkpoint_every > 0
+                && (batch_index + 1).is_multiple_of(d.cfg.checkpoint_every);
+        }
+
+        if crash == Some(CrashSite::MidCheckpoint) {
+            // The batch committed to the journal, but the process dies
+            // while staging the checkpoint: a torn temporary sibling is
+            // left behind and the previous checkpoint stays intact
+            // (save_file's atomicity is what makes this survivable).
+            let bytes = checkpoint::to_bytes(self.trainer.params());
+            std::fs::write(checkpoint::tmp_path(&ckpt_path), &bytes[..bytes.len() / 2])?;
+            telemetry.event(
+                "serve",
+                "crash_injected",
+                &[
+                    ("batch", &batch_index),
+                    ("site", &CrashSite::MidCheckpoint.label()),
+                ],
+            );
+            return Err(GtError::InjectedCrash {
+                site: CrashSite::MidCheckpoint,
+            });
+        }
+        if due {
+            self.write_checkpoint(batch_index)?;
+        }
+        if crash == Some(CrashSite::AfterCommit) {
+            telemetry.event(
+                "serve",
+                "crash_injected",
+                &[
+                    ("batch", &batch_index),
+                    ("site", &CrashSite::AfterCommit.label()),
+                ],
+            );
+            return Err(GtError::InjectedCrash {
+                site: CrashSite::AfterCommit,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Checkpoint the current parameters now (e.g. at end of serving),
+    /// regardless of the periodic cadence.
+    pub fn checkpoint_now(&mut self) -> Result<(), GtError> {
+        if self.durability.is_none() {
+            return Err(GtError::Io {
+                detail: "checkpoint_now before make_durable/recover".to_string(),
+            });
+        }
+        self.write_checkpoint(self.batches_served.saturating_sub(1))
+    }
+
+    /// Atomically save the checkpoint, then journal a marker carrying the
+    /// image fingerprint so replay can verify it byte-for-byte.
+    fn write_checkpoint(&mut self, batch_index: usize) -> Result<(), GtError> {
+        let bytes = checkpoint::to_bytes(self.trainer.params());
+        let d = self.durability.as_mut().expect("durability checked");
+        checkpoint::save_file(self.trainer.params(), d.cfg.checkpoint_path())?;
+        d.journal.append(&journal::checkpoint_record(
+            batch_index,
+            checkpoint::image_crc(&bytes),
+        ))?;
+        self.trainer
+            .telemetry
+            .counter("gt_checkpoints_total", "Parameter checkpoints committed")
+            .inc();
+        Ok(())
+    }
+
+    /// Rebuild serving state after a crash by replaying the journal.
+    ///
+    /// `self` must be a freshly-constructed supervisor configured exactly
+    /// like the one that crashed (same trainer settings, same fault plan):
+    /// the whole pipeline is deterministic, so re-serving the journaled
+    /// batches reproduces the crashed process's parameters and outcomes
+    /// bit for bit. The journal is simultaneously a cross-check — any
+    /// divergence between a recorded outcome (or checkpoint CRC) and its
+    /// replay is surfaced as [`GtError::ReplayDiverged`].
+    ///
+    /// Recovery also self-heals the on-disk state: a torn journal tail is
+    /// truncated away, a torn checkpoint staging file is deleted, and the
+    /// checkpoint is re-exported from the replayed parameters. Afterwards
+    /// the supervisor is durable again and resumes at the exact batch index
+    /// where the crash hit.
+    pub fn recover(
+        &mut self,
+        data: &GraphData,
+        cfg: DurabilityConfig,
+    ) -> Result<RecoveryReport, GtError> {
+        let telemetry = self.trainer.telemetry.clone();
+        let scan = journal::read_journal(cfg.journal_path())?;
+        if scan.torn_tail {
+            journal::truncate_to(cfg.journal_path(), scan.valid_len)?;
+        }
+        // A crash mid-checkpoint leaves a torn staging sibling; drop it.
+        let _ = std::fs::remove_file(checkpoint::tmp_path(&cfg.checkpoint_path()));
+
+        let corrupt = |detail: &str| GtError::CorruptJournal {
+            offset: 0,
+            detail: detail.to_string(),
+        };
+        let mut replayed = 0usize;
+        let mut quarantine_restored = 0usize;
+        let mut checkpoints_verified = 0usize;
+        for rec in &scan.records {
+            match journal::record_type(rec) {
+                Some("batch") => {
+                    let idx = journal::record_batch_index(rec)
+                        .ok_or_else(|| corrupt("batch record without batch_index"))?;
+                    let ids = journal::batch_ids(rec)
+                        .ok_or_else(|| corrupt("batch record without vertex ids"))?;
+                    let recorded = rec
+                        .get("outcome")
+                        .ok_or_else(|| corrupt("batch record without outcome"))?
+                        .to_json_string();
+                    let report = self.serve_batch(data, &ids);
+                    let got = report.outcome.to_json().to_json_string();
+                    if got != recorded {
+                        return Err(GtError::ReplayDiverged {
+                            batch_index: idx,
+                            detail: format!("recorded {recorded}, replayed {got}"),
+                        });
+                    }
+                    replayed += 1;
+                }
+                Some("quarantine") => {
+                    // serve_batch re-quarantined deterministically; the
+                    // journaled record must match the one just re-filed.
+                    let refiled = self.quarantine.last().map(journal::quarantine_record);
+                    if refiled.as_ref() != Some(rec) {
+                        return Err(GtError::ReplayDiverged {
+                            batch_index: replayed.saturating_sub(1),
+                            detail: "journaled quarantine record does not match replay".to_string(),
+                        });
+                    }
+                    quarantine_restored += 1;
+                }
+                Some("checkpoint") => {
+                    let recorded = rec
+                        .get("image_crc")
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| corrupt("checkpoint record without image_crc"))?
+                        as u32;
+                    let computed =
+                        checkpoint::image_crc(&checkpoint::to_bytes(self.trainer.params()));
+                    if computed != recorded {
+                        return Err(GtError::ReplayDiverged {
+                            batch_index: replayed.saturating_sub(1),
+                            detail: format!(
+                                "checkpoint CRC mismatch: recorded {recorded:#010x}, \
+                                 replayed {computed:#010x}"
+                            ),
+                        });
+                    }
+                    checkpoints_verified += 1;
+                }
+                other => {
+                    return Err(corrupt(&format!("unknown record type {other:?}")));
+                }
+            }
+        }
+        // Self-heal the checkpoint: after replay the freshest parameters
+        // are in memory; re-export them so the on-disk artifact is current
+        // regardless of where the crash hit.
+        if replayed > 0 {
+            checkpoint::save_file(self.trainer.params(), cfg.checkpoint_path())?;
+        }
+        let journal = Journal::open_append(cfg.journal_path())?;
+        self.durability = Some(DurabilityState {
+            journal,
+            cfg,
+            // The crash that killed the previous process must not re-fire
+            // on this one — suppress crash rules up to and including the
+            // resume index.
+            suppress_crashes_below: replayed + 1,
+        });
+        telemetry.event(
+            "serve",
+            "recovered",
+            &[
+                ("batches_replayed", &replayed),
+                ("quarantine_restored", &quarantine_restored),
+                ("checkpoints_verified", &checkpoints_verified),
+                ("torn_tail_dropped", &scan.torn_tail),
+            ],
+        );
+        Ok(RecoveryReport {
+            batches_replayed: replayed,
+            quarantine_restored,
+            checkpoints_verified,
+            torn_tail_dropped: scan.torn_tail,
+        })
     }
 }

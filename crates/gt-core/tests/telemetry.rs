@@ -41,7 +41,7 @@ fn batches(n: usize) -> Vec<Vec<VId>> {
 /// `attempts - 1` retries (and an up-front rejection paid none).
 fn implied_retries(outcome: &BatchOutcome) -> u64 {
     match outcome {
-        BatchOutcome::Succeeded | BatchOutcome::Failed { .. } => 0,
+        BatchOutcome::Succeeded | BatchOutcome::Failed { .. } | BatchOutcome::Shed { .. } => 0,
         BatchOutcome::Recovered { retries } | BatchOutcome::Degraded { retries, .. } => {
             *retries as u64
         }

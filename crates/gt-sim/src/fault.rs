@@ -32,6 +32,53 @@ pub enum FaultKind {
     /// Tasks holding a lock group take `factor`× longer (VID hash-table
     /// contention spike, Fig 14).
     HashContention { factor: f64 },
+    /// The serving layer stalls for `extra_us` of virtual time on top of the
+    /// batch's modeled latency (GC pause, co-tenant CPU steal, slow RPC
+    /// downstream). Consumed by the overload controller's admission clock,
+    /// not the DES — the preprocessing schedule itself is untouched.
+    ServeDelay { extra_us: f64 },
+    /// The serving process dies at `site` while handling the batch.
+    /// Consumed by the durability layer (`gt-core::serve`), which simulates
+    /// the death by leaving exactly the on-disk state a real crash at that
+    /// point would leave (torn journal record, torn checkpoint temp file)
+    /// and surfacing a typed error. Inert in the DES.
+    Crash { site: CrashSite },
+}
+
+/// Where, within one served batch's durability protocol, an injected crash
+/// kills the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Mid-append to the outcome journal: a torn, half-written record is
+    /// left at the tail.
+    MidJournal,
+    /// Mid-checkpoint save: a torn temporary file is left next to the (still
+    /// intact) previous checkpoint.
+    MidCheckpoint,
+    /// After the batch fully committed (journal appended, checkpoint
+    /// renamed) but before the caller saw the report.
+    AfterCommit,
+}
+
+impl CrashSite {
+    /// Stable kebab-case label used in telemetry events and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashSite::MidJournal => "mid-journal",
+            CrashSite::MidCheckpoint => "mid-checkpoint",
+            CrashSite::AfterCommit => "after-commit",
+        }
+    }
+
+    /// Parse a [`CrashSite::label`] back (CLI flag parsing).
+    pub fn parse(s: &str) -> Option<CrashSite> {
+        match s {
+            "mid-journal" => Some(CrashSite::MidJournal),
+            "mid-checkpoint" => Some(CrashSite::MidCheckpoint),
+            "after-commit" => Some(CrashSite::AfterCommit),
+            _ => None,
+        }
+    }
 }
 
 /// A seeded rule: which batches a fault applies to and how often it fires.
@@ -146,6 +193,44 @@ impl FaultPlan {
             from_batch: 0,
             until_batch: None,
             transient: true,
+        })
+    }
+
+    /// Transient serving stall: the batch takes `extra_us` longer end to end
+    /// with probability `p` (virtual time; drives the overload controller).
+    pub fn with_serve_delay(self, extra_us: f64, p: f64) -> Self {
+        assert!(extra_us >= 0.0, "stall must not be negative");
+        self.with_rule(FaultRule {
+            kind: FaultKind::ServeDelay { extra_us },
+            probability: p,
+            from_batch: 0,
+            until_batch: None,
+            transient: true,
+        })
+    }
+
+    /// Persistent serving stall over batches `[from, until)` — the sustained
+    /// slowdown that backs an admission queue up.
+    pub fn with_serve_delay_window(self, extra_us: f64, from: usize, until: Option<usize>) -> Self {
+        assert!(extra_us >= 0.0, "stall must not be negative");
+        self.with_rule(FaultRule {
+            kind: FaultKind::ServeDelay { extra_us },
+            probability: 1.0,
+            from_batch: from,
+            until_batch: until,
+            transient: false,
+        })
+    }
+
+    /// Kill the process at `site` while serving batch `batch` (fires exactly
+    /// once: probability 1 over the one-batch window).
+    pub fn with_crash_at(self, batch: usize, site: CrashSite) -> Self {
+        self.with_rule(FaultRule {
+            kind: FaultKind::Crash { site },
+            probability: 1.0,
+            from_batch: batch,
+            until_batch: Some(batch + 1),
+            transient: false,
         })
     }
 
@@ -272,6 +357,49 @@ impl ActiveFaults {
                 _ => None,
             })
             .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.min(f))))
+    }
+
+    /// Total serving-layer stall in virtual microseconds, if any
+    /// [`FaultKind::ServeDelay`] is active (stalls add up: a GC pause and a
+    /// slow downstream compound).
+    pub fn serve_delay_us(&self) -> Option<f64> {
+        let total: f64 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::ServeDelay { extra_us } => Some(*extra_us),
+                _ => None,
+            })
+            .sum();
+        if total == 0.0 {
+            None
+        } else {
+            Some(total)
+        }
+    }
+
+    /// The injected crash site for this batch, if a [`FaultKind::Crash`] is
+    /// active (first rule wins when several are configured).
+    pub fn crash_site(&self) -> Option<CrashSite> {
+        self.faults.iter().find_map(|k| match k {
+            FaultKind::Crash { site } => Some(*site),
+            _ => None,
+        })
+    }
+
+    /// The subset of faults the DES engine consumes. Serving-layer faults
+    /// (crashes, serve stalls) are filtered out so a plan that only injects
+    /// them still drives the DES down the exact fault-free code path —
+    /// preserving the bit-identity the recovery protocol replays against.
+    pub fn des_relevant(&self) -> ActiveFaults {
+        ActiveFaults {
+            faults: self
+                .faults
+                .iter()
+                .copied()
+                .filter(|k| !matches!(k, FaultKind::ServeDelay { .. } | FaultKind::Crash { .. }))
+                .collect(),
+        }
     }
 
     /// True when any fault stretches DES task durations (the schedule
@@ -404,5 +532,76 @@ mod tests {
         assert!(f.memory_fraction().is_none());
         assert!(!f.fails_transfers());
         assert!(!f.perturbs_schedule());
+        assert!(f.serve_delay_us().is_none());
+        assert!(f.crash_site().is_none());
+    }
+
+    #[test]
+    fn crash_fires_exactly_on_target_batch() {
+        let plan = FaultPlan::new(5).with_crash_at(7, CrashSite::MidJournal);
+        for b in 0..20 {
+            let site = plan.active(b, 0).crash_site();
+            if b == 7 {
+                assert_eq!(site, Some(CrashSite::MidJournal));
+                // Persistent: every retry attempt of the batch crashes too.
+                assert_eq!(plan.active(b, 3).crash_site(), Some(CrashSite::MidJournal));
+            } else {
+                assert_eq!(site, None, "batch {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_delays_accumulate() {
+        let f = ActiveFaults {
+            faults: vec![
+                FaultKind::ServeDelay { extra_us: 150.0 },
+                FaultKind::ServeDelay { extra_us: 50.0 },
+            ],
+        };
+        assert_eq!(f.serve_delay_us(), Some(200.0));
+        let windowed = FaultPlan::new(0).with_serve_delay_window(300.0, 2, Some(4));
+        for b in 0..6 {
+            let expect = (2..4).contains(&b).then_some(300.0);
+            assert_eq!(windowed.active(b, 0).serve_delay_us(), expect, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn serving_faults_are_invisible_to_the_des() {
+        let f = ActiveFaults {
+            faults: vec![
+                FaultKind::ServeDelay { extra_us: 99.0 },
+                FaultKind::Crash {
+                    site: CrashSite::AfterCommit,
+                },
+            ],
+        };
+        assert!(!f.perturbs_schedule());
+        assert!(f.des_relevant().is_empty());
+
+        let mixed = ActiveFaults {
+            faults: vec![
+                FaultKind::TransferStall { factor: 2.0 },
+                FaultKind::Crash {
+                    site: CrashSite::MidCheckpoint,
+                },
+            ],
+        };
+        let des = mixed.des_relevant();
+        assert_eq!(des.faults, vec![FaultKind::TransferStall { factor: 2.0 }]);
+        assert_eq!(mixed.crash_site(), Some(CrashSite::MidCheckpoint));
+    }
+
+    #[test]
+    fn crash_site_labels_round_trip() {
+        for site in [
+            CrashSite::MidJournal,
+            CrashSite::MidCheckpoint,
+            CrashSite::AfterCommit,
+        ] {
+            assert_eq!(CrashSite::parse(site.label()), Some(site));
+        }
+        assert_eq!(CrashSite::parse("nonsense"), None);
     }
 }

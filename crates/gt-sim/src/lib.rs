@@ -26,7 +26,7 @@ pub use cache::CacheSim;
 pub use counters::{KernelRecord, KernelStats, Phase, SimContext};
 pub use des::{Resource, Schedule, ScheduledEvent, Simulator, TaskId, TaskSpec};
 pub use device::{DeviceSpec, HostSpec, PcieSpec, SystemSpec};
-pub use fault::{ActiveFaults, FaultKind, FaultPlan, FaultRule};
+pub use fault::{ActiveFaults, CrashSite, FaultKind, FaultPlan, FaultRule};
 pub use lru::LruCacheSim;
 pub use memory::{MemoryTracker, OutOfMemory};
 pub use timeline::{Timeline, TimelineEvent};

@@ -1,0 +1,107 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+//!
+//! The durability layer (checkpoints, the serving outcome journal) needs a
+//! cheap integrity check over on-disk bytes, and the offline build cannot
+//! vendor a crc crate (DESIGN.md §6). This is the standard reflected
+//! table-driven implementation; the table is built in a `const` context so
+//! there is no runtime initialization to race on.
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// digest with [`Crc32::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preload, per the standard).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything absorbed so far (state is not consumed).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Check values from the CRC catalogue (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"split across several updates";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(5) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn any_single_byte_change_is_detected() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut copy = data.clone();
+            copy[i] ^= 0x01;
+            assert_ne!(crc32(&copy), base, "flip at {i} undetected");
+        }
+    }
+}

@@ -25,6 +25,20 @@ pub enum TensorError {
     /// The least-squares normal matrix was singular (fewer independent
     /// samples than coefficients) — no unique solution exists.
     SingularSystem,
+    /// A checkpoint file failed validation: wrong magic, CRC mismatch,
+    /// truncation, or a header whose claimed sizes exceed the bytes
+    /// actually present. Loading never allocates for a size the file
+    /// cannot back, so a corrupt header cannot OOM the process.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// An underlying I/O operation failed (message of the `std::io::Error`;
+    /// kept as a string so the error type stays `Clone + Eq`).
+    Io {
+        /// The I/O error's message.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -36,11 +50,21 @@ impl std::fmt::Display for TensorError {
             TensorError::SingularSystem => {
                 write!(f, "singular least-squares system (rank-deficient samples)")
             }
+            TensorError::Corrupt { detail } => write!(f, "corrupt checkpoint: {detail}"),
+            TensorError::Io { detail } => write!(f, "i/o error: {detail}"),
         }
     }
 }
 
 impl std::error::Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

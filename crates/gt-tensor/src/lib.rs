@@ -15,6 +15,7 @@
 //!   optimizers (SGD / momentum / Adam, gradient clipping).
 
 pub mod checkpoint;
+pub mod crc32;
 pub mod dense;
 pub mod dfg;
 pub mod error;

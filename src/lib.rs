@@ -52,13 +52,18 @@ pub mod prelude {
     pub use gt_core::config::ModelConfig;
     pub use gt_core::data::GraphData;
     pub use gt_core::error::GtError;
-    pub use gt_core::framework::{BatchOutcome, BatchReport, DegradeAction, FailReason, Framework};
+    pub use gt_core::framework::{
+        BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, ShedCause,
+    };
+    pub use gt_core::overload::{Completion, Gateway, OverloadConfig};
     pub use gt_core::scheduler::PreproStrategy;
-    pub use gt_core::serve::{QuarantineRecord, ServeConfig, Supervisor};
+    pub use gt_core::serve::{
+        DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor,
+    };
     pub use gt_core::trainer::{GraphTensor, GtVariant};
     pub use gt_datasets::{DatasetSpec, Scale};
     pub use gt_models::{evaluate, gat_lite, gcn, gin, ngcf, train_epochs};
     pub use gt_sample::{BatchIter, SamplerConfig};
-    pub use gt_sim::{FaultPlan, SystemSpec};
+    pub use gt_sim::{CrashSite, FaultPlan, SystemSpec};
     pub use gt_telemetry::Telemetry;
 }
