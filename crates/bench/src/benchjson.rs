@@ -1,0 +1,422 @@
+//! Schema-stable benchmark reports (`BENCH_<exp>.json`) and the comparison
+//! logic behind the `benchdiff` binary.
+//!
+//! A [`BenchReport`] separates **modeled** metrics (deterministic — the
+//! cost model prices the same work identically on every machine and at
+//! every `GT_THREADS` width, so they are diffable against a committed
+//! baseline) from **wall-clock** metrics (machine-dependent, recorded for
+//! information and only gated when `benchdiff --wall` opts in).
+//!
+//! Metric direction is encoded in the name, not in a side table: any
+//! metric whose name contains `throughput` is higher-is-better; all
+//! others (latencies, idle percentages, makespans) are lower-is-better.
+
+use gt_telemetry::Json;
+
+/// Bumped whenever a field is renamed or re-interpreted; `benchdiff`
+/// refuses to compare across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The experiment configuration a report was measured under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    pub scale_divisor: u64,
+    pub seed: u64,
+    pub batch: u64,
+    pub fanout: u64,
+    pub layers: u64,
+    pub measure_batches: u64,
+}
+
+/// Where a report was measured: enough to explain a wall-clock delta and
+/// to prove two modeled runs priced the same machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFingerprint {
+    /// `GT_THREADS`-resolved worker count of the global pool.
+    pub threads: u64,
+    /// Modeled GPU name (`DeviceSpec::name`).
+    pub gpu: String,
+    /// Modeled host name (`HostSpec::name`).
+    pub host: String,
+    /// Modeled host core count.
+    pub host_cores: u64,
+}
+
+/// One benchmark run, serializable to `BENCH_<exp>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    pub experiment: String,
+    pub config: BenchConfig,
+    pub env: EnvFingerprint,
+    /// Deterministic modeled metrics, gated by `benchdiff` by default.
+    pub metrics: Vec<(String, f64)>,
+    /// Wall-clock metrics, informational unless `--wall`.
+    pub wall: Vec<(String, f64)>,
+}
+
+/// Direction rule: `throughput` anywhere in the name means higher is
+/// better; everything else is a cost (latency, idle, makespan).
+pub fn higher_is_better(name: &str) -> bool {
+    name.contains("throughput")
+}
+
+fn pairs_to_json(pairs: &[(String, f64)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(j: &Json, what: &str) -> Result<Vec<(String, f64)>, String> {
+    match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("{what}.{k}: not a number"))
+            })
+            .collect(),
+        _ => Err(format!("{what}: not an object")),
+    }
+}
+
+fn num(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn string(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+impl BenchReport {
+    /// Serialize to the on-disk JSON form (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("scale_divisor", self.config.scale_divisor.into()),
+                    ("seed", self.config.seed.into()),
+                    ("batch", self.config.batch.into()),
+                    ("fanout", self.config.fanout.into()),
+                    ("layers", self.config.layers.into()),
+                    ("measure_batches", self.config.measure_batches.into()),
+                ]),
+            ),
+            (
+                "env",
+                Json::obj(vec![
+                    ("threads", self.env.threads.into()),
+                    ("gpu", Json::Str(self.env.gpu.clone())),
+                    ("host", Json::Str(self.env.host.clone())),
+                    ("host_cores", self.env.host_cores.into()),
+                ]),
+            ),
+            ("metrics", pairs_to_json(&self.metrics)),
+            ("wall", pairs_to_json(&self.wall)),
+        ])
+    }
+
+    /// Pretty-ish single-line JSON plus trailing newline (stable bytes for
+    /// a committed baseline).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_json_string();
+        s.push('\n');
+        s
+    }
+
+    /// Parse a report back from its JSON form.
+    pub fn from_json(j: &Json) -> Result<BenchReport, String> {
+        let cfg = j.get("config").ok_or("missing field \"config\"")?;
+        let env = j.get("env").ok_or("missing field \"env\"")?;
+        Ok(BenchReport {
+            schema_version: num(j, "schema_version")? as u64,
+            experiment: string(j, "experiment")?,
+            config: BenchConfig {
+                scale_divisor: num(cfg, "scale_divisor")? as u64,
+                seed: num(cfg, "seed")? as u64,
+                batch: num(cfg, "batch")? as u64,
+                fanout: num(cfg, "fanout")? as u64,
+                layers: num(cfg, "layers")? as u64,
+                measure_batches: num(cfg, "measure_batches")? as u64,
+            },
+            env: EnvFingerprint {
+                threads: num(env, "threads")? as u64,
+                gpu: string(env, "gpu")?,
+                host: string(env, "host")?,
+                host_cores: num(env, "host_cores")? as u64,
+            },
+            metrics: pairs_from_json(
+                j.get("metrics").ok_or("missing field \"metrics\"")?,
+                "metrics",
+            )?,
+            wall: pairs_from_json(j.get("wall").ok_or("missing field \"wall\"")?, "wall")?,
+        })
+    }
+}
+
+impl std::str::FromStr for BenchReport {
+    type Err = String;
+
+    /// Parse from raw file contents.
+    fn from_str(text: &str) -> Result<BenchReport, String> {
+        let j = gt_telemetry::json::parse(text).map_err(|e| e.to_string())?;
+        BenchReport::from_json(&j)
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    pub name: String,
+    pub base: f64,
+    pub cand: f64,
+    /// `cand / base` (NaN when the baseline value is not positive).
+    pub ratio: f64,
+    pub higher_is_better: bool,
+    /// Outside the noise tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    pub lines: Vec<DiffLine>,
+    /// Metrics present in the baseline but missing from the candidate —
+    /// a schema break, treated as a regression.
+    pub missing: Vec<String>,
+    /// Metrics only the candidate has (informational).
+    pub added: Vec<String>,
+    /// Incompatibility (schema version / experiment mismatch), if any.
+    pub incompatible: Option<String>,
+}
+
+impl DiffReport {
+    /// Whether the candidate regressed against the baseline.
+    pub fn regressed(&self) -> bool {
+        self.incompatible.is_some()
+            || !self.missing.is_empty()
+            || self.lines.iter().any(|l| l.regressed)
+    }
+}
+
+fn diff_pairs(
+    base: &[(String, f64)],
+    cand: &[(String, f64)],
+    prefix: &str,
+    tolerance: f64,
+    gate: bool,
+    out: &mut DiffReport,
+) {
+    for (name, b) in base {
+        let display = format!("{prefix}{name}");
+        let Some((_, c)) = cand.iter().find(|(n, _)| n == name) else {
+            if gate {
+                out.missing.push(display);
+            }
+            continue;
+        };
+        let hib = higher_is_better(name);
+        let ratio = if *b > 0.0 { c / b } else { f64::NAN };
+        let regressed = gate
+            && *b > 0.0
+            && if hib {
+                *c < b * (1.0 - tolerance)
+            } else {
+                *c > b * (1.0 + tolerance)
+            };
+        out.lines.push(DiffLine {
+            name: display,
+            base: *b,
+            cand: *c,
+            ratio,
+            higher_is_better: hib,
+            regressed,
+        });
+    }
+    for (name, _) in cand {
+        if !base.iter().any(|(n, _)| n == name) {
+            out.added.push(format!("{prefix}{name}"));
+        }
+    }
+}
+
+/// Compare `cand` against `base` with a relative noise `tolerance`
+/// (e.g. `0.3` = ±30%). Modeled metrics always gate; wall-clock metrics
+/// gate only when `include_wall` (they still appear, unmarked, otherwise).
+pub fn compare(
+    base: &BenchReport,
+    cand: &BenchReport,
+    tolerance: f64,
+    include_wall: bool,
+) -> DiffReport {
+    let mut out = DiffReport {
+        lines: Vec::new(),
+        missing: Vec::new(),
+        added: Vec::new(),
+        incompatible: None,
+    };
+    if base.schema_version != cand.schema_version {
+        out.incompatible = Some(format!(
+            "schema version mismatch: baseline v{} vs candidate v{}",
+            base.schema_version, cand.schema_version
+        ));
+        return out;
+    }
+    if base.experiment != cand.experiment {
+        out.incompatible = Some(format!(
+            "experiment mismatch: baseline {:?} vs candidate {:?}",
+            base.experiment, cand.experiment
+        ));
+        return out;
+    }
+    diff_pairs(&base.metrics, &cand.metrics, "", tolerance, true, &mut out);
+    diff_pairs(
+        &base.wall,
+        &cand.wall,
+        "wall:",
+        tolerance,
+        include_wall,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            experiment: "smoke".into(),
+            config: BenchConfig {
+                scale_divisor: 2000,
+                seed: 42,
+                batch: 40,
+                fanout: 6,
+                layers: 2,
+                measure_batches: 9,
+            },
+            env: EnvFingerprint {
+                threads: 4,
+                gpu: "RTX 3090".into(),
+                host: "Xeon Gold 5317 (12c)".into(),
+                host_cores: 12,
+            },
+            metrics: vec![
+                ("batch_e2e_us_p50".into(), 1000.0),
+                ("batch_e2e_us_p99".into(), 1500.0),
+                ("throughput_samples_per_s".into(), 40_000.0),
+            ],
+            wall: vec![("wall_batch_us_p50".into(), 2300.0)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = report();
+        let back: BenchReport = r.to_json_string().parse().unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn direction_rule() {
+        assert!(higher_is_better("throughput_samples_per_s"));
+        assert!(!higher_is_better("batch_e2e_us_p99"));
+        assert!(!higher_is_better("prepro_idle_pct"));
+    }
+
+    #[test]
+    fn identical_reports_do_not_regress() {
+        let r = report();
+        let d = compare(&r, &r, 0.3, false);
+        assert!(!d.regressed());
+        assert!(d.missing.is_empty());
+        assert_eq!(d.lines.len(), 4);
+        for l in &d.lines {
+            assert!((l.ratio - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn injected_latency_regression_is_caught() {
+        let base = report();
+        let mut cand = report();
+        // 2× latency on one metric: far outside a 30% tolerance.
+        cand.metrics[1].1 *= 2.0;
+        let d = compare(&base, &cand, 0.3, false);
+        assert!(d.regressed());
+        let line = d
+            .lines
+            .iter()
+            .find(|l| l.name == "batch_e2e_us_p99")
+            .unwrap();
+        assert!(line.regressed);
+        assert!((line.ratio - 2.0).abs() < 1e-12);
+        // The untouched metrics stay green.
+        assert_eq!(d.lines.iter().filter(|l| l.regressed).count(), 1);
+    }
+
+    #[test]
+    fn throughput_drop_regresses_and_rise_does_not() {
+        let base = report();
+        let mut slower = report();
+        slower.metrics[2].1 *= 0.5;
+        assert!(compare(&base, &slower, 0.3, false).regressed());
+        let mut faster = report();
+        faster.metrics[2].1 *= 2.0;
+        assert!(!compare(&base, &faster, 0.3, false).regressed());
+    }
+
+    #[test]
+    fn within_tolerance_noise_passes() {
+        let base = report();
+        let mut cand = report();
+        for (_, v) in cand.metrics.iter_mut() {
+            *v *= 1.2; // +20% on costs, +20% on throughput: both inside ±30%.
+        }
+        assert!(!compare(&base, &cand, 0.3, false).regressed());
+    }
+
+    #[test]
+    fn wall_metrics_gate_only_on_request() {
+        let base = report();
+        let mut cand = report();
+        cand.wall[0].1 *= 10.0;
+        assert!(!compare(&base, &cand, 0.3, false).regressed());
+        assert!(compare(&base, &cand, 0.3, true).regressed());
+    }
+
+    #[test]
+    fn missing_metric_is_a_schema_break() {
+        let base = report();
+        let mut cand = report();
+        cand.metrics.remove(0);
+        let d = compare(&base, &cand, 0.3, false);
+        assert_eq!(d.missing, vec!["batch_e2e_us_p50".to_string()]);
+        assert!(d.regressed());
+    }
+
+    #[test]
+    fn version_and_experiment_mismatches_refuse() {
+        let base = report();
+        let mut v = report();
+        v.schema_version += 1;
+        assert!(compare(&base, &v, 0.3, false).incompatible.is_some());
+        let mut e = report();
+        e.experiment = "fig16".into();
+        assert!(compare(&base, &e, 0.3, false).incompatible.is_some());
+    }
+}

@@ -1,0 +1,107 @@
+//! `benchdiff` — compare two `BENCH_<exp>.json` reports and gate on
+//! regressions.
+//!
+//! ```text
+//! benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall]
+//! ```
+//!
+//! Modeled metrics always gate; `--wall` additionally gates the
+//! wall-clock family (off by default — those are machine-dependent).
+//! `--tolerance` is a relative noise band, default `0.3` (±30%).
+//!
+//! Exit codes: `0` no regression, `1` regression (or schema break:
+//! version/experiment mismatch, vanished metric), `2` usage or I/O error.
+
+use gt_bench::benchjson::{compare, BenchReport};
+
+fn usage() -> ! {
+    eprintln!("usage: benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    text.parse().unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.3;
+    let mut wall = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--wall" => wall = true,
+            p if !p.starts_with("--") => paths.push(p.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let base = load(base_path);
+    let cand = load(cand_path);
+    let diff = compare(&base, &cand, tolerance, wall);
+
+    if let Some(why) = &diff.incompatible {
+        eprintln!("benchdiff: {why}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "benchdiff: {} vs {} (experiment {:?}, tolerance ±{:.0}%{})",
+        base_path,
+        cand_path,
+        base.experiment,
+        tolerance * 100.0,
+        if wall { ", wall gated" } else { "" }
+    );
+    for l in &diff.lines {
+        println!(
+            "  {:<28} {:>14.1} -> {:>14.1}  ({}{})  {}",
+            l.name,
+            l.base,
+            l.cand,
+            if l.ratio.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{:.2}x", l.ratio)
+            },
+            if l.higher_is_better {
+                ", higher ok"
+            } else {
+                ""
+            },
+            if l.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for name in &diff.missing {
+        println!("  {name:<28} MISSING from candidate (schema break)");
+    }
+    for name in &diff.added {
+        println!("  {name:<28} new in candidate (not gated)");
+    }
+
+    if diff.regressed() {
+        let n = diff.lines.iter().filter(|l| l.regressed).count() + diff.missing.len();
+        eprintln!("benchdiff: {n} regression(s)");
+        std::process::exit(1);
+    }
+    println!("benchdiff: no regressions");
+}

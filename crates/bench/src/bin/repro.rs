@@ -3,12 +3,12 @@
 //! ```text
 //! repro <experiment|all> [--scale test|small|medium|N] [--seed S]
 //!       [--batch B] [--fanout F] [--layers L] [--threads N]
-//!       [--trace-out PATH] [--checkpoint-dir DIR] [--crash-at N]
-//!       [--crash-site mid-journal|mid-checkpoint|after-commit]
+//!       [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR]
+//!       [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit]
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
-//!              threads durability
+//!              threads durability smoke
 //! ```
 //!
 //! `--threads N` pins the process-wide `gt_par` pool (same effect as
@@ -19,6 +19,13 @@
 //! With `--trace-out`, the run records wall-clock spans and metrics and
 //! writes a Chrome trace (load it at <https://ui.perfetto.dev>) plus a
 //! metrics summary on stderr; see `docs/telemetry.md`.
+//!
+//! With `--bench-out`, the run additionally drives the perf probe and
+//! writes a schema-stable `BENCH_<exp>.json` report (modeled latency
+//! percentiles, throughput, stage breakdowns, env fingerprint) for
+//! `benchdiff` to gate against a committed baseline; see
+//! `docs/profiling.md`. The `smoke` experiment prints the same probe as
+//! a table and is the CI perf gate's workload.
 //!
 //! `--checkpoint-dir` / `--crash-at` / `--crash-site` apply to the
 //! `durability` experiment: serve durably into DIR, optionally dying at
@@ -34,11 +41,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
          [--seed S] [--batch B] [--fanout F] [--layers L] [--threads N] \
-         [--trace-out PATH] [--checkpoint-dir DIR] [--crash-at N] \
-         [--crash-site mid-journal|mid-checkpoint|after-commit]\n\
+         [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR] \
+         [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
-         durability"
+         durability smoke"
     );
     std::process::exit(2);
 }
@@ -51,6 +58,7 @@ fn main() {
     let exp = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut trace_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut durability_opts = durability::DurabilityOpts::default();
     let mut i = 1;
     while i < args.len() {
@@ -106,6 +114,10 @@ fn main() {
             "--trace-out" => {
                 i += 1;
                 trace_out = Some(args.get(i).cloned().unwrap_or_else(usage_v));
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(args.get(i).cloned().unwrap_or_else(usage_v));
             }
             "--checkpoint-dir" => {
                 i += 1;
@@ -166,6 +178,7 @@ fn main() {
         "scalability" => scalability::print(cfg),
         "threads" => threads::print(cfg),
         "durability" => durability::print(cfg, &durability_opts),
+        "smoke" => gt_bench::probe::print(cfg),
         _ => usage(),
     };
 
@@ -194,6 +207,21 @@ fn main() {
         }
     } else {
         run_one(&exp, &cfg);
+    }
+
+    if let Some(path) = bench_out {
+        let report = gt_bench::probe::report(&exp, &cfg);
+        match std::fs::write(&path, report.to_json_string()) {
+            Ok(()) => eprintln!(
+                "wrote {} modeled + {} wall metrics to {path} (gate with benchdiff)",
+                report.metrics.len(),
+                report.wall.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write bench report to {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     if let Some(path) = trace_out {

@@ -3,7 +3,10 @@
 //! these; integration tests run them at `Scale::Test` to keep every figure
 //! permanently regenerable.
 
+pub mod benchjson;
 pub mod experiments;
+pub mod probe;
 pub mod runner;
 
+pub use benchjson::{compare, BenchReport};
 pub use runner::ExpConfig;

@@ -38,6 +38,6 @@ pub use framework::{
     BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, FrameworkTraits, ShedCause,
 };
 pub use overload::{Completion, Gateway, OverloadConfig};
-pub use scheduler::{schedule_prepro_with_faults, PreproStrategy};
+pub use scheduler::{build_prepro_sim, schedule_prepro_with_faults, PreproStrategy};
 pub use serve::{DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor};
 pub use trainer::{GraphTensor, GtVariant};

@@ -54,6 +54,16 @@ pub enum Placement {
     CombinationFirst,
 }
 
+impl Placement {
+    /// Stable label for logs and structured events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::AggregationFirst => "aggregation_first",
+            Placement::CombinationFirst => "combination_first",
+        }
+    }
+}
+
 /// Work terms of one combination kernel: `rows×f·h` over `passes` passes.
 fn comb_terms(rows: usize, f: usize, h: usize, passes: usize) -> (f64, f64) {
     let flops = (rows * f * h * passes) as f64;
@@ -139,6 +149,19 @@ impl CostModel {
     /// Number of recorded calibration samples.
     pub fn num_samples(&self) -> usize {
         self.samples.lock().len()
+    }
+
+    /// Discard all calibration samples (start of a drift-refit collection
+    /// window: the stale epoch's samples must not outvote the fresh ones).
+    pub fn clear_samples(&self) {
+        self.samples.lock().clear();
+    }
+
+    /// Replace the coefficients wholesale. An ops/test hook — production
+    /// refits go through [`CostModel::fit`], which also validates the
+    /// system's conditioning. Leaves `fit_error` untouched.
+    pub fn set_coefficients(&self, coef: [f64; 4]) {
+        *self.coef.write() = coef;
     }
 
     /// Least-squares refit over recorded samples; returns the residual MAPE.

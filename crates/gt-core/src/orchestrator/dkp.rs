@@ -13,6 +13,7 @@
 //! aggregation either way, keeping Sum-aggregation exact too.
 
 use super::cost::{CostModel, Dims, Placement};
+use super::drift::{DecisionRecord, DriftAction, DriftMonitor};
 use crate::napa::Pull;
 use gt_sim::{KernelStats, Phase};
 use gt_tensor::dense::Matrix;
@@ -40,6 +41,24 @@ impl DkpCounters {
     }
 }
 
+/// Everything the backward pass needs from the forward pass: the saved
+/// intermediate plus the decision's predicted/observed cost so far.
+#[derive(Debug)]
+struct Stash {
+    placement: Placement,
+    intermediate: Matrix,
+    /// Modeled latency charged during the forward pass, µs.
+    observed_fwd_us: f64,
+    /// Predicted cost of the chosen placement (FWP + BWP), µs.
+    predicted_us: f64,
+    /// Predicted cost of the placement not chosen, µs.
+    predicted_alt_us: f64,
+    /// False when the decision was forced (weighted layer, static
+    /// fallback) or the model is not yet fitted — such decisions carry no
+    /// information about prediction quality.
+    drift_eligible: bool,
+}
+
 /// The fused Pull + MatMul node installed by [`apply_dkp`].
 #[derive(Debug)]
 pub struct CostDkp {
@@ -58,12 +77,16 @@ pub struct CostDkp {
     pub calibrate: bool,
     /// Shared decision counters.
     pub counters: Arc<DkpCounters>,
-    /// Stash of (placement, intermediate) between forward and backward.
-    stash: Mutex<Option<(Placement, Matrix)>>,
+    /// Shared drift monitor; when set, every completed decision feeds the
+    /// predicted-vs-observed residual and may open a refit window.
+    pub drift: Option<Arc<DriftMonitor>>,
+    /// Stash of decision state between forward and backward.
+    stash: Mutex<Option<Stash>>,
 }
 
 impl CostDkp {
     /// Build the fused node.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         pull: Pull,
         weight: String,
@@ -72,6 +95,7 @@ impl CostDkp {
         needs_input_grad: bool,
         calibrate: bool,
         counters: Arc<DkpCounters>,
+        drift: Option<Arc<DriftMonitor>>,
     ) -> Self {
         CostDkp {
             pull,
@@ -81,6 +105,7 @@ impl CostDkp {
             needs_input_grad,
             calibrate,
             counters,
+            drift,
             stash: Mutex::new(None),
         }
     }
@@ -122,16 +147,48 @@ impl CostDkp {
         ctx.sim.record_gpu(Phase::Aggregation, stats)
     }
 
+    /// Samples are recorded during first-epoch calibration and again while
+    /// the drift monitor has a refit collection window open.
+    fn recording_samples(&self) -> bool {
+        self.calibrate || self.drift.as_ref().is_some_and(|d| d.is_collecting())
+    }
+
     fn record_agg_sample(&self, d: &Dims, width: usize, latency: f64) {
-        if self.calibrate {
+        if self.recording_samples() {
             self.cost
                 .record_agg_sample((d.n_edges * width) as f64, latency);
         }
     }
 
     fn record_comb_sample(&self, rows: usize, f: usize, h: usize, passes: usize, latency: f64) {
-        if self.calibrate {
+        if self.recording_samples() {
             self.cost.record_comb_sample(rows, f, h, passes, latency);
+        }
+    }
+
+    /// Feed the completed decision to the drift monitor and apply whatever
+    /// it asks for: clear the sample buffer when a collection window opens,
+    /// refit when it closes. A singular refit latches the cost model's
+    /// static aggregation-first fallback (and `drift_eligible` is false
+    /// from then on), so a degenerate window degrades gracefully instead of
+    /// looping on garbage coefficients.
+    fn complete_decision(&self, stash: &Stash, observed_bwd_us: f64) {
+        let Some(drift) = &self.drift else { return };
+        if !stash.drift_eligible {
+            return;
+        }
+        let action = drift.record(DecisionRecord {
+            placement: stash.placement,
+            predicted_us: stash.predicted_us,
+            predicted_alt_us: stash.predicted_alt_us,
+            observed_us: stash.observed_fwd_us + observed_bwd_us,
+        });
+        match action {
+            DriftAction::StartedCollection => self.cost.clear_samples(),
+            DriftAction::Refit => {
+                let _ = self.cost.fit();
+            }
+            DriftAction::None => {}
         }
     }
 }
@@ -145,16 +202,33 @@ impl Op for CostDkp {
         let x = inputs[0];
         let weights = inputs.get(1).copied();
         let d = self.dims(x.cols(), ctx.params);
-        let placement = self
-            .cost
-            .decide(&d, self.pull.h.is_some(), self.needs_input_grad);
+        let weighted = self.pull.h.is_some();
+        let placement = self.cost.decide(&d, weighted, self.needs_input_grad);
+        // A decision only says something about prediction quality when the
+        // model actually chose (not forced by weighting or the static
+        // fallback) and has been fitted at least once.
+        let drift_eligible = self.drift.is_some()
+            && !weighted
+            && !self.cost.is_static_fallback()
+            && self.cost.fit_error().is_some();
+        let (predicted_us, predicted_alt_us) = if drift_eligible {
+            let af = self.cost.cost_aggregation_first(&d, self.needs_input_grad);
+            let cf = self.cost.cost_combination_first(&d, self.needs_input_grad);
+            match placement {
+                Placement::AggregationFirst => (af, cf),
+                Placement::CombinationFirst => (cf, af),
+            }
+        } else {
+            (0.0, 0.0)
+        };
         let w = ctx.params.get(&self.weight).clone();
         let bias: Option<Vec<f32>> = self
             .bias
             .as_ref()
             .map(|b| ctx.params.get(b).row(0).to_vec());
 
-        let out = match placement {
+        let mut observed_fwd_us = 0.0;
+        let (out, intermediate) = match placement {
             Placement::AggregationFirst => {
                 self.counters
                     .aggregation_first
@@ -162,14 +236,15 @@ impl Op for CostDkp {
                 let a = self.pull.compute(x, weights);
                 let lat = self.charge_pull(d.n_feat, ctx);
                 self.record_agg_sample(&d, d.n_feat, lat);
+                observed_fwd_us += lat;
                 let mut y = a.matmul(&w);
                 let lat = self.charge_matmul(d.n_dst, d.n_feat, d.n_hid, 1, ctx);
                 self.record_comb_sample(d.n_dst, d.n_feat, d.n_hid, 1, lat);
+                observed_fwd_us += lat;
                 if let Some(b) = &bias {
                     y.add_row_vector(b);
                 }
-                *self.stash.lock() = Some((placement, a));
-                y
+                (y, a)
             }
             Placement::CombinationFirst => {
                 self.counters
@@ -179,16 +254,25 @@ impl Op for CostDkp {
                 let t = x.matmul(&w);
                 let lat = self.charge_matmul(d.n_src, d.n_feat, d.n_hid, 1, ctx);
                 self.record_comb_sample(d.n_src, d.n_feat, d.n_hid, 1, lat);
+                observed_fwd_us += lat;
                 let mut y = self.pull.compute(&t, None);
                 let lat = self.charge_pull(d.n_hid, ctx);
                 self.record_agg_sample(&d, d.n_hid, lat);
+                observed_fwd_us += lat;
                 if let Some(b) = &bias {
                     y.add_row_vector(b);
                 }
-                *self.stash.lock() = Some((placement, t));
-                y
+                (y, t)
             }
         };
+        *self.stash.lock() = Some(Stash {
+            placement,
+            intermediate,
+            observed_fwd_us,
+            predicted_us,
+            predicted_alt_us,
+            drift_eligible,
+        });
         out
     }
 
@@ -202,7 +286,7 @@ impl Op for CostDkp {
         let x = inputs[0];
         let weights = inputs.get(1).copied();
         let d = self.dims(x.cols(), ctx.params);
-        let Some((placement, intermediate)) = self.stash.lock().take() else {
+        let Some(stash) = self.stash.lock().take() else {
             // A backward without its matching forward is a wiring bug; in
             // release serving, drop the gradient contribution rather than
             // poison the whole pipeline.
@@ -215,48 +299,56 @@ impl Op for CostDkp {
             ctx.params.accumulate_grad(b, &db);
         }
 
-        match placement {
+        let mut observed_bwd_us = 0.0;
+        let grads = match stash.placement {
             Placement::AggregationFirst => {
                 // out = a·W + b with a = pull(x, w).
-                let a = intermediate;
+                let a = &stash.intermediate;
                 let dw = a.transpose_a_matmul(grad);
                 ctx.params.accumulate_grad(&self.weight, &dw);
                 let da = grad.matmul_transpose_b(&w);
                 let lat = self.charge_matmul(d.n_dst, d.n_feat, d.n_hid, 2, ctx);
                 self.record_comb_sample(d.n_dst, d.n_feat, d.n_hid, 2, lat);
+                observed_bwd_us += lat;
                 if !self.needs_input_grad {
                     // First GNN layer: skip f' entirely (Table I's n_src
                     // reduction-factor case).
-                    return vec![None; inputs.len()];
-                }
-                let (dx, dwe) = self.pull.compute_backward(x, weights, &da);
-                let lat = self.charge_pull(d.n_feat, ctx);
-                self.record_agg_sample(&d, d.n_feat, lat);
-                if self.pull.h.is_some() {
-                    vec![Some(dx), dwe]
+                    vec![None; inputs.len()]
                 } else {
-                    vec![Some(dx)]
+                    let (dx, dwe) = self.pull.compute_backward(x, weights, &da);
+                    let lat = self.charge_pull(d.n_feat, ctx);
+                    self.record_agg_sample(&d, d.n_feat, lat);
+                    observed_bwd_us += lat;
+                    if self.pull.h.is_some() {
+                        vec![Some(dx), dwe]
+                    } else {
+                        vec![Some(dx)]
+                    }
                 }
             }
             Placement::CombinationFirst => {
                 // out = pull(x·W) + b with t = x·W stashed.
-                let t = intermediate;
+                let t = &stash.intermediate;
                 let da = grad; // bias add is identity for the grad
-                let (dt, _) = self.pull.compute_backward(&t, None, da);
+                let (dt, _) = self.pull.compute_backward(t, None, da);
                 let lat = self.charge_pull(d.n_hid, ctx);
                 self.record_agg_sample(&d, d.n_hid, lat);
+                observed_bwd_us += lat;
                 let dw = x.transpose_a_matmul(&dt);
                 ctx.params.accumulate_grad(&self.weight, &dw);
                 let comb_passes = if self.needs_input_grad { 2 } else { 1 };
                 let lat = self.charge_matmul(d.n_src, d.n_feat, d.n_hid, comb_passes, ctx);
                 self.record_comb_sample(d.n_src, d.n_feat, d.n_hid, comb_passes, lat);
+                observed_bwd_us += lat;
                 if self.needs_input_grad {
                     vec![Some(dt.matmul_transpose_b(&w))]
                 } else {
                     vec![None]
                 }
             }
-        }
+        };
+        self.complete_decision(&stash, observed_bwd_us);
+        grads
     }
 
     fn out_shape(&self, _in_shapes: &[(usize, usize)], params: &ParamStore) -> (usize, usize) {
@@ -282,13 +374,18 @@ pub struct DkpPair {
 }
 
 /// Rewrite every registered Pull → MatMul pair into a Cost-DKP node.
-/// Returns the number of pairs fused.
+/// Returns the number of pairs fused. Pass a drift monitor to have every
+/// completed decision feed the predicted-vs-observed residual (and trigger
+/// sliding-window refits); `None` keeps the fitted model frozen, which is
+/// right for forward-only inference where the full decision cost is never
+/// observed.
 pub fn apply_dkp(
     dfg: &mut Dfg,
     pairs: Vec<DkpPair>,
     cost: &Arc<CostModel>,
     calibrate: bool,
     counters: &Arc<DkpCounters>,
+    drift: Option<&Arc<DriftMonitor>>,
 ) -> usize {
     let mut fused = 0;
     for p in pairs {
@@ -302,6 +399,7 @@ pub fn apply_dkp(
             p.needs_input_grad,
             calibrate,
             Arc::clone(counters),
+            drift.map(Arc::clone),
         );
         dfg.fuse_pair(p.pull_node, p.linear_node, Box::new(node));
         fused += 1;
@@ -368,7 +466,7 @@ mod tests {
             bias: Some("b".into()),
             needs_input_grad,
         }];
-        assert_eq!(apply_dkp(&mut dfg, pairs, &cost, true, &counters), 1);
+        assert_eq!(apply_dkp(&mut dfg, pairs, &cost, true, &counters, None), 1);
 
         let xval = xavier(4, feat, 9);
         let mut sim = SimContext::new(DeviceSpec::tiny());
@@ -445,7 +543,16 @@ mod tests {
             let cost = Arc::new(CostModel::from_device(&DeviceSpec::rtx3090()));
             let counters = Arc::new(DkpCounters::default());
             let pull = Pull::new(Arc::clone(&l), Reduce::Mean);
-            let node = CostDkp::new(pull.clone(), "w".into(), None, cost, true, false, counters);
+            let node = CostDkp::new(
+                pull.clone(),
+                "w".into(),
+                None,
+                cost,
+                true,
+                false,
+                counters,
+                None,
+            );
             let xval = xavier(4, feat, 1);
             let mut sim = SimContext::new(DeviceSpec::tiny());
             let mut ctx = ExecCtx {
@@ -477,6 +584,7 @@ mod tests {
             true,
             true,
             Arc::new(DkpCounters::default()),
+            None,
         );
         let xval = xavier(4, 4, 1);
         let mut sim = SimContext::new(DeviceSpec::tiny());

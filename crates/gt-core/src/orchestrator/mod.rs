@@ -10,6 +10,8 @@
 
 pub mod cost;
 pub mod dkp;
+pub mod drift;
 
 pub use cost::{CostModel, Dims, Placement};
 pub use dkp::{apply_dkp, CostDkp, DkpPair};
+pub use drift::{DecisionRecord, DriftAction, DriftConfig, DriftMonitor};

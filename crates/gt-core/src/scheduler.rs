@@ -41,7 +41,7 @@ const HASH_LOCK: u32 = 1;
 
 /// Build and run the DES schedule for one batch's preprocessing.
 pub fn schedule_prepro(work: &PreproWork, sys: &SystemSpec, strategy: PreproStrategy) -> Schedule {
-    build(work, sys, strategy).run()
+    build_prepro_sim(work, sys, strategy).run()
 }
 
 /// [`schedule_prepro`] with injected faults applied at event boundaries
@@ -53,11 +53,17 @@ pub fn schedule_prepro_with_faults(
     strategy: PreproStrategy,
     faults: &ActiveFaults,
 ) -> Schedule {
-    build(work, sys, strategy).run_with_faults(faults)
+    build_prepro_sim(work, sys, strategy).run_with_faults(faults)
 }
 
-/// Construct the task graph for one batch's preprocessing without running it.
-fn build(work: &PreproWork, sys: &SystemSpec, strategy: PreproStrategy) -> Simulator {
+/// Construct the task graph for one batch's preprocessing without running
+/// it. Profilers (gt-profile) use the unrun [`Simulator`] for dependency
+/// reconstruction and zeroed-stage what-if re-runs.
+pub fn build_prepro_sim(
+    work: &PreproWork,
+    sys: &SystemSpec,
+    strategy: PreproStrategy,
+) -> Simulator {
     match strategy {
         PreproStrategy::Serial => serial(work, sys, TransferKind::Pageable),
         PreproStrategy::SerialPinned => serial(work, sys, TransferKind::Pinned),

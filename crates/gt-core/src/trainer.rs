@@ -9,7 +9,7 @@ use crate::config::ModelConfig;
 use crate::data::GraphData;
 use crate::framework::{BatchOutcome, BatchReport, FailReason, Framework, FrameworkTraits};
 use crate::napa::{NeighborApply, Pull};
-use crate::orchestrator::{apply_dkp, CostModel, DkpPair};
+use crate::orchestrator::{apply_dkp, CostModel, DkpPair, DriftMonitor};
 use crate::prepro::{run_prepro, PreproResult};
 use crate::scheduler::{schedule_prepro_with_faults, PreproStrategy};
 use gt_graph::VId;
@@ -82,6 +82,9 @@ pub struct GraphTensor {
     params: ParamStore,
     cost: Arc<CostModel>,
     counters: Arc<DkpCounters>,
+    drift: Arc<DriftMonitor>,
+    /// (decisions, mispredictions, refits) already emitted as counters.
+    drift_emitted: (u64, u64, u64),
     batches_run: usize,
     params_ready: bool,
 }
@@ -107,6 +110,8 @@ impl GraphTensor {
             params: ParamStore::new(),
             cost,
             counters: Arc::new(DkpCounters::default()),
+            drift: Arc::new(DriftMonitor::default()),
+            drift_emitted: (0, 0, 0),
             batches_run: 0,
             params_ready: false,
         }
@@ -120,6 +125,11 @@ impl GraphTensor {
     /// The shared DKP cost model (coefficients, fit error).
     pub fn cost_model(&self) -> &Arc<CostModel> {
         &self.cost
+    }
+
+    /// The DKP drift monitor (residual EWMA, misprediction/refit counts).
+    pub fn drift_monitor(&self) -> &Arc<DriftMonitor> {
+        &self.drift
     }
 
     /// Model parameters (for tests and checkpointing).
@@ -218,7 +228,14 @@ impl GraphTensor {
 
         let (mut dfg, pairs) = self.build_dfg(&pr);
         if self.variant != GtVariant::Base {
-            apply_dkp(&mut dfg, pairs, &self.cost, false, &self.counters);
+            apply_dkp(
+                &mut dfg,
+                pairs,
+                &self.cost,
+                false,
+                &self.counters,
+                Some(&self.drift),
+            );
         }
         let all: Vec<VId> = (0..data.num_vertices() as VId).collect();
         let labels = data.batch_labels(&all);
@@ -266,7 +283,9 @@ impl GraphTensor {
         let (dfg, pairs) = self.build_dfg(&pr);
         let mut dfg = dfg;
         if self.variant != GtVariant::Base {
-            apply_dkp(&mut dfg, pairs, &self.cost, false, &self.counters);
+            // Forward-only: the full decision cost is never observed, so no
+            // drift monitor.
+            apply_dkp(&mut dfg, pairs, &self.cost, false, &self.counters, None);
         }
         let mut ctx = ExecCtx {
             sim: &mut sim,
@@ -285,6 +304,74 @@ impl GraphTensor {
             Some(opt) => opt.step(&mut self.params),
             None => self.params.sgd_step(self.lr),
         }
+    }
+
+    /// Publish the drift monitor's state: delta counters, the residual
+    /// EWMA gauge, and one structured `dkp_decision` event per completed
+    /// decision since the last batch.
+    fn emit_drift_telemetry(&mut self, telemetry: &gt_telemetry::Telemetry) {
+        let now = (
+            self.drift.decisions(),
+            self.drift.mispredictions(),
+            self.drift.refits(),
+        );
+        let prev = self.drift_emitted;
+        telemetry
+            .counter(
+                "gt_dkp_decisions_total",
+                "DKP placement decisions with completed cost observation",
+            )
+            .add(now.0 - prev.0);
+        telemetry
+            .counter(
+                "gt_dkp_mispredictions_total",
+                "DKP decisions whose observed cost contradicted the predicted ordering",
+            )
+            .add(now.1 - prev.1);
+        telemetry
+            .counter(
+                "gt_dkp_refits_total",
+                "DKP cost-model refits triggered by drift",
+            )
+            .add(now.2 - prev.2);
+        if let Some(e) = self.drift.ewma_ape() {
+            telemetry
+                .gauge(
+                    "gt_dkp_residual_ewma",
+                    "EWMA of the DKP |observed-predicted|/observed residual",
+                )
+                .set(e);
+        }
+        for r in self.drift.drain_recent() {
+            let predicted = format!("{:.3}", r.predicted_us);
+            let observed = format!("{:.3}", r.observed_us);
+            let ape = format!("{:.4}", r.ape());
+            let mispredicted = r.mispredicted().to_string();
+            telemetry.event(
+                "dkp",
+                "dkp_decision",
+                &[
+                    ("placement", &r.placement.label()),
+                    ("predicted_us", &predicted),
+                    ("observed_us", &observed),
+                    ("ape", &ape),
+                    ("mispredicted", &mispredicted),
+                ],
+            );
+        }
+        if now.2 > prev.2 {
+            let fit_error = self
+                .cost
+                .fit_error()
+                .map_or_else(|| "none".to_string(), |e| format!("{e:.4}"));
+            let fallback = self.cost.is_static_fallback().to_string();
+            telemetry.event(
+                "dkp",
+                "dkp_refit",
+                &[("fit_error", &fit_error), ("static_fallback", &fallback)],
+            );
+        }
+        self.drift_emitted = now;
     }
 
     fn prepro_strategy(&self) -> PreproStrategy {
@@ -414,7 +501,14 @@ impl GraphTensor {
         if self.variant != GtVariant::Base {
             let calibrate = self.batches_run < self.calibration_batches;
             let (af0, cf0) = self.counters.snapshot();
-            apply_dkp(&mut dfg, pairs, &self.cost, calibrate, &self.counters);
+            apply_dkp(
+                &mut dfg,
+                pairs,
+                &self.cost,
+                calibrate,
+                &self.counters,
+                Some(&self.drift),
+            );
             let (af, cf) = self.counters.snapshot();
             telemetry
                 .counter(
@@ -480,6 +574,9 @@ impl GraphTensor {
         if self.variant != GtVariant::Base && self.batches_run == self.calibration_batches {
             // First-epoch least-squares fit of the DKP cost model (§V-A).
             let _ = self.cost.fit();
+        }
+        if self.variant != GtVariant::Base {
+            self.emit_drift_telemetry(&telemetry);
         }
 
         let oom = sim.memory.oom().map(|e| e.to_string());

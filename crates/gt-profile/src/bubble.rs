@@ -1,0 +1,177 @@
+//! Per-resource idle ("bubble") accounting — Fig 13's whitespace, measured.
+
+use gt_sim::{resource_track, Resource, Schedule};
+
+/// Utilization of one resource unit over the schedule's makespan.
+#[derive(Debug, Clone)]
+pub struct UnitUtilization {
+    /// Display track name (`host core N` / `PCIe` / `GPU`), matching the
+    /// Chrome-trace export.
+    pub track: String,
+    pub resource: Resource,
+    pub unit: usize,
+    /// Summed busy time of events on this unit, µs.
+    pub busy_us: f64,
+    /// `makespan - busy`, µs.
+    pub idle_us: f64,
+    /// Idle gaps `(start, end)` within `[0, makespan)`, in time order.
+    pub gaps: Vec<(f64, f64)>,
+}
+
+impl UnitUtilization {
+    /// Idle share of the makespan, in percent.
+    pub fn idle_pct(&self, makespan_us: f64) -> f64 {
+        if makespan_us <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.idle_us / makespan_us
+        }
+    }
+}
+
+/// Bubble report over every resource unit a schedule could have used.
+#[derive(Debug, Clone)]
+pub struct BubbleReport {
+    pub makespan_us: f64,
+    /// Host cores first (all of them, including ones the schedule left
+    /// fully idle — an idle core *is* a bubble), then PCIe, then GPU when
+    /// the task set uses them.
+    pub units: Vec<UnitUtilization>,
+}
+
+impl BubbleReport {
+    /// Build from a schedule. `host_cores` is the simulator's pool size
+    /// (`Simulator::host_cores()`); cores the schedule never touched count
+    /// as fully idle. PCIe/GPU rows appear when any event ran there.
+    pub fn from_schedule(schedule: &Schedule, host_cores: usize) -> Self {
+        let makespan = schedule.makespan_us;
+        let mut units: Vec<UnitUtilization> = Vec::new();
+        for core in 0..host_cores {
+            units.push(unit_utilization(
+                schedule,
+                Resource::HostCore,
+                core,
+                makespan,
+            ));
+        }
+        for resource in [Resource::Pcie, Resource::Gpu] {
+            if schedule.events.iter().any(|e| e.resource == resource) {
+                units.push(unit_utilization(schedule, resource, 0, makespan));
+            }
+        }
+        BubbleReport {
+            makespan_us: makespan,
+            units,
+        }
+    }
+
+    /// Aggregate idle share across all units, in percent: total idle time
+    /// over `units × makespan`. This is the number the paper's Fig 13
+    /// argument is about — the pipelined schedule turns this whitespace
+    /// into overlap.
+    pub fn idle_pct(&self) -> f64 {
+        let denom = self.units.len() as f64 * self.makespan_us;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.units.iter().map(|u| u.idle_us).sum::<f64>() / denom
+    }
+
+    /// Summed busy time across all units.
+    pub fn busy_us(&self) -> f64 {
+        self.units.iter().map(|u| u.busy_us).sum()
+    }
+}
+
+fn unit_utilization(
+    schedule: &Schedule,
+    resource: Resource,
+    unit: usize,
+    makespan_us: f64,
+) -> UnitUtilization {
+    let mut spans: Vec<(f64, f64)> = schedule
+        .events
+        .iter()
+        .filter(|e| e.resource == resource && e.unit == unit)
+        .map(|e| (e.start_us, e.end_us))
+        .collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let busy: f64 = spans.iter().map(|(s, e)| e - s).sum();
+    let mut gaps: Vec<(f64, f64)> = Vec::new();
+    let mut cursor = 0.0f64;
+    for &(s, e) in &spans {
+        if s > cursor {
+            gaps.push((cursor, s));
+        }
+        cursor = cursor.max(e);
+    }
+    if makespan_us > cursor {
+        gaps.push((cursor, makespan_us));
+    }
+    UnitUtilization {
+        track: resource_track(resource, unit),
+        resource,
+        unit,
+        busy_us: busy,
+        idle_us: (makespan_us - busy).max(0.0),
+        gaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::{Phase, Simulator, TaskSpec};
+
+    #[test]
+    fn idle_cores_count_as_bubbles() {
+        // 2 cores, all work on one of them: the second core is 100% bubble.
+        let mut sim = Simulator::new(2);
+        sim.add(TaskSpec::new(
+            "a",
+            Resource::HostCore,
+            50.0,
+            Phase::Sampling,
+        ));
+        let s = sim.run();
+        let b = BubbleReport::from_schedule(&s, 2);
+        assert_eq!(b.units.len(), 2); // no PCIe/GPU tasks
+        let core0 = &b.units[0];
+        let core1 = &b.units[1];
+        assert!((core0.busy_us - 50.0).abs() < 1e-9);
+        assert!((core1.busy_us - 0.0).abs() < 1e-9);
+        assert!((core1.idle_pct(s.makespan_us) - 100.0).abs() < 1e-9);
+        assert!((b.idle_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_cover_exactly_the_idle_time() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add(TaskSpec::new(
+            "a",
+            Resource::HostCore,
+            30.0,
+            Phase::Sampling,
+        ));
+        let t = sim.add(TaskSpec::new("t", Resource::Pcie, 40.0, Phase::Transfer).after(&[a]));
+        sim.add(TaskSpec::new("b", Resource::HostCore, 10.0, Phase::Lookup).after(&[t]));
+        let s = sim.run();
+        let b = BubbleReport::from_schedule(&s, 1);
+        for u in &b.units {
+            let gap_sum: f64 = u.gaps.iter().map(|(g0, g1)| g1 - g0).sum();
+            assert!(
+                (gap_sum - u.idle_us).abs() < 1e-9,
+                "{}: gaps {gap_sum} vs idle {}",
+                u.track,
+                u.idle_us
+            );
+            for w in u.gaps.windows(2) {
+                assert!(w[0].1 <= w[1].0);
+            }
+        }
+        // Core idles exactly while the transfer runs: one 40 µs gap.
+        let core = b.units.iter().find(|u| u.track == "host core 0").unwrap();
+        assert_eq!(core.gaps.len(), 1);
+        assert!((core.gaps[0].1 - core.gaps[0].0 - 40.0).abs() < 1e-9);
+    }
+}

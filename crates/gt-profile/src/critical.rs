@@ -1,0 +1,356 @@
+//! Critical-path extraction from a DES schedule.
+//!
+//! Two complementary views:
+//!
+//! * The **binding-constraint chain**: walked backwards from the event that
+//!   sets the makespan. The list scheduler starts every task at
+//!   `max(data_ready, unit_ready, lock_ready)` with exact f64 `max`, so for
+//!   each event exactly which constraint *bound* its start is recoverable
+//!   bit-exactly from the event stream — a dependency that finished at that
+//!   instant (data-bound), the previous task on the same resource unit
+//!   (resource-bound), or the previous holder of its lock group
+//!   (lock-bound). The chain is contiguous in time and its durations sum to
+//!   the makespan exactly: it *is* the reason the schedule is as long as it
+//!   is, stage by stage.
+//! * The **DAG critical path**: the longest duration-sum path through data
+//!   dependencies alone, ignoring resource and lock contention. This is the
+//!   makespan an infinitely-parallel machine would achieve, so
+//!   `dag_path ≤ makespan ≤ total busy time` always holds (property-tested
+//!   in `tests/proptests.rs`).
+
+use std::collections::HashMap;
+
+use gt_sim::{Resource, Schedule, TaskId, TaskSpec};
+
+use crate::breakdown::StageBreakdown;
+use crate::stage::{classify_task, Stage};
+
+/// Which constraint bound a chain link's start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Started at t=0 with nothing before it (chain head).
+    Start,
+    /// Waited for a data dependency to finish.
+    Data,
+    /// Waited for its resource unit to free up.
+    Resource,
+    /// Waited for its lock group (hash-table contention, Fig 14).
+    Lock,
+}
+
+impl Binding {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Binding::Start => "start",
+            Binding::Data => "data",
+            Binding::Resource => "resource",
+            Binding::Lock => "lock",
+        }
+    }
+}
+
+/// One link of the binding-constraint chain.
+#[derive(Debug, Clone)]
+pub struct ChainLink {
+    pub task: TaskId,
+    pub label: String,
+    pub stage: Stage,
+    pub resource: Resource,
+    pub unit: usize,
+    pub start_us: f64,
+    pub end_us: f64,
+    /// What this link was waiting on before it started (the constraint that
+    /// connects it to the previous link).
+    pub binding: Binding,
+}
+
+/// Critical-path analysis of one schedule.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Binding-constraint chain in time order; contiguous, and its
+    /// durations sum exactly to the makespan.
+    pub chain: Vec<ChainLink>,
+    /// Longest data-dependency-only path (infinite-parallelism bound), µs.
+    pub dag_path_us: f64,
+    /// Chain time attributed by stage.
+    pub by_stage: StageBreakdown,
+    /// Chain time attributed by binding kind: how much of the makespan sits
+    /// behind data dependencies vs. resource contention vs. lock waits.
+    pub by_binding: Vec<(Binding, f64)>,
+}
+
+impl CriticalPath {
+    /// Chain time waiting on `binding` (the summed durations of links whose
+    /// start was bound by it).
+    pub fn binding_us(&self, binding: Binding) -> f64 {
+        self.by_binding
+            .iter()
+            .find(|(b, _)| *b == binding)
+            .map_or(0.0, |(_, us)| *us)
+    }
+}
+
+/// Extract the critical path of `schedule`, using the task specs the
+/// schedule was produced from (`Simulator::tasks()`); `tasks[i]` must be the
+/// spec of `TaskId` `i`.
+pub fn critical_path(tasks: &[TaskSpec], schedule: &Schedule) -> CriticalPath {
+    assert!(
+        schedule.events.iter().all(|e| e.task < tasks.len()),
+        "schedule references tasks missing from the spec slice"
+    );
+    let chain = binding_chain(tasks, schedule);
+    let mut by_stage = StageBreakdown::new();
+    let mut by_binding: Vec<(Binding, f64)> = Vec::new();
+    for link in &chain {
+        by_stage.add(link.stage, link.end_us - link.start_us);
+        match by_binding.iter_mut().find(|(b, _)| *b == link.binding) {
+            Some((_, us)) => *us += link.end_us - link.start_us,
+            None => by_binding.push((link.binding, link.end_us - link.start_us)),
+        }
+    }
+    CriticalPath {
+        chain,
+        dag_path_us: dag_path_us(tasks, schedule),
+        by_stage,
+        by_binding,
+    }
+}
+
+/// Longest data-dependency path using *observed* event durations (so
+/// fault-stretched tasks count at their stretched length).
+fn dag_path_us(tasks: &[TaskSpec], schedule: &Schedule) -> f64 {
+    let mut dur = vec![0.0f64; tasks.len()];
+    for e in &schedule.events {
+        dur[e.task] = e.end_us - e.start_us;
+    }
+    // Task ids are topologically ordered (deps must precede dependents at
+    // submission), so one forward pass suffices.
+    let mut longest = vec![0.0f64; tasks.len()];
+    let mut best = 0.0f64;
+    for (i, t) in tasks.iter().enumerate() {
+        let pred = t.deps.iter().map(|&d| longest[d]).fold(0.0f64, f64::max);
+        longest[i] = pred + dur[i];
+        best = best.max(longest[i]);
+    }
+    best
+}
+
+fn binding_chain(tasks: &[TaskSpec], schedule: &Schedule) -> Vec<ChainLink> {
+    if schedule.events.is_empty() {
+        return Vec::new();
+    }
+    // Replay the event stream in scheduling order to recover, for each
+    // event, the three ready times its start was the max of — and which
+    // predecessor event produced each.
+    #[derive(Clone, Copy)]
+    struct ReadyInfo {
+        data: (f64, Option<usize>),     // (ready time, predecessor event idx)
+        resource: (f64, Option<usize>), // previous event on this unit
+        lock: (f64, Option<usize>),     // previous event in this lock group
+    }
+    let mut finish_event: HashMap<TaskId, usize> = HashMap::new();
+    let mut unit_prev: HashMap<(u8, usize), usize> = HashMap::new();
+    let mut lock_prev: HashMap<u32, usize> = HashMap::new();
+    let mut info: Vec<ReadyInfo> = Vec::with_capacity(schedule.events.len());
+    let rank = |r: Resource| match r {
+        Resource::HostCore => 0u8,
+        Resource::Pcie => 1,
+        Resource::Gpu => 2,
+    };
+    for (idx, e) in schedule.events.iter().enumerate() {
+        let spec = &tasks[e.task];
+        let mut data: (f64, Option<usize>) = (0.0, None);
+        for &d in &spec.deps {
+            let pe = finish_event[&d];
+            let end = schedule.events[pe].end_us;
+            if end >= data.0 {
+                data = (end, Some(pe));
+            }
+        }
+        let unit_key = (rank(e.resource), e.unit);
+        let resource = match unit_prev.get(&unit_key) {
+            Some(&pe) => (schedule.events[pe].end_us, Some(pe)),
+            None => (0.0, None),
+        };
+        let lock = match spec.lock.and_then(|g| lock_prev.get(&g).copied()) {
+            Some(pe) => (schedule.events[pe].end_us, Some(pe)),
+            None => (0.0, None),
+        };
+        info.push(ReadyInfo {
+            data,
+            resource,
+            lock,
+        });
+        finish_event.insert(e.task, idx);
+        unit_prev.insert(unit_key, idx);
+        if let Some(g) = spec.lock {
+            lock_prev.insert(g, idx);
+        }
+    }
+
+    // Walk backwards from the event that sets the makespan. Preference
+    // order on ties: data > lock > resource (data edges are the most
+    // informative attribution; the sum is identical either way).
+    let mut cur = schedule
+        .events
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.end_us.total_cmp(&b.1.end_us).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut chain_rev: Vec<ChainLink> = Vec::new();
+    loop {
+        let e = &schedule.events[cur];
+        let ri = &info[cur];
+        let (binding, pred) = if e.start_us == 0.0 {
+            (Binding::Start, None)
+        } else if ri.data.0 == e.start_us {
+            (Binding::Data, ri.data.1)
+        } else if ri.lock.0 == e.start_us {
+            (Binding::Lock, ri.lock.1)
+        } else if ri.resource.0 == e.start_us {
+            (Binding::Resource, ri.resource.1)
+        } else {
+            // Unreachable for schedules produced by the DES (start is the
+            // exact max of the three); break defensively rather than loop.
+            (Binding::Start, None)
+        };
+        chain_rev.push(ChainLink {
+            task: e.task,
+            label: e.label.clone(),
+            stage: classify_task(e.phase, &e.label),
+            resource: e.resource,
+            unit: e.unit,
+            start_us: e.start_us,
+            end_us: e.end_us,
+            binding,
+        });
+        match pred {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    chain_rev.reverse();
+    chain_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::{Phase, Simulator, TaskSpec};
+
+    fn chain_sum(cp: &CriticalPath) -> f64 {
+        cp.chain.iter().map(|l| l.end_us - l.start_us).sum()
+    }
+
+    #[test]
+    fn serial_chain_is_every_task_and_data_bound() {
+        let mut sim = Simulator::new(4);
+        let a = sim.add(TaskSpec::new(
+            "S1",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        let b = sim.add(TaskSpec::new("R1", Resource::HostCore, 30.0, Phase::Reindex).after(&[a]));
+        let c = sim.add(TaskSpec::new("K1", Resource::HostCore, 20.0, Phase::Lookup).after(&[b]));
+        sim.add(TaskSpec::new("T", Resource::Pcie, 10.0, Phase::Transfer).after(&[c]));
+        let s = sim.run();
+        let cp = critical_path(sim.tasks(), &s);
+        assert_eq!(cp.chain.len(), 4);
+        assert_eq!(cp.chain[0].binding, Binding::Start);
+        assert!(cp.chain[1..].iter().all(|l| l.binding == Binding::Data));
+        assert!((chain_sum(&cp) - s.makespan_us).abs() < 1e-9);
+        assert!((cp.dag_path_us - s.makespan_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resource_contention_shows_up_as_resource_binding() {
+        // One core, two independent tasks: the second waits on the unit.
+        let mut sim = Simulator::new(1);
+        sim.add(TaskSpec::new(
+            "a",
+            Resource::HostCore,
+            50.0,
+            Phase::Sampling,
+        ));
+        sim.add(TaskSpec::new("b", Resource::HostCore, 30.0, Phase::Reindex));
+        let s = sim.run();
+        let cp = critical_path(sim.tasks(), &s);
+        assert_eq!(cp.chain.len(), 2);
+        assert_eq!(cp.chain[1].binding, Binding::Resource);
+        assert!((cp.binding_us(Binding::Resource) - 30.0).abs() < 1e-9);
+        // Infinite parallelism would run them side by side.
+        assert!((cp.dag_path_us - 50.0).abs() < 1e-9);
+        assert!((chain_sum(&cp) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lock_contention_shows_up_as_lock_binding() {
+        let mut sim = Simulator::new(8);
+        sim.add(TaskSpec::new("h0", Resource::HostCore, 60.0, Phase::Sampling).locked(1));
+        sim.add(TaskSpec::new("h1", Resource::HostCore, 40.0, Phase::Sampling).locked(1));
+        let s = sim.run();
+        let cp = critical_path(sim.tasks(), &s);
+        assert_eq!(cp.chain.len(), 2);
+        assert_eq!(cp.chain[1].binding, Binding::Lock);
+        assert!((chain_sum(&cp) - s.makespan_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_is_contiguous_in_time() {
+        // A small mixed DAG across all three resources.
+        let mut sim = Simulator::new(2);
+        let mut prev = None;
+        for i in 0..6 {
+            let mut t = TaskSpec::new(
+                format!("t{i}"),
+                if i % 3 == 2 {
+                    Resource::Pcie
+                } else {
+                    Resource::HostCore
+                },
+                10.0 + i as f64,
+                Phase::Sampling,
+            );
+            if let Some(p) = prev {
+                if i % 2 == 0 {
+                    t = t.after(&[p]);
+                }
+            }
+            prev = Some(sim.add(t));
+        }
+        let s = sim.run();
+        let cp = critical_path(sim.tasks(), &s);
+        for w in cp.chain.windows(2) {
+            assert_eq!(w[0].end_us.to_bits(), w[1].start_us.to_bits());
+        }
+        assert_eq!(cp.chain[0].start_us, 0.0);
+        assert!((chain_sum(&cp) - s.makespan_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_stage_and_by_binding_partition_the_chain() {
+        let mut sim = Simulator::new(1);
+        sim.add(TaskSpec::new(
+            "S1A c0",
+            Resource::HostCore,
+            25.0,
+            Phase::Sampling,
+        ));
+        sim.add(TaskSpec::new(
+            "R1 c0",
+            Resource::HostCore,
+            35.0,
+            Phase::Reindex,
+        ));
+        let s = sim.run();
+        let cp = critical_path(sim.tasks(), &s);
+        assert!((cp.by_stage.total() - chain_sum(&cp)).abs() < 1e-9);
+        let binding_total: f64 = cp.by_binding.iter().map(|(_, us)| us).sum();
+        assert!((binding_total - chain_sum(&cp)).abs() < 1e-9);
+        assert!((cp.by_stage.get(Stage::SampleAlg) - 25.0).abs() < 1e-9);
+        assert!((cp.by_stage.get(Stage::Reindex) - 35.0).abs() < 1e-9);
+    }
+}

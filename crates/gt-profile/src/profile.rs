@@ -1,0 +1,72 @@
+//! The bundled per-schedule profile: breakdown + bubbles + critical path +
+//! what-if, computed in one call.
+
+use gt_sim::{Schedule, Simulator};
+
+use crate::breakdown::StageBreakdown;
+use crate::bubble::BubbleReport;
+use crate::critical::{critical_path, CriticalPath};
+use crate::whatif::{what_if_headroom, WhatIf};
+
+/// Everything the profiler knows about one schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleProfile {
+    pub makespan_us: f64,
+    /// Summed busy time across all events.
+    pub total_busy_us: f64,
+    /// Busy time attributed by stage.
+    pub breakdown: StageBreakdown,
+    /// Per-unit idle accounting.
+    pub bubbles: BubbleReport,
+    /// Binding-constraint chain + DAG critical path.
+    pub critical: CriticalPath,
+    /// Per-stage headroom from zeroed-stage re-runs.
+    pub what_if: Vec<WhatIf>,
+}
+
+/// Profile `schedule`, which must have been produced by `sim` (the task
+/// specs drive dependency reconstruction and the what-if re-runs).
+pub fn profile_schedule(sim: &Simulator, schedule: &Schedule) -> ScheduleProfile {
+    let breakdown = StageBreakdown::from_schedule(schedule);
+    ScheduleProfile {
+        makespan_us: schedule.makespan_us,
+        total_busy_us: breakdown.total(),
+        breakdown,
+        bubbles: BubbleReport::from_schedule(schedule, sim.host_cores()),
+        critical: critical_path(sim.tasks(), schedule),
+        what_if: what_if_headroom(sim),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::{Phase, Resource, TaskSpec};
+
+    #[test]
+    fn profile_parts_agree_on_totals() {
+        let mut sim = Simulator::new(2);
+        let s = sim.add(TaskSpec::new(
+            "S1A c0",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        let h = sim.add(
+            TaskSpec::new("S1H c0", Resource::HostCore, 10.0, Phase::Sampling)
+                .after(&[s])
+                .locked(1),
+        );
+        let r =
+            sim.add(TaskSpec::new("R1 c0", Resource::HostCore, 30.0, Phase::Reindex).after(&[h]));
+        sim.add(TaskSpec::new("T(R)", Resource::Pcie, 20.0, Phase::Transfer).after(&[r]));
+        let schedule = sim.run();
+        let p = profile_schedule(&sim, &schedule);
+        assert_eq!(p.makespan_us.to_bits(), schedule.makespan_us.to_bits());
+        assert!((p.total_busy_us - p.bubbles.busy_us()).abs() < 1e-9);
+        let chain: f64 = p.critical.chain.iter().map(|l| l.end_us - l.start_us).sum();
+        assert!((chain - p.makespan_us).abs() < 1e-9);
+        assert!(p.critical.dag_path_us <= p.makespan_us + 1e-9);
+        assert!(!p.what_if.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Text and JSON rendering of a [`ScheduleProfile`].
+
+use std::fmt::Write as _;
+
+use gt_telemetry::{json::obj, Json, ToJson};
+
+use crate::profile::ScheduleProfile;
+
+/// Render a human-readable profile report (the text form of Fig 13/14's
+/// analysis).
+pub fn render(p: &ScheduleProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule profile: makespan {:.1} µs, busy {:.1} µs over {} units, idle {:.1}%",
+        p.makespan_us,
+        p.total_busy_us,
+        p.bubbles.units.len(),
+        p.bubbles.idle_pct()
+    );
+
+    let _ = writeln!(out, "stage breakdown (busy µs):");
+    for (stage, us) in p.breakdown.iter() {
+        let pct = if p.total_busy_us > 0.0 {
+            100.0 * us / p.total_busy_us
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {:<14} {:>12.1}  {:>5.1}%", stage.label(), us, pct);
+    }
+
+    let _ = writeln!(out, "per-unit utilization:");
+    for u in &p.bubbles.units {
+        let _ = writeln!(
+            out,
+            "  {:<12} busy {:>12.1} µs  idle {:>5.1}%  ({} gaps)",
+            u.track,
+            u.busy_us,
+            u.idle_pct(p.makespan_us),
+            u.gaps.len()
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "critical path: {} links, dag path {:.1} µs ({:.1}% of makespan)",
+        p.critical.chain.len(),
+        p.critical.dag_path_us,
+        if p.makespan_us > 0.0 {
+            100.0 * p.critical.dag_path_us / p.makespan_us
+        } else {
+            0.0
+        }
+    );
+    for (binding, us) in &p.critical.by_binding {
+        let _ = writeln!(
+            out,
+            "  bound by {:<9} {:>12.1} µs  {:>5.1}%",
+            binding.label(),
+            us,
+            if p.makespan_us > 0.0 {
+                100.0 * us / p.makespan_us
+            } else {
+                0.0
+            }
+        );
+    }
+    let _ = writeln!(out, "  time on path by stage:");
+    for (stage, us) in p.critical.by_stage.iter() {
+        let _ = writeln!(out, "    {:<14} {:>12.1} µs", stage.label(), us);
+    }
+
+    let _ = writeln!(out, "what-if headroom (makespan delta if stage were free):");
+    for w in &p.what_if {
+        let _ = writeln!(
+            out,
+            "  {:<14} busy {:>12.1} µs  headroom {:>12.1} µs ({:>5.1}% of makespan)",
+            w.stage.label(),
+            w.busy_us,
+            w.headroom_us,
+            if p.makespan_us > 0.0 {
+                100.0 * w.headroom_us / p.makespan_us
+            } else {
+                0.0
+            }
+        );
+    }
+    out
+}
+
+impl ToJson for ScheduleProfile {
+    fn to_json(&self) -> Json {
+        let stages = Json::Obj(
+            self.breakdown
+                .iter()
+                .map(|(s, us)| (s.label().to_string(), Json::from(us)))
+                .collect(),
+        );
+        let what_if = Json::Obj(
+            self.what_if
+                .iter()
+                .map(|w| (w.stage.label().to_string(), Json::from(w.headroom_us)))
+                .collect(),
+        );
+        let by_binding = Json::Obj(
+            self.critical
+                .by_binding
+                .iter()
+                .map(|(b, us)| (b.label().to_string(), Json::from(*us)))
+                .collect(),
+        );
+        obj([
+            ("makespan_us", Json::from(self.makespan_us)),
+            ("total_busy_us", Json::from(self.total_busy_us)),
+            ("idle_pct", Json::from(self.bubbles.idle_pct())),
+            ("stage_breakdown_us", stages),
+            ("critical_path_links", Json::from(self.critical.chain.len())),
+            (
+                "dag_critical_path_us",
+                Json::from(self.critical.dag_path_us),
+            ),
+            ("critical_by_binding_us", by_binding),
+            ("what_if_headroom_us", what_if),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_schedule;
+    use gt_sim::{Phase, Resource, Simulator, TaskSpec};
+
+    fn sample_profile() -> ScheduleProfile {
+        let mut sim = Simulator::new(2);
+        let s = sim.add(TaskSpec::new(
+            "S1A c0",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        let r =
+            sim.add(TaskSpec::new("R1 c0", Resource::HostCore, 30.0, Phase::Reindex).after(&[s]));
+        sim.add(TaskSpec::new("T(R)", Resource::Pcie, 20.0, Phase::Transfer).after(&[r]));
+        let schedule = sim.run();
+        profile_schedule(&sim, &schedule)
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let text = render(&sample_profile());
+        for needle in [
+            "schedule profile:",
+            "stage breakdown",
+            "per-unit utilization",
+            "critical path:",
+            "what-if headroom",
+            "S-alg",
+            "host core 0",
+            "PCIe",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_form_carries_the_headline_numbers() {
+        let p = sample_profile();
+        let j = p.to_json();
+        assert_eq!(
+            j.get("makespan_us").unwrap().as_f64().unwrap().to_bits(),
+            p.makespan_us.to_bits()
+        );
+        assert!(j.get("stage_breakdown_us").unwrap().get("S-alg").is_some());
+        assert!(j.get("what_if_headroom_us").unwrap().get("T").is_some());
+        // Round-trips through the hand-rolled serializer.
+        let text = j.to_json_string();
+        let back = gt_telemetry::json::parse(&text).unwrap();
+        assert_eq!(back, j);
+    }
+}

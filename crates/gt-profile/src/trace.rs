@@ -1,0 +1,157 @@
+//! Profiler results → extra Perfetto tracks.
+//!
+//! `gt_sim::schedule_to_trace` already draws one track per resource unit;
+//! this module adds the *analysis* on top as additional tracks in the same
+//! process: the binding-constraint critical path as a contiguous row of
+//! slices, per-unit idle gaps as explicit "bubble" slices, and what-if
+//! headroom as instant markers. Appending them to a schedule's trace makes
+//! the Fig 13/14 story visible in one Perfetto view.
+
+use gt_telemetry::{Json, Trace};
+
+use crate::profile::ScheduleProfile;
+
+/// Track name for the critical-path row.
+pub const CRITICAL_TRACK: &str = "critical path";
+/// Track-name prefix for per-unit bubble rows.
+pub const BUBBLE_TRACK_PREFIX: &str = "bubbles: ";
+/// Track name for what-if instant markers.
+pub const WHAT_IF_TRACK: &str = "what-if";
+
+/// Render `profile` as extra tracks on a fresh trace named `process`.
+/// Timestamps are the schedule's virtual microseconds, so the trace lines
+/// up with `schedule_to_trace(&schedule, process)` output; callers usually
+/// append these events to that trace before export.
+pub fn profile_to_trace(profile: &ScheduleProfile, process: &str) -> Trace {
+    let mut trace = Trace::new(process);
+    append_profile_tracks(profile, &mut trace);
+    trace
+}
+
+/// Append the profiler tracks to an existing trace (e.g. one produced by
+/// `gt_sim::schedule_to_trace`).
+pub fn append_profile_tracks(profile: &ScheduleProfile, trace: &mut Trace) {
+    for link in &profile.critical.chain {
+        trace.duration(
+            CRITICAL_TRACK,
+            link.label.clone(),
+            "profile",
+            link.start_us,
+            link.end_us - link.start_us,
+            vec![
+                ("task".to_string(), Json::from(link.task)),
+                ("stage".to_string(), Json::from(link.stage.label())),
+                ("binding".to_string(), Json::from(link.binding.label())),
+            ],
+        );
+    }
+    for unit in &profile.bubbles.units {
+        for &(start, end) in &unit.gaps {
+            trace.duration(
+                format!("{BUBBLE_TRACK_PREFIX}{}", unit.track),
+                "idle",
+                "profile",
+                start,
+                end - start,
+                vec![("unit".to_string(), Json::from(unit.track.as_str()))],
+            );
+        }
+    }
+    for w in &profile.what_if {
+        trace.instant(
+            WHAT_IF_TRACK,
+            format!("{} free", w.stage.label()),
+            "profile",
+            0.0,
+            vec![
+                ("stage".to_string(), Json::from(w.stage.label())),
+                ("headroom_us".to_string(), Json::from(w.headroom_us)),
+                (
+                    "makespan_zeroed_us".to_string(),
+                    Json::from(w.makespan_zeroed_us),
+                ),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_schedule;
+    use gt_sim::{schedule_to_trace, Phase, Resource, Simulator, TaskSpec};
+    use gt_telemetry::{from_chrome_json, write_chrome_json};
+
+    fn profile() -> ScheduleProfile {
+        let mut sim = Simulator::new(2);
+        let s = sim.add(TaskSpec::new(
+            "S1A c0",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        let r =
+            sim.add(TaskSpec::new("R1 c0", Resource::HostCore, 30.0, Phase::Reindex).after(&[s]));
+        sim.add(TaskSpec::new("T(R)", Resource::Pcie, 20.0, Phase::Transfer).after(&[r]));
+        let schedule = sim.run();
+        profile_schedule(&sim, &schedule)
+    }
+
+    #[test]
+    fn critical_track_covers_the_whole_makespan() {
+        let p = profile();
+        let t = profile_to_trace(&p, "virtual time");
+        let cp: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.track == CRITICAL_TRACK)
+            .collect();
+        assert_eq!(cp.len(), p.critical.chain.len());
+        let sum: f64 = cp.iter().map(|e| e.dur_us.unwrap()).sum();
+        assert!((sum - p.makespan_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bubble_slices_match_idle_time() {
+        let p = profile();
+        let t = profile_to_trace(&p, "virtual time");
+        for unit in &p.bubbles.units {
+            let track = format!("{BUBBLE_TRACK_PREFIX}{}", unit.track);
+            let idle: f64 = t
+                .events
+                .iter()
+                .filter(|e| e.track == track)
+                .map(|e| e.dur_us.unwrap())
+                .sum();
+            assert!(
+                (idle - unit.idle_us).abs() < 1e-9,
+                "{track}: {idle} vs {}",
+                unit.idle_us
+            );
+        }
+    }
+
+    #[test]
+    fn profiler_tracks_round_trip_bit_exactly() {
+        let mut sim = Simulator::new(2);
+        let s = sim.add(TaskSpec::new(
+            "S1A c0",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        sim.add(TaskSpec::new("T(R)", Resource::Pcie, 25.0, Phase::Transfer).after(&[s]));
+        let schedule = sim.run();
+        let p = profile_schedule(&sim, &schedule);
+        // The combined view: schedule tracks + profiler tracks in one process.
+        let mut combined = schedule_to_trace(&schedule, "virtual time");
+        append_profile_tracks(&p, &mut combined);
+        let text = write_chrome_json(&[&combined]);
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], combined);
+        for track in [CRITICAL_TRACK, WHAT_IF_TRACK] {
+            assert!(back[0].tracks().contains(&track), "missing {track}");
+        }
+    }
+}

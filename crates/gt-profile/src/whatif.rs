@@ -1,0 +1,129 @@
+//! What-if headroom: how much shorter would the schedule be if one stage
+//! were free?
+//!
+//! For every stage present in the task set, rebuild the simulator with that
+//! stage's durations zeroed (dependencies, locks and resource assignments
+//! intact) and re-run the same deterministic list scheduler. The makespan
+//! delta is the stage's *headroom* — the paper's Fig 13 argument ("T is
+//! hidden by the pipeline") quantified: a stage that is fully overlapped
+//! has (near-)zero headroom even when its busy time is large.
+
+use gt_sim::{Schedule, Simulator, TaskSpec};
+
+use crate::stage::{classify_spec, Stage};
+
+/// Headroom of one stage.
+#[derive(Debug, Clone)]
+pub struct WhatIf {
+    pub stage: Stage,
+    /// Summed busy time of the stage's tasks in the baseline run, µs.
+    pub busy_us: f64,
+    /// Makespan with the stage's durations zeroed, µs.
+    pub makespan_zeroed_us: f64,
+    /// `baseline makespan - makespan_zeroed_us`, µs. Can exceed `busy_us`
+    /// on pathological DAGs (list-scheduling anomalies) but for pipeline
+    /// schedules it is the exposed, unoverlapped share of the stage.
+    pub headroom_us: f64,
+}
+
+/// Compute what-if headroom for every stage in `sim`'s task set.
+///
+/// The baseline is `sim.run()` (fault-free): what-if answers questions
+/// about the *schedule structure*, so injected-fault stretches are not
+/// replayed into the hypotheticals.
+pub fn what_if_headroom(sim: &Simulator) -> Vec<WhatIf> {
+    let baseline = sim.run().makespan_us;
+    let mut stages: Vec<Stage> = Vec::new();
+    for t in sim.tasks() {
+        let s = classify_spec(t);
+        if !stages.contains(&s) {
+            stages.push(s);
+        }
+    }
+    stages.sort_by_key(|s| Stage::ALL.iter().position(|a| a == s));
+    stages
+        .into_iter()
+        .map(|stage| {
+            let busy: f64 = sim
+                .tasks()
+                .iter()
+                .filter(|t| classify_spec(t) == stage)
+                .map(|t| t.duration_us)
+                .sum();
+            let zeroed = run_with_stage_zeroed(sim, stage);
+            WhatIf {
+                stage,
+                busy_us: busy,
+                makespan_zeroed_us: zeroed.makespan_us,
+                headroom_us: baseline - zeroed.makespan_us,
+            }
+        })
+        .collect()
+}
+
+/// Re-run `sim` with every task of `stage` taking zero time.
+pub fn run_with_stage_zeroed(sim: &Simulator, stage: Stage) -> Schedule {
+    let mut alt = Simulator::new(sim.host_cores());
+    for t in sim.tasks() {
+        let mut spec = TaskSpec {
+            label: t.label.clone(),
+            resource: t.resource,
+            duration_us: t.duration_us,
+            deps: t.deps.clone(),
+            lock: t.lock,
+            phase: t.phase,
+            items: t.items,
+        };
+        if classify_spec(t) == stage {
+            spec.duration_us = 0.0;
+        }
+        alt.add(spec);
+    }
+    alt.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::{Phase, Resource};
+
+    #[test]
+    fn serialized_tail_stage_has_full_headroom() {
+        // S -> R -> T, fully serialized: zeroing T removes exactly T's time.
+        let mut sim = Simulator::new(2);
+        let s = sim.add(TaskSpec::new(
+            "S1",
+            Resource::HostCore,
+            40.0,
+            Phase::Sampling,
+        ));
+        let r = sim.add(TaskSpec::new("R1", Resource::HostCore, 30.0, Phase::Reindex).after(&[s]));
+        sim.add(TaskSpec::new("T", Resource::Pcie, 50.0, Phase::Transfer).after(&[r]));
+        let wi = what_if_headroom(&sim);
+        let t = wi.iter().find(|w| w.stage == Stage::Transfer).unwrap();
+        assert!((t.headroom_us - 50.0).abs() < 1e-9);
+        assert!((t.busy_us - 50.0).abs() < 1e-9);
+        assert!((t.makespan_zeroed_us - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_overlapped_stage_has_zero_headroom() {
+        // Transfer runs concurrently with a longer host task: zeroing it
+        // changes nothing.
+        let mut sim = Simulator::new(1);
+        sim.add(TaskSpec::new(
+            "S1",
+            Resource::HostCore,
+            100.0,
+            Phase::Sampling,
+        ));
+        sim.add(TaskSpec::new("T", Resource::Pcie, 60.0, Phase::Transfer));
+        let wi = what_if_headroom(&sim);
+        let t = wi.iter().find(|w| w.stage == Stage::Transfer).unwrap();
+        assert!((t.headroom_us - 0.0).abs() < 1e-9);
+        assert!((t.busy_us - 60.0).abs() < 1e-9);
+        let s = wi.iter().find(|w| w.stage == Stage::Sample).unwrap();
+        // Zeroing S leaves only the 60 µs transfer.
+        assert!((s.headroom_us - 40.0).abs() < 1e-9);
+    }
+}

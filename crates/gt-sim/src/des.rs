@@ -199,6 +199,18 @@ impl Simulator {
         self.tasks.is_empty()
     }
 
+    /// The submitted task specs, indexable by [`TaskId`]. Analysis layers
+    /// (gt-profile) use this to reconstruct the dependency DAG behind a
+    /// [`Schedule`] and to rebuild what-if variants of the simulator.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Size of the host-core pool this simulator schedules onto.
+    pub fn host_cores(&self) -> usize {
+        self.host_cores
+    }
+
     /// Run list scheduling: repeatedly place the ready task with the earliest
     /// possible start (ties broken by submission order) on the
     /// earliest-available unit of its resource pool.

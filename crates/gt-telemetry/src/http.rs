@@ -1,0 +1,181 @@
+//! A zero-dependency metrics endpoint: `GET /metrics` renders the
+//! Prometheus exposition of a [`Telemetry`] registry, `GET /healthz`
+//! answers `ok`. Built directly on `std::net::TcpListener` because the
+//! workspace builds offline — no hyper, no tokio, one accept thread.
+//!
+//! The server is deliberately minimal: it parses only the request line
+//! (method + path), answers one request per connection, and closes. That
+//! is all a Prometheus scraper or a load-balancer health check needs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{prometheus, Telemetry};
+
+/// A background scrape endpoint over a [`Telemetry`] handle.
+///
+/// Bind with [`MetricsServer::start`]; port 0 picks an ephemeral port
+/// (readable via [`MetricsServer::addr`]). Dropping the server shuts the
+/// accept loop down and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `0.0.0.0:port` and serve `telemetry`'s registry until dropped
+    /// or [`shutdown`](MetricsServer::shutdown). Port 0 binds an ephemeral
+    /// port.
+    pub fn start(port: u16, telemetry: Telemetry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(("0.0.0.0", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gt-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // A stuck client must not wedge the scrape loop.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ = serve_one(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves the actual port when started with 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Stop the accept loop and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // `incoming()` blocks in accept(); a throwaway connection to
+        // ourselves unblocks it so the thread can observe the stop flag.
+        let _ = TcpStream::connect(("127.0.0.1", self.addr.port()));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answer a single HTTP/1.x request on `stream`. Only the request line is
+/// interpreted; headers and body are drained implicitly by closing.
+fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    // Read until the header terminator: one read() can return a partial
+    // request (the client may write in several syscalls), and answering a
+    // partial request closes the socket under the client's feet.
+    let mut buf = [0u8; 1024];
+    let mut n = 0;
+    while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[n..])? {
+            0 => break,
+            k => n += k,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            // The exposition format version Prometheus expects.
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus::render(&telemetry.snapshot()),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz_then_shuts_down() {
+        let telemetry = Telemetry::recording();
+        telemetry
+            .counter("gt_http_smoke_total", "Smoke-test counter")
+            .add(7);
+        let server = MetricsServer::start(0, telemetry).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port not resolved");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("version=0.0.4"), "{head}");
+        assert!(body.contains("gt_http_smoke_total 7"), "{body}");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        // The port is released: a fresh connection must fail (or be
+        // refused) rather than be served.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

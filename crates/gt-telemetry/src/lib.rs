@@ -22,6 +22,7 @@
 //! Everything here is hand-rolled (including the JSON layer in [`json`])
 //! because the workspace builds offline with no vendored external crates.
 
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;

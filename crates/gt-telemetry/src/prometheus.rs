@@ -16,7 +16,7 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             MetricValue::Histogram(_) => "histogram",
         };
         if !m.help.is_empty() {
-            let _ = writeln!(out, "# HELP {} {}", m.name, m.help.replace('\n', " "));
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
         }
         let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
         match &m.value {
@@ -45,6 +45,22 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         }
     }
     out
+}
+
+/// Escape HELP text per the exposition format: backslash and newline only.
+/// Backslash must go first or the escaped newline's own backslash would be
+/// doubled.
+pub fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value per the exposition format: backslash, double quote,
+/// and newline. Anything else (including UTF-8) passes through verbatim.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -94,5 +110,37 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(render(&Registry::new().snapshot()), "");
+    }
+
+    /// Exposition-format conformance: HELP escapes `\` and newline; label
+    /// values escape `\`, `"`, and newline, in an order that never
+    /// double-escapes.
+    #[test]
+    fn help_and_label_escaping_conform() {
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_help("line1\nline2"), "line1\\nline2");
+        assert_eq!(escape_help("path C:\\tmp"), "path C:\\\\tmp");
+        // A literal backslash-n in the input must stay distinguishable from
+        // an escaped newline: `\n` → `\\n`, newline → `\n`.
+        assert_eq!(escape_help("\\n\n"), "\\\\n\\n");
+
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+
+        // End to end: a multi-line HELP with a backslash renders on one
+        // line and round-trips the backslash.
+        let reg = Registry::new();
+        reg.counter("gt_esc_total", "first\nsecond \\ third").inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# HELP gt_esc_total first\\nsecond \\\\ third"));
+        // The HELP record stays a single line.
+        let help_line = text
+            .lines()
+            .find(|l| l.starts_with("# HELP gt_esc_total"))
+            .unwrap();
+        assert!(!help_line.contains('\n'));
     }
 }

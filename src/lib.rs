@@ -65,5 +65,5 @@ pub mod prelude {
     pub use gt_models::{evaluate, gat_lite, gcn, gin, ngcf, train_epochs};
     pub use gt_sample::{BatchIter, SamplerConfig};
     pub use gt_sim::{CrashSite, FaultPlan, SystemSpec};
-    pub use gt_telemetry::Telemetry;
+    pub use gt_telemetry::{http::MetricsServer, Telemetry};
 }
