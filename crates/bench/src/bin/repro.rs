@@ -32,6 +32,15 @@
 //! an injected crash site (exit code 3); re-running with the same DIR
 //! recovers from the journal and finishes bit-identically. See
 //! `docs/fault_model.md` §Durability & recovery.
+//!
+//! The `chaos` experiment (also reachable as `--experiment chaos`) runs
+//! seeded fault campaigns: `--seeds N` samples N composite fault plans
+//! (`--seeds-file PATH` reads a fixed corpus instead), executes each
+//! through serve/crash/recover, and checks the invariant oracle. On a
+//! violation the guilty plan is delta-debugged to a minimal schedule,
+//! written to `--chaos-out` (default `chaos-minimized.json`), and the
+//! process exits 4. `--chaos-replay FILE` re-executes one serialized
+//! plan deterministically. See `docs/fault_model.md` §Chaos campaigns.
 
 use gt_bench::experiments::*;
 use gt_bench::ExpConfig;
@@ -42,10 +51,12 @@ fn usage() -> ! {
         "usage: repro <experiment|all> [--scale test|small|medium|<divisor>] \
          [--seed S] [--batch B] [--fanout F] [--layers L] [--threads N] \
          [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR] \
-         [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit]\n\
+         [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit] \
+         [--experiment NAME] [--seeds N] [--seeds-file PATH] \
+         [--chaos-replay FILE] [--chaos-out PATH]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
-         durability smoke"
+         durability chaos smoke"
     );
     std::process::exit(2);
 }
@@ -55,12 +66,20 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let exp = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut durability_opts = durability::DurabilityOpts::default();
-    let mut i = 1;
+    let mut chaos_opts = chaos::ChaosOpts::default();
+    // The experiment is normally the first positional argument; flag-only
+    // invocations (e.g. `repro --chaos-replay plan.json`) name it via
+    // `--experiment` or imply `chaos` from a replay file.
+    let mut exp = String::new();
+    let mut i = 0;
+    if !args[0].starts_with('-') {
+        exp = args[0].clone();
+        i = 1;
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -138,9 +157,40 @@ fn main() {
                     .and_then(|s| gt_sim::CrashSite::parse(s))
                     .unwrap_or_else(usage_v);
             }
+            "--experiment" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(usage_v);
+            }
+            "--seeds" => {
+                i += 1;
+                chaos_opts.seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage_v);
+            }
+            "--seeds-file" => {
+                i += 1;
+                chaos_opts.seeds_file = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+            }
+            "--chaos-replay" => {
+                i += 1;
+                chaos_opts.replay = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+            }
+            "--chaos-out" => {
+                i += 1;
+                chaos_opts.out = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+            }
             _ => usage(),
         }
         i += 1;
+    }
+
+    if exp.is_empty() {
+        if chaos_opts.replay.is_some() {
+            exp = "chaos".to_string();
+        } else {
+            usage();
+        }
     }
 
     if trace_out.is_some() {
@@ -178,6 +228,7 @@ fn main() {
         "scalability" => scalability::print(cfg),
         "threads" => threads::print(cfg),
         "durability" => durability::print(cfg, &durability_opts),
+        "chaos" => chaos::print(cfg, &chaos_opts),
         "smoke" => gt_bench::probe::print(cfg),
         _ => usage(),
     };

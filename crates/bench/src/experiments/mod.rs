@@ -5,6 +5,7 @@
 //! reference numbers alongside).
 
 pub mod ablation;
+pub mod chaos;
 pub mod durability;
 pub mod fig11b;
 pub mod fig12;

@@ -43,14 +43,24 @@ use crate::error::GtError;
 use crate::framework::BatchOutcome;
 use crate::serve::QuarantineRecord;
 use gt_graph::VId;
+use gt_sim::IoTarget;
 use gt_telemetry::json::obj;
 use gt_telemetry::{Json, ToJson};
-use gt_tensor::crc32::crc32;
+use gt_tensor::{chaosio, crc32::crc32};
 use std::io::Write;
 use std::path::Path;
 
 /// Journal file magic (version 01).
 pub const MAGIC: &[u8; 8] = b"GTJRNL01";
+
+/// Hard ceiling on one record's payload length (16 MiB). A journal record
+/// is a small JSON document — a few KiB at most — so a length field past
+/// this bound cannot be real. It also cannot be a torn append: a torn
+/// write leaves a *prefix* of a valid frame, so the length field is either
+/// incomplete (handled as a torn header) or intact and plausible. An
+/// absurd length is therefore corruption, rejected before any reader could
+/// size an allocation from it.
+pub const MAX_RECORD_LEN: usize = 16 << 20;
 
 /// An open, append-only journal. Every append is framed, written, and
 /// fsynced before returning — the write-ahead guarantee.
@@ -85,11 +95,12 @@ impl Journal {
         out
     }
 
-    /// Append one record durably: frame, write, fsync.
+    /// Append one record durably: frame, write, fsync. The write goes
+    /// through the chaos IO shim — identity in production, the injection
+    /// point for torn-write/ENOSPC/bit-flip campaigns.
     pub fn append(&mut self, record: &Json) -> Result<(), GtError> {
         let frame = Self::frame(&record.to_json_string());
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        chaosio::append(IoTarget::Journal, &mut self.file, &frame)?;
         Ok(())
     }
 
@@ -120,8 +131,27 @@ pub struct JournalScan {
 }
 
 /// Read and scan the journal at `path`.
+///
+/// The read is validated against file metadata: fewer bytes than the file
+/// holds (an interrupted syscall, a flaky network filesystem — or an
+/// injected [`gt_sim::IoFault::ShortRead`]) is a retryable [`GtError::Io`],
+/// never silently scanned as if the missing tail were a torn append. A
+/// short read that truncated a committed record would otherwise replay as
+/// data loss.
 pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalScan, GtError> {
-    scan(&std::fs::read(path.as_ref())?)
+    let path = path.as_ref();
+    let bytes = chaosio::read_file(IoTarget::Journal, path)?;
+    let expected = std::fs::metadata(path)?.len();
+    if (bytes.len() as u64) < expected {
+        return Err(GtError::Io {
+            detail: format!(
+                "short read on {}: got {} of {expected} bytes; retry",
+                path.display(),
+                bytes.len()
+            ),
+        });
+    }
+    scan(&bytes)
 }
 
 /// Scan a journal image (see the module docs for the torn-tail policy).
@@ -142,6 +172,15 @@ pub fn scan(bytes: &[u8]) -> Result<JournalScan, GtError> {
         }
         let len =
             u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+        // A fully-present length field past the record ceiling cannot come
+        // from a torn append (torn writes leave prefixes of valid frames);
+        // reject it as corruption before any size could be trusted.
+        if len > MAX_RECORD_LEN {
+            return Err(GtError::CorruptJournal {
+                offset: pos as u64,
+                detail: format!("record length {len} exceeds the {MAX_RECORD_LEN}-byte ceiling"),
+            });
+        }
         let stored = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4-byte slice"));
         let end = pos + 8 + len;
         if end > bytes.len() {
@@ -392,17 +431,101 @@ mod tests {
         }
     }
 
-    /// A corrupt length field claiming more bytes than the file holds must
-    /// not drive an allocation — the scan is bounded by the real size.
+    /// A corrupt length field past the record ceiling is typed corruption,
+    /// rejected before any reader could size an allocation from it. It is
+    /// NOT a torn tail: a torn append leaves a prefix of a valid frame, so
+    /// a fully-present absurd length can only be bit rot or tampering.
     #[test]
-    fn huge_length_claim_cannot_allocate() {
+    fn huge_length_claim_is_corruption_not_torn_tail() {
         let mut bytes = MAGIC.to_vec();
         bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // len: 4 GiB
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"tiny");
+        match scan(&bytes) {
+            Err(GtError::CorruptJournal { offset, detail }) => {
+                assert_eq!(offset, MAGIC.len() as u64);
+                assert!(detail.contains("ceiling"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        // Just under the ceiling the length is plausible, so a record that
+        // extends past end-of-file is still handled as a torn tail.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(MAX_RECORD_LEN as u32).to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
         bytes.extend_from_slice(b"tiny");
         let s = scan(&bytes).unwrap();
         assert!(s.torn_tail);
         assert!(s.records.is_empty());
         assert_eq!(s.valid_len, MAGIC.len() as u64);
+    }
+
+    /// Journal reads validate byte counts against metadata: a short read
+    /// must surface as a retryable I/O error, not scan the truncated
+    /// buffer (which would silently drop committed records as a "torn
+    /// tail" and replay as data loss).
+    #[test]
+    fn short_read_is_retryable_not_data_loss() {
+        let dir = tmp_dir("short_read");
+        let path = dir.join("outcomes.gtj");
+        let mut j = Journal::create(&path).unwrap();
+        for r in &sample_records() {
+            j.append(r).unwrap();
+        }
+        drop(j);
+        let _g = gt_tensor::chaosio::arm(&[(IoTarget::Journal, gt_sim::IoFault::ShortRead)]);
+        match read_journal(&path) {
+            Err(GtError::Io { detail }) => assert!(detail.contains("short read"), "{detail}"),
+            other => panic!("expected retryable Io error, got {other:?}"),
+        }
+        // The fault was consumed; the retry sees every record.
+        let s = read_journal(&path).unwrap();
+        assert_eq!(s.records.len(), sample_records().len());
+        assert!(!s.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Injected journal append faults leave exactly the residue recovery
+    /// is built for: a torn half-frame (truncatable tail), nothing at all
+    /// (ENOSPC), or a CRC-detectable flipped record.
+    #[test]
+    fn injected_append_faults_leave_recoverable_residue() {
+        use gt_sim::IoFault;
+        let dir = tmp_dir("inject");
+        let path = dir.join("outcomes.gtj");
+        let rec = batch_record(0, &[1], &BatchOutcome::Succeeded);
+
+        // Torn write: valid prefix survives, tail truncates away.
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&rec).unwrap();
+        let g = gt_tensor::chaosio::arm(&[(IoTarget::Journal, IoFault::TornWrite)]);
+        assert!(j.append(&rec).is_err());
+        drop(g);
+        let s = read_journal(&path).unwrap();
+        assert!(s.torn_tail);
+        assert_eq!(s.records, vec![rec.clone()]);
+
+        // ENOSPC: nothing persisted, journal still clean after truncation.
+        truncate_to(&path, s.valid_len).unwrap();
+        let mut j = Journal::open_append(&path).unwrap();
+        let g = gt_tensor::chaosio::arm(&[(IoTarget::Journal, IoFault::Enospc)]);
+        assert!(j.append(&rec).is_err());
+        drop(g);
+        let s = read_journal(&path).unwrap();
+        assert!(!s.torn_tail);
+        assert_eq!(s.records, vec![rec.clone()]);
+
+        // Bit flip: append "succeeds" but the CRC framing catches it —
+        // either a droppable tail or typed corruption, never a wrong
+        // record (the corruption-sweep test covers every flip position).
+        let g = gt_tensor::chaosio::arm(&[(IoTarget::Journal, IoFault::BitFlip { bit: 70 })]);
+        j.append(&rec).unwrap();
+        drop(g);
+        match read_journal(&path) {
+            Ok(s) => assert_eq!(s.records, vec![rec.clone()], "flip must not alter records"),
+            Err(GtError::CorruptJournal { .. }) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,7 +31,7 @@ use gt_graph::VId;
 use gt_sample::validate_batch;
 use gt_sim::{CrashSite, FaultPlan, SimContext};
 use gt_telemetry::ToJson;
-use gt_tensor::checkpoint;
+use gt_tensor::{chaosio, checkpoint};
 use std::path::PathBuf;
 
 /// Retry/degradation policy of the supervisor.
@@ -137,11 +137,13 @@ pub struct RecoveryReport {
 struct DurabilityState {
     journal: Journal,
     cfg: DurabilityConfig,
-    /// Crash rules at batch indices below this are suppressed: the fault
-    /// already killed the previous process, and the recovered one has
-    /// outlived it (a real kill -9 does not re-fire on the restarted
-    /// process either).
-    suppress_crashes_below: usize,
+    /// Durability faults (crash rules, storage-fault rules) at batch
+    /// indices below this are suppressed: the fault already hit the
+    /// previous process, and the recovered one has outlived it (a real
+    /// kill -9 or torn write does not re-fire on the restarted process
+    /// either). Without this, a persistent fault rule would re-kill every
+    /// recovery at the same batch — a livelock.
+    suppress_faults_below: usize,
 }
 
 /// Wraps a trainer in the retry/degrade/quarantine ladder described in the
@@ -417,11 +419,14 @@ impl Supervisor {
     /// [`Supervisor::recover`] instead.
     pub fn make_durable(&mut self, cfg: DurabilityConfig) -> Result<(), GtError> {
         std::fs::create_dir_all(&cfg.dir)?;
+        // A crash between tmp-write and atomic rename in a *previous*
+        // process leaks its staging sibling forever; sweep it on startup.
+        checkpoint::remove_stale_tmp(cfg.checkpoint_path());
         let journal = Journal::create(cfg.journal_path())?;
         self.durability = Some(DurabilityState {
             journal,
             cfg,
-            suppress_crashes_below: 0,
+            suppress_faults_below: 0,
         });
         Ok(())
     }
@@ -447,17 +452,22 @@ impl Supervisor {
         batch: &[VId],
     ) -> Result<BatchReport, GtError> {
         let batch_index = self.batches_served;
-        let crash = {
+        let (crash, io_faults) = {
             let d = self.durability.as_ref().ok_or_else(|| GtError::Io {
                 detail: "serve_durable before make_durable/recover".to_string(),
             })?;
-            if self.plan.is_empty() || batch_index < d.suppress_crashes_below {
-                None
+            if self.plan.is_empty() || batch_index < d.suppress_faults_below {
+                (None, Vec::new())
             } else {
-                // Crash rules are persistent (attempt 0 decides).
-                self.plan.active(batch_index, 0).crash_site()
+                // Durability rules are persistent (attempt 0 decides).
+                let active = self.plan.active(batch_index, 0);
+                (active.crash_site(), active.io_faults())
             }
         };
+        // Arm this batch's storage faults below the durability layer; the
+        // guard disarms whatever is left on every exit path, so a fault
+        // can never leak into the next batch.
+        let _io_guard = chaosio::arm(&io_faults);
         let telemetry = self.trainer.telemetry.clone();
         let report = self.serve_batch(data, batch);
         let rec = journal::batch_record(batch_index, batch, &report.outcome);
@@ -593,7 +603,7 @@ impl Supervisor {
             journal::truncate_to(cfg.journal_path(), scan.valid_len)?;
         }
         // A crash mid-checkpoint leaves a torn staging sibling; drop it.
-        let _ = std::fs::remove_file(checkpoint::tmp_path(&cfg.checkpoint_path()));
+        checkpoint::remove_stale_tmp(cfg.checkpoint_path());
 
         let corrupt = |detail: &str| GtError::CorruptJournal {
             offset: 0,
@@ -669,10 +679,10 @@ impl Supervisor {
         self.durability = Some(DurabilityState {
             journal,
             cfg,
-            // The crash that killed the previous process must not re-fire
-            // on this one — suppress crash rules up to and including the
-            // resume index.
-            suppress_crashes_below: replayed + 1,
+            // The fault that felled the previous process must not re-fire
+            // on this one — suppress durability rules up to and including
+            // the resume index.
+            suppress_faults_below: replayed + 1,
         });
         telemetry.event(
             "serve",

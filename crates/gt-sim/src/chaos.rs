@@ -1,0 +1,686 @@
+//! Deterministic fault-campaign machinery: a seeded generator that samples
+//! composite [`FaultPlan`]s, a JSON wire form for replaying them, and a
+//! delta-debugging shrinker that minimizes a failing fault schedule.
+//!
+//! This is the FoundationDB-style simulation-testing layer of the fault
+//! model (docs/fault_model.md §Chaos campaigns). Hand-written crash-site
+//! sweeps cover the faults someone thought of; [`sample_plan`] explores the
+//! *composite* schedule space — a crash at any batch × any
+//! [`CrashSite`], storage faults (torn write, short read, ENOSPC,
+//! single-bit flip) against the journal or the checkpoint, schedule
+//! stalls, memory pressure, and delayed-delivery reorderings — all from
+//! one seed, so a failing campaign is exactly reproducible from one `u64`.
+//!
+//! When a campaign's invariant oracle (in `crates/bench`) rejects a plan,
+//! [`shrink`] minimizes it: drop rules, lower batch indices, tighten
+//! windows, weaken kinds — re-running the oracle after each step — until
+//! the plan is 1-minimal. The shrunk plan serializes with [`plan_to_json`]
+//! and replays with `repro --chaos-replay`.
+//!
+//! Everything here is pure: no clock, no filesystem, no global state.
+
+use crate::fault::{splitmix64, CrashSite, FaultKind, FaultPlan, FaultRule, IoFault, IoTarget};
+use gt_telemetry::json::obj;
+use gt_telemetry::Json;
+
+/// Shape of the sampled fault schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Batches in the serving stream faults are scheduled over.
+    pub batches: usize,
+    /// Most faults one plan may carry (at least one is always sampled).
+    pub max_faults: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            batches: 8,
+            max_faults: 4,
+        }
+    }
+}
+
+/// Tiny deterministic RNG over splitmix64 (the same primitive the rule
+/// rolls use, differently keyed).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Distinct stream from FaultPlan's probability rolls.
+        Rng(splitmix64(seed ^ 0xC4A0_5CA0_DE7E_C7ED))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Sample one composite fault schedule for `seed`.
+///
+/// Every emitted rule is an *explicit* schedule entry — probability 1.0
+/// over a concrete batch window — except transfer failures, which keep a
+/// per-attempt probability so retry-then-succeed ladders are exercised.
+/// Journal/checkpoint faults stay inside the recoverable-or-detectable
+/// envelope documented on [`IoFault`].
+pub fn sample_plan(seed: u64, cfg: &ChaosConfig) -> FaultPlan {
+    let mut rng = Rng::new(seed);
+    let n_faults = 1 + rng.below(cfg.max_faults.max(1) as u64) as usize;
+    let mut plan = FaultPlan::new(seed);
+    for _ in 0..n_faults {
+        let b = rng.below(cfg.batches.max(1) as u64) as usize;
+        plan = match rng.below(8) {
+            0 => {
+                let site = match rng.below(3) {
+                    0 => CrashSite::MidJournal,
+                    1 => CrashSite::MidCheckpoint,
+                    _ => CrashSite::AfterCommit,
+                };
+                plan.with_crash_at(b, site)
+            }
+            1 => {
+                let fault = match rng.below(4) {
+                    0 => IoFault::TornWrite,
+                    1 => IoFault::ShortRead,
+                    2 => IoFault::Enospc,
+                    _ => IoFault::BitFlip {
+                        bit: rng.below(1 << 14) as u32,
+                    },
+                };
+                plan.with_io_fault(b, IoTarget::Journal, fault)
+            }
+            2 => {
+                // Checkpoint loads are replaced by journal replay during
+                // recovery, so short reads are a journal-side fault; the
+                // checkpoint side exercises the write path.
+                let fault = match rng.below(3) {
+                    0 => IoFault::TornWrite,
+                    1 => IoFault::Enospc,
+                    _ => IoFault::BitFlip {
+                        bit: rng.below(1 << 14) as u32,
+                    },
+                };
+                plan.with_io_fault(b, IoTarget::Checkpoint, fault)
+            }
+            3 => {
+                // Transient transfer failures over a short window: the
+                // retry ladder either clears them or quarantines.
+                let until = b + 1 + rng.below(2) as usize;
+                let probability = [0.5, 0.8, 1.0][rng.below(3) as usize];
+                plan.with_rule(FaultRule {
+                    kind: FaultKind::TransferFailure,
+                    probability,
+                    from_batch: b,
+                    until_batch: Some(until),
+                    transient: true,
+                })
+            }
+            4 => {
+                // Memory pressure: moderate (halving recovers) or hard
+                // (every attempt OOMs and the batch quarantines).
+                let fraction = if rng.below(2) == 0 { 0.5 } else { 1e-6 };
+                plan.with_rule(FaultRule {
+                    kind: FaultKind::MemoryPressure { fraction },
+                    probability: 1.0,
+                    from_batch: b,
+                    until_batch: Some(b + 1),
+                    transient: false,
+                })
+            }
+            5 => {
+                let factor = (1 + rng.below(4)) as f64 * 2.0;
+                plan.with_rule(FaultRule {
+                    kind: FaultKind::TransferStall { factor },
+                    probability: 1.0,
+                    from_batch: b,
+                    until_batch: Some(b + 1 + rng.below(3) as usize),
+                    transient: false,
+                })
+            }
+            6 => {
+                let factor = (1 + rng.below(3)) as f64 * 2.0;
+                plan.with_rule(FaultRule {
+                    kind: FaultKind::HashContention { factor },
+                    probability: 1.0,
+                    from_batch: b,
+                    until_batch: Some(b + 1),
+                    transient: false,
+                })
+            }
+            _ => plan.with_delivery_delay(b, 1 + rng.below(3) as u32),
+        };
+    }
+    plan
+}
+
+/// The order batches actually reach the server in, after applying the
+/// plan's [`FaultKind::DeliveryDelay`] rules to the submission order
+/// `0..batches`. A batch delayed `d` slots sorts as if it arrived at
+/// `index + d`; ties resolve by submission order (stable), so the result
+/// is a deterministic permutation of `0..batches`.
+pub fn delivery_order(plan: &FaultPlan, batches: usize) -> Vec<usize> {
+    let mut keyed: Vec<(usize, usize)> = (0..batches)
+        .map(|b| (b + plan.active(b, 0).delivery_delay().unwrap_or(0), b))
+        .collect();
+    keyed.sort_by_key(|&(slot, b)| (slot, b));
+    keyed.into_iter().map(|(_, b)| b).collect()
+}
+
+// ---- JSON wire form -----------------------------------------------------
+
+fn kind_to_json(kind: &FaultKind) -> Json {
+    match kind {
+        FaultKind::TransferStall { factor } => obj([
+            ("kind", "transfer-stall".into()),
+            ("factor", (*factor).into()),
+        ]),
+        FaultKind::TransferFailure => obj([("kind", "transfer-failure".into())]),
+        FaultKind::StragglerCore { core, factor } => obj([
+            ("kind", "straggler-core".into()),
+            ("core", (*core as u64).into()),
+            ("factor", (*factor).into()),
+        ]),
+        FaultKind::MemoryPressure { fraction } => obj([
+            ("kind", "memory-pressure".into()),
+            ("fraction", (*fraction).into()),
+        ]),
+        FaultKind::HashContention { factor } => obj([
+            ("kind", "hash-contention".into()),
+            ("factor", (*factor).into()),
+        ]),
+        FaultKind::ServeDelay { extra_us } => obj([
+            ("kind", "serve-delay".into()),
+            ("extra_us", (*extra_us).into()),
+        ]),
+        FaultKind::Crash { site } => obj([
+            ("kind", "crash".into()),
+            ("site", Json::Str(site.label().to_string())),
+        ]),
+        FaultKind::Io { target, fault } => {
+            let mut pairs = vec![
+                ("kind", Json::Str("io".to_string())),
+                ("target", Json::Str(target.label().to_string())),
+                ("fault", Json::Str(fault.label().to_string())),
+            ];
+            if let IoFault::BitFlip { bit } = fault {
+                pairs.push(("bit", (*bit as u64).into()));
+            }
+            obj(pairs)
+        }
+        FaultKind::DeliveryDelay { slots } => obj([
+            ("kind", "delivery-delay".into()),
+            ("slots", (*slots as u64).into()),
+        ]),
+    }
+}
+
+fn kind_from_json(v: &Json) -> Result<FaultKind, String> {
+    let kind = v
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or("rule without a kind tag")?;
+    let num = |field: &str| -> Result<f64, String> {
+        v.get(field)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("{kind} rule missing numeric {field:?}"))
+    };
+    match kind {
+        "transfer-stall" => Ok(FaultKind::TransferStall {
+            factor: num("factor")?,
+        }),
+        "transfer-failure" => Ok(FaultKind::TransferFailure),
+        "straggler-core" => Ok(FaultKind::StragglerCore {
+            core: num("core")? as usize,
+            factor: num("factor")?,
+        }),
+        "memory-pressure" => Ok(FaultKind::MemoryPressure {
+            fraction: num("fraction")?,
+        }),
+        "hash-contention" => Ok(FaultKind::HashContention {
+            factor: num("factor")?,
+        }),
+        "serve-delay" => Ok(FaultKind::ServeDelay {
+            extra_us: num("extra_us")?,
+        }),
+        "crash" => {
+            let site = v
+                .get("site")
+                .and_then(|s| s.as_str())
+                .and_then(CrashSite::parse)
+                .ok_or("crash rule with unknown site")?;
+            Ok(FaultKind::Crash { site })
+        }
+        "io" => {
+            let target = v
+                .get("target")
+                .and_then(|s| s.as_str())
+                .and_then(IoTarget::parse)
+                .ok_or("io rule with unknown target")?;
+            let fault = match v.get("fault").and_then(|s| s.as_str()) {
+                Some("torn-write") => IoFault::TornWrite,
+                Some("short-read") => IoFault::ShortRead,
+                Some("enospc") => IoFault::Enospc,
+                Some("bit-flip") => IoFault::BitFlip {
+                    bit: num("bit")? as u32,
+                },
+                other => return Err(format!("io rule with unknown fault {other:?}")),
+            };
+            Ok(FaultKind::Io { target, fault })
+        }
+        "delivery-delay" => Ok(FaultKind::DeliveryDelay {
+            slots: num("slots")? as u32,
+        }),
+        other => Err(format!("unknown fault kind {other:?}")),
+    }
+}
+
+/// Serialize a plan (seed + rules) to its JSON wire form — the payload
+/// `repro --chaos-replay` consumes and CI uploads on campaign failure.
+pub fn plan_to_json(plan: &FaultPlan) -> Json {
+    let rules: Vec<Json> = plan
+        .rules()
+        .iter()
+        .map(|r| {
+            let mut o = kind_to_json(&r.kind);
+            if let Json::Obj(pairs) = &mut o {
+                pairs.push(("probability".to_string(), r.probability.into()));
+                pairs.push(("from".to_string(), (r.from_batch as u64).into()));
+                pairs.push((
+                    "until".to_string(),
+                    match r.until_batch {
+                        Some(u) => (u as u64).into(),
+                        None => Json::Null,
+                    },
+                ));
+                pairs.push(("transient".to_string(), Json::Bool(r.transient)));
+            }
+            o
+        })
+        .collect();
+    obj([("seed", plan.seed().into()), ("rules", Json::Arr(rules))])
+}
+
+/// Rebuild a plan from [`plan_to_json`]'s wire form.
+pub fn plan_from_json(v: &Json) -> Result<FaultPlan, String> {
+    let seed = v
+        .get("seed")
+        .and_then(|s| s.as_f64())
+        .ok_or("plan without a seed")? as u64;
+    let rules = v
+        .get("rules")
+        .and_then(|r| r.as_arr())
+        .ok_or("plan without a rules array")?;
+    let mut plan = FaultPlan::new(seed);
+    for r in rules {
+        let kind = kind_from_json(r)?;
+        let probability = r
+            .get("probability")
+            .and_then(|p| p.as_f64())
+            .ok_or("rule without probability")?;
+        let from_batch = r
+            .get("from")
+            .and_then(|f| f.as_f64())
+            .ok_or("rule without from")? as usize;
+        let until_batch = match r.get("until") {
+            Some(Json::Null) | None => None,
+            Some(u) => Some(u.as_f64().ok_or("non-numeric until")? as usize),
+        };
+        let transient = matches!(r.get("transient"), Some(Json::Bool(true)));
+        plan = plan.with_rule(FaultRule {
+            kind,
+            probability,
+            from_batch,
+            until_batch,
+            transient,
+        });
+    }
+    Ok(plan)
+}
+
+// ---- shrinking ----------------------------------------------------------
+
+fn rebuild(seed: u64, rules: Vec<FaultRule>) -> FaultPlan {
+    rules
+        .into_iter()
+        .fold(FaultPlan::new(seed), |p, r| p.with_rule(r))
+}
+
+/// Strictly-weaker replacements for a fault kind, strongest candidate
+/// first. "Weaker" follows the recovery protocol's cost ordering: a crash
+/// later in the protocol disturbs less state; an ENOSPC persists nothing
+/// where a torn write leaves residue; smaller slowdown factors and delays
+/// perturb less.
+fn weaker_kinds(kind: &FaultKind) -> Vec<FaultKind> {
+    match *kind {
+        FaultKind::Crash {
+            site: CrashSite::MidJournal,
+        } => vec![
+            FaultKind::Crash {
+                site: CrashSite::MidCheckpoint,
+            },
+            FaultKind::Crash {
+                site: CrashSite::AfterCommit,
+            },
+        ],
+        FaultKind::Crash {
+            site: CrashSite::MidCheckpoint,
+        } => vec![FaultKind::Crash {
+            site: CrashSite::AfterCommit,
+        }],
+        FaultKind::Io { target, fault } => match fault {
+            IoFault::BitFlip { .. } => vec![
+                FaultKind::Io {
+                    target,
+                    fault: IoFault::TornWrite,
+                },
+                FaultKind::Io {
+                    target,
+                    fault: IoFault::Enospc,
+                },
+            ],
+            IoFault::TornWrite => vec![FaultKind::Io {
+                target,
+                fault: IoFault::Enospc,
+            }],
+            _ => vec![],
+        },
+        FaultKind::TransferStall { factor } if factor > 2.0 => {
+            vec![FaultKind::TransferStall {
+                factor: (factor / 2.0).max(2.0),
+            }]
+        }
+        FaultKind::HashContention { factor } if factor > 2.0 => {
+            vec![FaultKind::HashContention {
+                factor: (factor / 2.0).max(2.0),
+            }]
+        }
+        FaultKind::StragglerCore { core, factor } if factor > 2.0 => {
+            vec![FaultKind::StragglerCore {
+                core,
+                factor: (factor / 2.0).max(2.0),
+            }]
+        }
+        FaultKind::ServeDelay { extra_us } if extra_us > 1.0 => {
+            vec![FaultKind::ServeDelay {
+                extra_us: extra_us / 2.0,
+            }]
+        }
+        FaultKind::DeliveryDelay { slots } if slots > 1 => {
+            vec![FaultKind::DeliveryDelay { slots: slots / 2 }]
+        }
+        _ => vec![],
+    }
+}
+
+/// Delta-debug `plan` down to a schedule that still fails `still_fails`.
+///
+/// Greedy passes to a fixpoint, bounded by `max_evals` predicate runs:
+///
+/// 1. **drop** — remove each rule outright;
+/// 2. **rebase** — shift each rule's window toward batch 0 (try 0, then
+///    halve the distance);
+/// 3. **tighten** — shrink open or multi-batch windows to one batch;
+/// 4. **weaken** — substitute strictly weaker kinds ([`weaker_kinds`]).
+///
+/// The returned plan always fails the predicate (it is only replaced by
+/// candidates that do). `still_fails` must be deterministic — it re-runs
+/// the whole campaign, which the stack's determinism contract guarantees.
+pub fn shrink<F: FnMut(&FaultPlan) -> bool>(
+    plan: &FaultPlan,
+    mut still_fails: F,
+    max_evals: usize,
+) -> FaultPlan {
+    let seed = plan.seed();
+    let mut best = plan.clone();
+    let mut evals = 0usize;
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop whole rules.
+        let mut i = 0;
+        while i < best.rules().len() {
+            if evals >= max_evals {
+                return best;
+            }
+            let mut rules = best.rules().to_vec();
+            rules.remove(i);
+            let cand = rebuild(seed, rules);
+            evals += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                // Re-test the same index: it now holds the next rule.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Passes 2-4: per-rule window rebasing, tightening, weakening.
+        for i in 0..best.rules().len() {
+            let rule = best.rules()[i].clone();
+
+            // Rebase toward batch 0, preserving the window length.
+            let mut target = 0usize;
+            while target < rule.from_batch {
+                if evals >= max_evals {
+                    return best;
+                }
+                let delta = best.rules()[i].from_batch - target;
+                let mut rules = best.rules().to_vec();
+                rules[i].from_batch = target;
+                rules[i].until_batch = rules[i].until_batch.map(|u| u.saturating_sub(delta));
+                let cand = rebuild(seed, rules);
+                evals += 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+                // Couldn't reach `target`; try halfway between it and the
+                // current position.
+                let cur = best.rules()[i].from_batch;
+                let next = cur - (cur - target) / 2;
+                if next == target || next >= cur {
+                    break;
+                }
+                target = next;
+            }
+
+            // Tighten the window to a single batch.
+            let cur = best.rules()[i].clone();
+            if cur.until_batch != Some(cur.from_batch + 1) {
+                if evals >= max_evals {
+                    return best;
+                }
+                let mut rules = best.rules().to_vec();
+                rules[i].until_batch = Some(rules[i].from_batch + 1);
+                let cand = rebuild(seed, rules);
+                evals += 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    improved = true;
+                }
+            }
+
+            // Weaken the kind.
+            for weaker in weaker_kinds(&best.rules()[i].kind) {
+                if evals >= max_evals {
+                    return best;
+                }
+                let mut rules = best.rules().to_vec();
+                rules[i].kind = weaker;
+                let cand = rebuild(seed, rules);
+                evals += 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_plan_is_deterministic_and_nonempty() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64 {
+            let a = sample_plan(seed, &cfg);
+            let b = sample_plan(seed, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.is_empty());
+            assert!(a.len() <= cfg.max_faults);
+        }
+    }
+
+    #[test]
+    fn sampled_space_covers_every_category() {
+        let cfg = ChaosConfig::default();
+        let mut seen_crash = false;
+        let mut seen_io = false;
+        let mut seen_delay = false;
+        let mut seen_schedule = false;
+        for seed in 0..256 {
+            for r in sample_plan(seed, &cfg).rules() {
+                match r.kind {
+                    FaultKind::Crash { .. } => seen_crash = true,
+                    FaultKind::Io { .. } => seen_io = true,
+                    FaultKind::DeliveryDelay { .. } => seen_delay = true,
+                    FaultKind::TransferStall { .. }
+                    | FaultKind::HashContention { .. }
+                    | FaultKind::MemoryPressure { .. }
+                    | FaultKind::TransferFailure => seen_schedule = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(seen_crash && seen_io && seen_delay && seen_schedule);
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64 {
+            let plan = sample_plan(seed, &cfg);
+            let text = plan_to_json(&plan).to_json_string();
+            let parsed = gt_telemetry::json::parse(&text).expect("self-produced JSON parses");
+            let back = plan_from_json(&parsed).expect("wire form rebuilds");
+            assert_eq!(back, plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_from_json_rejects_garbage() {
+        let bad = gt_telemetry::json::parse(r#"{"rules": []}"#).unwrap();
+        assert!(plan_from_json(&bad).is_err());
+        let bad =
+            gt_telemetry::json::parse(r#"{"seed": 1, "rules": [{"kind": "warp-core"}]}"#).unwrap();
+        assert!(plan_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn delivery_order_is_identity_without_delays() {
+        let plan = FaultPlan::new(0).with_crash_at(3, CrashSite::MidJournal);
+        assert_eq!(delivery_order(&plan, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delivery_order_is_a_permutation_that_delays_the_target() {
+        let plan = FaultPlan::new(0).with_delivery_delay(1, 2);
+        let order = delivery_order(&plan, 5);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        // Batch 1 sorts at slot 3: after batches 2 and 3, tied-but-stable
+        // before the batch submitted at 3.
+        assert_eq!(order, vec![0, 2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn shrink_finds_the_single_guilty_rule() {
+        // Oracle: fails iff a crash rule exists anywhere.
+        let plan = FaultPlan::new(5)
+            .with_transfer_stall(4.0, 1.0)
+            .with_crash_at(6, CrashSite::MidJournal)
+            .with_delivery_delay(3, 2)
+            .with_io_fault(2, IoTarget::Journal, IoFault::TornWrite);
+        let fails = |p: &FaultPlan| (0..10).any(|b| p.active(b, 0).crash_site().is_some());
+        let min = shrink(&plan, fails, 200);
+        assert_eq!(min.len(), 1, "one rule suffices: {min:?}");
+        let rule = &min.rules()[0];
+        assert!(matches!(rule.kind, FaultKind::Crash { .. }));
+        // Rebased to batch 0 and weakened to the cheapest site that still
+        // fails the (site-insensitive) oracle.
+        assert_eq!(rule.from_batch, 0);
+        assert_eq!(
+            rule.kind,
+            FaultKind::Crash {
+                site: CrashSite::AfterCommit
+            }
+        );
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn shrink_keeps_conjunctive_causes() {
+        // Oracle: fails only when BOTH a journal io fault AND a crash are
+        // scheduled — the shrinker must not drop either.
+        let plan = FaultPlan::new(9)
+            .with_io_fault(4, IoTarget::Journal, IoFault::BitFlip { bit: 77 })
+            .with_transfer_failure(0.5)
+            .with_crash_at(5, CrashSite::MidCheckpoint)
+            .with_transfer_stall(8.0, 1.0);
+        let fails = |p: &FaultPlan| {
+            let io = (0..10).any(|b| !p.active(b, 0).io_faults().is_empty());
+            let crash = (0..10).any(|b| p.active(b, 0).crash_site().is_some());
+            io && crash
+        };
+        let min = shrink(&plan, fails, 400);
+        assert_eq!(min.len(), 2, "{min:?}");
+        assert!(fails(&min));
+        assert!(min
+            .rules()
+            .iter()
+            .all(|r| matches!(r.kind, FaultKind::Crash { .. } | FaultKind::Io { .. })));
+        assert!(min.rules().iter().all(|r| r.from_batch == 0));
+    }
+
+    #[test]
+    fn shrink_respects_the_eval_budget() {
+        let plan = sample_plan(3, &ChaosConfig::default());
+        let mut evals = 0usize;
+        let _ = shrink(
+            &plan,
+            |_| {
+                evals += 1;
+                true
+            },
+            7,
+        );
+        assert!(evals <= 7, "{evals} evals");
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let plan = sample_plan(17, &ChaosConfig::default());
+        let fails = |p: &FaultPlan| p.durability_rule_count() > 0 || p.len() > 2;
+        let a = shrink(&plan, fails, 300);
+        let b = shrink(&plan, fails, 300);
+        assert_eq!(a, b);
+    }
+}

@@ -43,6 +43,83 @@ pub enum FaultKind {
     /// point would leave (torn journal record, torn checkpoint temp file)
     /// and surfacing a typed error. Inert in the DES.
     Crash { site: CrashSite },
+    /// A storage-level fault hits the next `target` operation while the
+    /// batch is served: a torn write, a short read, ENOSPC, or a single-bit
+    /// flip of the in-flight bytes. Consumed by the durability layer, which
+    /// arms the `gt-tensor` chaos IO shim for the batch; inert in the DES.
+    Io { target: IoTarget, fault: IoFault },
+    /// The batch's request is delivered `slots` positions later than it was
+    /// submitted (delayed delivery / reordering in the ingestion path).
+    /// Consumed by the chaos campaign driver, which derives the actual
+    /// delivery order from these rules before serving; inert everywhere
+    /// else — the *workload order* changes, not the pipeline's behavior.
+    DeliveryDelay { slots: u32 },
+}
+
+/// Which durable artifact an injected [`IoFault`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoTarget {
+    /// The parameter checkpoint (staging writes, loads).
+    Checkpoint,
+    /// The write-ahead outcome journal (appends, recovery reads).
+    Journal,
+}
+
+impl IoTarget {
+    /// Stable kebab-case label used in telemetry events and plan JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoTarget::Checkpoint => "checkpoint",
+            IoTarget::Journal => "journal",
+        }
+    }
+
+    /// Parse an [`IoTarget::label`] back (plan JSON / CLI parsing).
+    pub fn parse(s: &str) -> Option<IoTarget> {
+        match s {
+            "checkpoint" => Some(IoTarget::Checkpoint),
+            "journal" => Some(IoTarget::Journal),
+            _ => None,
+        }
+    }
+}
+
+/// One storage-level fault kind (see [`FaultKind::Io`]).
+///
+/// All four are *recoverable or detectable* by design: torn writes and
+/// ENOSPC surface as errors whose on-disk residue recovery repairs; a short
+/// read is caught by length validation and retried; a bit flip of in-flight
+/// bytes is caught by the CRC framing — either truncated away as a torn
+/// tail (and the unacknowledged batch re-served) or surfaced as typed
+/// corruption. What must never happen is a silent wrong answer; the chaos
+/// oracle (docs/fault_model.md §Chaos campaigns) asserts exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write persists only a prefix of the bytes, then fails — the
+    /// kernel-level torn write a power cut mid-`write(2)` leaves.
+    TornWrite,
+    /// The next read returns fewer bytes than the file holds (interrupted
+    /// syscall, flaky NFS). Callers must validate lengths, not trust EOF.
+    ShortRead,
+    /// The write fails outright with "no space left on device", persisting
+    /// nothing.
+    Enospc,
+    /// Bit `bit` (mod the buffer's bit width) of the in-flight bytes is
+    /// flipped before they hit disk; the write itself reports success —
+    /// the firmware lied. Detection is the CRC framing's job.
+    BitFlip { bit: u32 },
+}
+
+impl IoFault {
+    /// Stable kebab-case label used in telemetry events and plan JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoFault::TornWrite => "torn-write",
+            IoFault::ShortRead => "short-read",
+            IoFault::Enospc => "enospc",
+            IoFault::BitFlip { .. } => "bit-flip",
+        }
+    }
 }
 
 /// Where, within one served batch's durability protocol, an injected crash
@@ -82,7 +159,7 @@ impl CrashSite {
 }
 
 /// A seeded rule: which batches a fault applies to and how often it fires.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultRule {
     pub kind: FaultKind,
     /// Probability the fault fires for a given batch (1.0 = always).
@@ -98,7 +175,7 @@ pub struct FaultRule {
 }
 
 /// A deterministic, seedable collection of fault rules.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
@@ -234,6 +311,30 @@ impl FaultPlan {
         })
     }
 
+    /// Inject a storage fault on the next `target` operation while serving
+    /// batch `batch` (fires exactly once, like [`FaultPlan::with_crash_at`]).
+    pub fn with_io_fault(self, batch: usize, target: IoTarget, fault: IoFault) -> Self {
+        self.with_rule(FaultRule {
+            kind: FaultKind::Io { target, fault },
+            probability: 1.0,
+            from_batch: batch,
+            until_batch: Some(batch + 1),
+            transient: false,
+        })
+    }
+
+    /// Delay delivery of batch `batch` by `slots` positions in the
+    /// submission stream (see [`FaultKind::DeliveryDelay`]).
+    pub fn with_delivery_delay(self, batch: usize, slots: u32) -> Self {
+        self.with_rule(FaultRule {
+            kind: FaultKind::DeliveryDelay { slots },
+            probability: 1.0,
+            from_batch: batch,
+            until_batch: Some(batch + 1),
+            transient: false,
+        })
+    }
+
     /// Transient hash-table contention spike by `factor` with probability `p`.
     pub fn with_contention_spike(self, factor: f64, p: f64) -> Self {
         assert!(factor >= 1.0, "contention factor must be >= 1");
@@ -244,6 +345,56 @@ impl FaultPlan {
             until_batch: None,
             transient: true,
         })
+    }
+
+    /// The plan's seed (drives per-rule probability rolls).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Read access to the rules, in insertion order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// The same plan with every durability-layer rule (crashes, IO faults)
+    /// neutralized: the fault-free reference a chaos campaign compares
+    /// recovered state against. Neutralized rules keep their slot with an
+    /// empty batch window instead of being removed, so the probability
+    /// rolls of every *other* rule — which hash the rule's index — are
+    /// bit-identical with and without the durability faults. Workload-
+    /// shaping rules (stalls, memory pressure, delivery delays) survive:
+    /// they are part of the workload, not of the crash surface under test.
+    pub fn without_durability_rules(&self) -> FaultPlan {
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| match r.kind {
+                FaultKind::Crash { .. } | FaultKind::Io { .. } => FaultRule {
+                    from_batch: 0,
+                    until_batch: Some(0),
+                    ..r.clone()
+                },
+                _ => r.clone(),
+            })
+            .collect();
+        FaultPlan {
+            seed: self.seed,
+            rules,
+        }
+    }
+
+    /// Count of durability-layer rules (crashes, IO faults) with a
+    /// non-empty window — the bound a chaos campaign's recovery-cycle
+    /// budget is derived from.
+    pub fn durability_rule_count(&self) -> usize {
+        self.rules
+            .iter()
+            .filter(|r| {
+                matches!(r.kind, FaultKind::Crash { .. } | FaultKind::Io { .. })
+                    && r.until_batch != Some(r.from_batch)
+            })
+            .count()
     }
 
     /// Resolve the faults that fire for `(batch, attempt)`.
@@ -387,17 +538,56 @@ impl ActiveFaults {
         })
     }
 
+    /// The storage faults armed for this batch, in rule order — what the
+    /// durability layer hands to the `gt-tensor` chaos IO shim.
+    pub fn io_faults(&self) -> Vec<(IoTarget, IoFault)> {
+        self.faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::Io { target, fault } => Some((*target, *fault)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total delivery delay for this batch in stream slots, if any
+    /// [`FaultKind::DeliveryDelay`] is active (delays compound).
+    pub fn delivery_delay(&self) -> Option<usize> {
+        let total: u32 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::DeliveryDelay { slots } => Some(*slots),
+                _ => None,
+            })
+            .sum();
+        if total == 0 {
+            None
+        } else {
+            Some(total as usize)
+        }
+    }
+
     /// The subset of faults the DES engine consumes. Serving-layer faults
-    /// (crashes, serve stalls) are filtered out so a plan that only injects
-    /// them still drives the DES down the exact fault-free code path —
-    /// preserving the bit-identity the recovery protocol replays against.
+    /// (crashes, serve stalls, storage faults, delivery delays) are
+    /// filtered out so a plan that only injects them still drives the DES
+    /// down the exact fault-free code path — preserving the bit-identity
+    /// the recovery protocol replays against.
     pub fn des_relevant(&self) -> ActiveFaults {
         ActiveFaults {
             faults: self
                 .faults
                 .iter()
                 .copied()
-                .filter(|k| !matches!(k, FaultKind::ServeDelay { .. } | FaultKind::Crash { .. }))
+                .filter(|k| {
+                    !matches!(
+                        k,
+                        FaultKind::ServeDelay { .. }
+                            | FaultKind::Crash { .. }
+                            | FaultKind::Io { .. }
+                            | FaultKind::DeliveryDelay { .. }
+                    )
+                })
                 .collect(),
         }
     }
@@ -417,7 +607,7 @@ impl ActiveFaults {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -591,6 +781,77 @@ mod tests {
         let des = mixed.des_relevant();
         assert_eq!(des.faults, vec![FaultKind::TransferStall { factor: 2.0 }]);
         assert_eq!(mixed.crash_site(), Some(CrashSite::MidCheckpoint));
+    }
+
+    #[test]
+    fn io_faults_and_delivery_delays_fire_on_target_batch_only() {
+        let plan = FaultPlan::new(11)
+            .with_io_fault(2, IoTarget::Journal, IoFault::TornWrite)
+            .with_io_fault(2, IoTarget::Checkpoint, IoFault::BitFlip { bit: 9 })
+            .with_delivery_delay(4, 3);
+        for b in 0..8 {
+            let active = plan.active(b, 0);
+            if b == 2 {
+                assert_eq!(
+                    active.io_faults(),
+                    vec![
+                        (IoTarget::Journal, IoFault::TornWrite),
+                        (IoTarget::Checkpoint, IoFault::BitFlip { bit: 9 }),
+                    ]
+                );
+            } else {
+                assert!(active.io_faults().is_empty(), "batch {b}");
+            }
+            assert_eq!(active.delivery_delay(), (b == 4).then_some(3), "batch {b}");
+            // Storage and delivery faults never reach the DES or stretch
+            // the schedule — the trainer must stay on the fault-free path.
+            assert!(active.des_relevant().io_faults().is_empty());
+            assert!(!active.perturbs_schedule() || b == usize::MAX);
+        }
+    }
+
+    /// Stripping durability rules must not move the probability rolls of
+    /// the surviving rules: rolls hash the rule *index*, so neutralized
+    /// rules keep their slot (empty window) instead of being removed.
+    #[test]
+    fn without_durability_rules_preserves_other_rolls() {
+        let plan = FaultPlan::new(21)
+            .with_transfer_failure(0.5)
+            .with_crash_at(3, CrashSite::MidJournal)
+            .with_io_fault(5, IoTarget::Journal, IoFault::Enospc)
+            .with_transient_memory_pressure(0.5, 0.4)
+            .with_delivery_delay(2, 1);
+        let stripped = plan.without_durability_rules();
+        assert_eq!(stripped.len(), plan.len());
+        assert_eq!(plan.durability_rule_count(), 2);
+        assert_eq!(stripped.durability_rule_count(), 0);
+        for b in 0..10 {
+            for a in 0..3 {
+                let full = plan.active(b, a);
+                let bare = stripped.active(b, a);
+                assert!(bare.crash_site().is_none());
+                assert!(bare.io_faults().is_empty());
+                assert_eq!(full.fails_transfers(), bare.fails_transfers());
+                assert_eq!(full.memory_fraction(), bare.memory_fraction());
+                assert_eq!(full.delivery_delay(), bare.delivery_delay());
+            }
+        }
+    }
+
+    #[test]
+    fn io_target_labels_round_trip() {
+        for t in [IoTarget::Checkpoint, IoTarget::Journal] {
+            assert_eq!(IoTarget::parse(t.label()), Some(t));
+        }
+        assert_eq!(IoTarget::parse("floppy"), None);
+        for f in [
+            IoFault::TornWrite,
+            IoFault::ShortRead,
+            IoFault::Enospc,
+            IoFault::BitFlip { bit: 3 },
+        ] {
+            assert!(!f.label().is_empty());
+        }
     }
 
     #[test]

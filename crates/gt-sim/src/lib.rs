@@ -12,6 +12,7 @@
 //! times.
 
 pub mod cache;
+pub mod chaos;
 pub mod counters;
 pub mod des;
 pub mod device;
@@ -23,10 +24,11 @@ pub mod trace;
 pub mod transfer;
 
 pub use cache::CacheSim;
+pub use chaos::{delivery_order, plan_from_json, plan_to_json, sample_plan, shrink, ChaosConfig};
 pub use counters::{KernelRecord, KernelStats, Phase, SimContext};
 pub use des::{Resource, Schedule, ScheduledEvent, Simulator, TaskId, TaskSpec};
 pub use device::{DeviceSpec, HostSpec, PcieSpec, SystemSpec};
-pub use fault::{ActiveFaults, CrashSite, FaultKind, FaultPlan, FaultRule};
+pub use fault::{ActiveFaults, CrashSite, FaultKind, FaultPlan, FaultRule, IoFault, IoTarget};
 pub use lru::LruCacheSim;
 pub use memory::{MemoryTracker, OutOfMemory};
 pub use timeline::{Timeline, TimelineEvent};

@@ -44,8 +44,9 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = conn {
-                        // A stuck client must not wedge the scrape loop.
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        // A stuck client must not wedge the scrape loop;
+                        // serve_one additionally enforces an overall
+                        // deadline across reads.
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
                         let _ = serve_one(stream, &telemetry);
                     }
@@ -91,24 +92,60 @@ impl Drop for MetricsServer {
     }
 }
 
+/// The most wall-clock one connection may spend being read. A stalled or
+/// slow-dripping client (one byte per read timeout) must not hold the
+/// single accept thread hostage — per-read timeouts alone bound each
+/// `read()`, not the connection.
+const READ_DEADLINE: Duration = Duration::from_secs(2);
+
 /// Answer a single HTTP/1.x request on `stream`. Only the request line is
 /// interpreted; headers and body are drained implicitly by closing.
 fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
     // Read until the header terminator: one read() can return a partial
     // request (the client may write in several syscalls), and answering a
-    // partial request closes the socket under the client's feet.
+    // partial request closes the socket under the client's feet. Reading
+    // stops at the overall deadline, EOF, or a full buffer — whatever was
+    // received by then is all this request gets to say.
+    let start = std::time::Instant::now();
     let mut buf = [0u8; 1024];
     let mut n = 0;
     while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
-        match stream.read(&mut buf[n..])? {
-            0 => break,
-            k => n += k,
+        let Some(remaining) = READ_DEADLINE.checked_sub(start.elapsed()) else {
+            break;
+        };
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(10))));
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
         }
     }
     let request = String::from_utf8_lossy(&buf[..n]);
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
+
+    // A terminated request line is enough to route on, even when the
+    // client never finished (or never sent) its headers. Without one,
+    // tell the stalled client why it is being hung up on.
+    if !request.contains("\r\n") && !request.contains('\n') {
+        let body = "request timeout\n";
+        write!(
+            stream,
+            "HTTP/1.1 408 Request Timeout\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        return stream.flush();
+    }
 
     let (status, content_type, body) = match (method, path) {
         ("GET", "/metrics") => (
@@ -177,5 +214,49 @@ mod tests {
         // The port is released: a fresh connection must fail (or be
         // refused) rather than be served.
         assert!(TcpStream::connect(addr).is_err());
+    }
+
+    /// A request line split across several writes (and never-finished
+    /// headers) is still routed: the server reads past partial lines
+    /// instead of answering the first fragment.
+    #[test]
+    fn split_request_line_is_reassembled_and_served() {
+        let server = MetricsServer::start(0, Telemetry::recording()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /hea").unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        stream.write_all(b"lthz HTTP/1.1\r\n").unwrap();
+        // Headers never finish; the client half-closes instead.
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.ends_with("ok\n"), "{response}");
+        server.shutdown();
+    }
+
+    /// A client that stalls before completing its request line gets a 408
+    /// at the read deadline — and, crucially, does not wedge the accept
+    /// loop: a well-behaved scrape right behind it is still served.
+    #[test]
+    fn stalled_client_gets_408_and_does_not_wedge_the_server() {
+        let server = MetricsServer::start(0, Telemetry::recording()).unwrap();
+        let addr = server.addr();
+
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /met").unwrap(); // no newline, then silence
+        stalled.flush().unwrap();
+
+        // Queued behind the stalled connection; must be answered once the
+        // deadline expires, not starved forever.
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let mut response = String::new();
+        stalled.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        server.shutdown();
     }
 }

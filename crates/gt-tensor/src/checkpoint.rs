@@ -17,10 +17,12 @@
 //! * all failure paths return a typed [`TensorError`] (`Corrupt` / `Io`) —
 //!   never a panic.
 
+use crate::chaosio;
 use crate::crc32::crc32;
 use crate::dense::Matrix;
 use crate::dfg::ParamStore;
 use crate::error::TensorError;
+use gt_sim::IoTarget;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -191,11 +193,10 @@ pub fn save_file(params: &ParamStore, path: impl AsRef<Path>) -> Result<(), Tens
     let path = path.as_ref();
     let tmp = tmp_path(path);
     let bytes = to_bytes(params);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
+    // Staged through the chaos IO shim: identity in production, and the
+    // injection point for torn-write/ENOSPC/bit-flip campaigns. A fault
+    // here damages only the staging sibling — `path` is untouched.
+    chaosio::write_file(IoTarget::Checkpoint, &tmp, &bytes)?;
     std::fs::rename(&tmp, path)?;
     // Durability of the rename itself requires the directory entry to hit
     // disk; best-effort (some filesystems refuse to open directories).
@@ -216,10 +217,35 @@ pub fn tmp_path(path: &Path) -> std::path::PathBuf {
     path.with_file_name(name)
 }
 
+/// Delete a stale staging sibling of `path`, if one exists — the residue a
+/// crash between tmp-write and atomic rename leaves behind forever
+/// otherwise. Returns true when a file was removed. Called on durable
+/// startup and recovery; always safe, since a live `save_file` holds the
+/// sibling only within one call on the same thread.
+pub fn remove_stale_tmp(path: impl AsRef<Path>) -> bool {
+    std::fs::remove_file(tmp_path(path.as_ref())).is_ok()
+}
+
 /// Load from a file path.
+///
+/// Reads through the chaos IO shim and validates the byte count against
+/// file metadata, so a short read (interrupted syscall, flaky NFS) comes
+/// back as a retryable [`TensorError::Io`] — never misdiagnosed as a
+/// truncated/corrupt checkpoint.
 pub fn load_file(path: impl AsRef<Path>) -> Result<ParamStore, TensorError> {
-    let file = std::fs::File::open(path.as_ref())?;
-    load(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let bytes = chaosio::read_file(IoTarget::Checkpoint, path)?;
+    let expected = std::fs::metadata(path)?.len();
+    if (bytes.len() as u64) < expected {
+        return Err(TensorError::Io {
+            detail: format!(
+                "short read on {}: got {} of {expected} bytes; retry",
+                path.display(),
+                bytes.len()
+            ),
+        });
+    }
+    from_bytes(&bytes)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! * [`loss`], [`init`], [`optim`] — losses, weight initialization, and
 //!   optimizers (SGD / momentum / Adam, gradient clipping).
 
+pub mod chaosio;
 pub mod checkpoint;
 pub mod crc32;
 pub mod dense;
