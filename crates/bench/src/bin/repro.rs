@@ -8,7 +8,7 @@
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
-//!              threads durability smoke
+//!              threads durability chaos slo smoke
 //! ```
 //!
 //! `--threads N` pins the process-wide `gt_par` pool (same effect as
@@ -41,6 +41,17 @@
 //! written to `--chaos-out` (default `chaos-minimized.json`), and the
 //! process exits 4. `--chaos-replay FILE` re-executes one serialized
 //! plan deterministically. See `docs/fault_model.md` §Chaos campaigns.
+//!
+//! The `slo` experiment (also reachable as `--slo`) overloads the
+//! gateway under an injected serve
+//! stall until the latency SLO's burn-rate rules fire and the tracer
+//! freezes a flight dump, then reconciles the dump against the journal;
+//! `--flight-out PATH` writes the dump (a Chrome trace, load it at
+//! <https://ui.perfetto.dev>) to disk. The same flag arms the flight
+//! recorder on `chaos` runs: every injected crash site dumps its recent
+//! span trees to PATH before recovery (last crash wins). All dump bytes
+//! are deterministic — bit-identical at every `GT_THREADS` width. See
+//! `docs/telemetry.md` §Tracing contexts and §SLOs in virtual time.
 
 use gt_bench::experiments::*;
 use gt_bench::ExpConfig;
@@ -53,10 +64,10 @@ fn usage() -> ! {
          [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR] \
          [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit] \
          [--experiment NAME] [--seeds N] [--seeds-file PATH] \
-         [--chaos-replay FILE] [--chaos-out PATH]\n\
+         [--chaos-replay FILE] [--chaos-out PATH] [--flight-out PATH] [--slo]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
-         durability chaos smoke"
+         durability chaos slo smoke"
     );
     std::process::exit(2);
 }
@@ -71,6 +82,7 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut durability_opts = durability::DurabilityOpts::default();
     let mut chaos_opts = chaos::ChaosOpts::default();
+    let mut slo_opts = slo::SloOpts::default();
     // The experiment is normally the first positional argument; flag-only
     // invocations (e.g. `repro --chaos-replay plan.json`) name it via
     // `--experiment` or imply `chaos` from a replay file.
@@ -180,6 +192,14 @@ fn main() {
                 i += 1;
                 chaos_opts.out = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
             }
+            "--flight-out" => {
+                i += 1;
+                let path: std::path::PathBuf = args.get(i).cloned().unwrap_or_else(usage_v).into();
+                chaos_opts.flight_out = Some(path.clone());
+                slo_opts.flight_out = Some(path);
+            }
+            // Shorthand for the overload/breach scenario: `repro --slo`.
+            "--slo" => exp = "slo".to_string(),
             _ => usage(),
         }
         i += 1;
@@ -192,6 +212,9 @@ fn main() {
             usage();
         }
     }
+
+    // `slo` serves durably too; `--checkpoint-dir` names its state dir.
+    slo_opts.dir = durability_opts.dir.clone();
 
     if trace_out.is_some() {
         gt_telemetry::set_global(gt_telemetry::Telemetry::recording());
@@ -229,6 +252,7 @@ fn main() {
         "threads" => threads::print(cfg),
         "durability" => durability::print(cfg, &durability_opts),
         "chaos" => chaos::print(cfg, &chaos_opts),
+        "slo" => slo::print(cfg, &slo_opts),
         "smoke" => gt_bench::probe::print(cfg),
         _ => usage(),
     };

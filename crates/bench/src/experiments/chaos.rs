@@ -38,6 +38,7 @@ use gt_core::error::GtError;
 use gt_core::journal;
 use gt_core::serve::{DurabilityConfig, RecoveryReport, Supervisor};
 use gt_core::trainer::GtVariant;
+use gt_core::TracerConfig;
 use gt_sim::{ChaosConfig, FaultKind, FaultPlan, IoFault, IoTarget};
 use gt_tensor::{chaosio, crc32::crc32};
 use std::path::{Path, PathBuf};
@@ -58,6 +59,9 @@ pub struct ChaosOpts {
     pub out: Option<PathBuf>,
     /// Batches in the serving stream (also the fault-sampling window).
     pub batches: usize,
+    /// Arm the flight recorder on the faulted run and write its dump here
+    /// on every injected crash site (last crash wins).
+    pub flight_out: Option<PathBuf>,
     /// Test-only: plant a resume off-by-one after the first recovery, the
     /// kind of recovery-path bug the oracle + shrinker must catch.
     pub sabotage: bool,
@@ -71,6 +75,7 @@ impl Default for ChaosOpts {
             replay: None,
             out: None,
             batches: 8,
+            flight_out: None,
             sabotage: false,
         }
     }
@@ -191,6 +196,21 @@ pub fn run_plan(
         let model = ModelConfig::gcn(cfg.layers, 64, spec.out_dim);
         Supervisor::new(cfg.graphtensor(GtVariant::Dynamic, model), plan)
     };
+    // The faulted run (and only it) carries the flight recorder when
+    // asked: every injected crash site freezes a dump to `flight_out`
+    // before the error surfaces, so the last crash's context is on disk
+    // for post-mortem even though the campaign keeps going.
+    let arm_flight = |server: &mut Supervisor| {
+        if let Some(path) = &opts.flight_out {
+            server.enable_tracing(
+                TracerConfig {
+                    flight_path: Some(path.clone()),
+                    ..TracerConfig::default()
+                },
+                None,
+            );
+        }
+    };
 
     // The batch stream, materialized and permuted by the plan's
     // delivery-delay rules. Both runs serve the identical permuted order:
@@ -256,6 +276,7 @@ pub fn run_plan(
         })
         .collect();
     let mut server = make_server(plan.clone());
+    arm_flight(&mut server);
     server.make_durable(durability.clone())?;
     let mut pos = 0usize; // position in the delivery order
     let mut recoveries = 0usize;
@@ -295,6 +316,7 @@ pub fn run_plan(
                     );
                 }
                 server = make_server(plan.clone());
+                arm_flight(&mut server);
                 match recover_with_retries(&mut server, &data, &durability, &mut short_reads) {
                     Ok(rec) => pos = rec.batches_replayed,
                     Err(GtError::CorruptJournal { offset, detail }) => {
@@ -615,6 +637,7 @@ pub fn print(cfg: &ExpConfig, opts: &ChaosOpts) {
         if let Verdict::Violation(detail) | Verdict::Detected(detail) = &rep.verdict {
             println!("  {detail}");
         }
+        print_flight_out(opts);
         if matches!(rep.verdict, Verdict::Violation(_)) {
             std::process::exit(4);
         }
@@ -636,6 +659,7 @@ pub fn print(cfg: &ExpConfig, opts: &ChaosOpts) {
             ],
         ],
     );
+    print_flight_out(opts);
     if let Some((seed, detail)) = &summary.violation {
         println!("  seed {seed} VIOLATED the oracle: {detail}");
         if let Some((plan, path)) = &summary.minimized {
@@ -648,6 +672,15 @@ pub fn print(cfg: &ExpConfig, opts: &ChaosOpts) {
             );
         }
         std::process::exit(4);
+    }
+}
+
+/// Where the last crash's flight dump landed, if the recorder was armed.
+fn print_flight_out(opts: &ChaosOpts) {
+    if let Some(path) = &opts.flight_out {
+        if path.exists() {
+            println!("  flight dump (last crash site): {}", path.display());
+        }
     }
 }
 
@@ -680,6 +713,31 @@ mod tests {
             assert_eq!(rep.verdict, Verdict::Clean, "site {site:?}");
             assert_eq!(rep.recoveries, 1, "site {site:?}");
         }
+    }
+
+    /// With the flight recorder armed, every injected crash freezes its
+    /// context to disk before the campaign recovers and moves on.
+    #[test]
+    fn crash_plans_write_flight_dumps_when_asked() {
+        let cfg = ExpConfig::test();
+        let dir = std::env::temp_dir().join("gt_chaos_flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut o = opts(6);
+        o.flight_out = Some(dir.join("flight.json"));
+        let plan = FaultPlan::new(11).with_crash_at(3, CrashSite::MidJournal);
+        let rep = run_plan(&cfg, &plan, &o).unwrap();
+        assert_eq!(
+            rep.verdict,
+            Verdict::Clean,
+            "tracing must not perturb the oracle"
+        );
+        let text = std::fs::read_to_string(dir.join("flight.json")).unwrap();
+        assert!(
+            text.contains("crash:mid-journal"),
+            "dump names the crash site"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Storage faults below the durability layer either stay invisible

@@ -26,6 +26,19 @@ const DATASET: &str = "products";
 /// Minimum measured batches: percentiles over fewer samples are noise.
 const MIN_BATCHES: usize = 9;
 
+/// The host-side request segments sampled per measured batch, in the
+/// order of `SEGMENT_LABELS`.
+const SEGMENT_PHASES: [gt_sim::Phase; 4] = [
+    gt_sim::Phase::Sampling,
+    gt_sim::Phase::Reindex,
+    gt_sim::Phase::Lookup,
+    gt_sim::Phase::Transfer,
+];
+
+/// Metric-key labels for [`SEGMENT_PHASES`] (the S/R/K/T vocabulary of
+/// `gt_telemetry::SegmentKind`).
+const SEGMENT_LABELS: [&str; 4] = ["S", "R", "K", "T"];
+
 /// Nearest-rank percentile over an unsorted sample.
 fn percentile(values: &[f64], p: f64) -> f64 {
     let mut v = values.to_vec();
@@ -54,6 +67,9 @@ pub fn report(experiment: &str, cfg: &ExpConfig) -> BenchReport {
     let mut e2e_us = Vec::with_capacity(n);
     let mut wall_us = Vec::with_capacity(n);
     let mut gpu_us = Vec::with_capacity(n);
+    // Per-request latency segments (the same S/R/K/T vocabulary request
+    // traces use), one sample per measured batch.
+    let mut seg_us: [Vec<f64>; 4] = Default::default();
     let mut gpu_stages = StageBreakdown::new();
     for _ in 0..n {
         let wall = Instant::now();
@@ -61,6 +77,9 @@ pub fn report(experiment: &str, cfg: &ExpConfig) -> BenchReport {
         wall_us.push(wall.elapsed().as_secs_f64() * 1e6);
         e2e_us.push(r.e2e_us(overlapped));
         gpu_us.push(r.gpu_us());
+        for (i, phase) in SEGMENT_PHASES.iter().enumerate() {
+            seg_us[i].push(r.prepro.as_ref().map_or(0.0, |s| s.phase_busy_us(*phase)));
+        }
         gpu_stages.merge(&StageBreakdown::from_kernels(r.sim.records()));
     }
     let mean_e2e = e2e_us.iter().sum::<f64>() / n as f64;
@@ -104,6 +123,17 @@ pub fn report(experiment: &str, cfg: &ExpConfig) -> BenchReport {
             format!("gpu_{}_us", stage.label()),
             gpu_stages.get(stage) / n as f64,
         ));
+    }
+    // Per-request latency-segment percentiles, keyed by the tracing
+    // vocabulary (docs/telemetry.md §Tracing contexts): modeled, so they
+    // sit under the same benchdiff gate as the e2e percentiles.
+    for (i, label) in SEGMENT_LABELS.iter().enumerate() {
+        for p in [50.0, 95.0] {
+            metrics.push((format!("req_{label}_us_p{p:.0}"), percentile(&seg_us[i], p)));
+        }
+    }
+    for p in [50.0, 95.0] {
+        metrics.push((format!("req_kernel_us_p{p:.0}"), percentile(&gpu_us, p)));
     }
 
     let wall = vec![

@@ -29,6 +29,7 @@ pub mod overload;
 pub mod prepro;
 pub mod scheduler;
 pub mod serve;
+pub mod tracing;
 pub mod trainer;
 
 pub use config::{EdgeWeighting, ModelConfig};
@@ -40,4 +41,5 @@ pub use framework::{
 pub use overload::{Completion, Gateway, OverloadConfig};
 pub use scheduler::{build_prepro_sim, schedule_prepro_with_faults, PreproStrategy};
 pub use serve::{DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor};
+pub use tracing::{FlightDump, RequestTracer, TracerConfig};
 pub use trainer::{GraphTensor, GtVariant};

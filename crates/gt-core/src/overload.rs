@@ -158,9 +158,13 @@ impl Gateway {
                     ("queue_depth", &self.queue.len()),
                 ],
             );
+            let outcome = BatchOutcome::Shed { cause };
+            if let Some(tracer) = self.supervisor.tracer.as_mut() {
+                tracer.record_shed(request_index, &outcome, arrival_us, arrival_us);
+            }
             done.push(Completion {
                 request_index,
-                outcome: BatchOutcome::Shed { cause },
+                outcome,
                 queued_us: 0.0,
                 service_us: 0.0,
                 done_us: arrival_us,
@@ -219,9 +223,13 @@ impl Gateway {
                         ("queued_us", &format!("{queued_us:.0}")),
                     ],
                 );
+                let outcome = BatchOutcome::Shed { cause };
+                if let Some(tracer) = self.supervisor.tracer.as_mut() {
+                    tracer.record_shed(p.request_index, &outcome, p.arrival_us, start_us);
+                }
                 out.push(Completion {
                     request_index: p.request_index,
-                    outcome: BatchOutcome::Shed { cause },
+                    outcome,
                     queued_us,
                     service_us: 0.0,
                     done_us: start_us,
@@ -229,7 +237,7 @@ impl Gateway {
                 continue; // the server was never occupied
             }
             let depth = self.queue.len();
-            let (outcome, service_us) = self.serve_one(data, &p, depth);
+            let (outcome, service_us) = self.serve_one(data, &p, depth, start_us);
             self.busy_until_us = start_us + service_us;
             telemetry.event(
                 "gateway",
@@ -252,8 +260,15 @@ impl Gateway {
     }
 
     /// Serve one admitted request, applying the degrade ladder for the
-    /// current queue `depth`, and price its service time.
-    fn serve_one(&mut self, data: &GraphData, p: &Pending, depth: usize) -> (BatchOutcome, f64) {
+    /// current queue `depth`, and price its service time. `start_us` is
+    /// when service begins on the virtual clock (≥ arrival).
+    fn serve_one(
+        &mut self,
+        data: &GraphData,
+        p: &Pending,
+        depth: usize,
+        start_us: f64,
+    ) -> (BatchOutcome, f64) {
         let telemetry = self.supervisor.trainer.telemetry.clone();
         let batch_index = self.supervisor.batches_served();
         // Injected serving stalls stretch the virtual service time; they
@@ -314,8 +329,22 @@ impl Gateway {
             );
         }
 
+        if let Some(tracer) = self.supervisor.tracer.as_mut() {
+            tracer.begin_request(p.request_index, p.arrival_us, start_us);
+        }
         let backoff_before = self.supervisor.backoff_paid_us;
-        let report: BatchReport = self.supervisor.serve_batch(data, &batch);
+        // A durable supervisor journals through the gateway too, so flight
+        // dumps reconcile against the write-ahead outcome stream. Crash
+        // faults are not routed through the gateway (drive `serve_durable`
+        // directly to exercise them); an injected crash here is a test
+        // configuration error, not a servable state.
+        let report: BatchReport = if self.supervisor.is_durable() {
+            self.supervisor
+                .serve_durable(data, &batch)
+                .expect("crash faults must not be injected behind the gateway")
+        } else {
+            self.supervisor.serve_batch(data, &batch)
+        };
         if let Some(fanout) = restore_fanout {
             self.supervisor.trainer.sampler.fanout = fanout;
         }

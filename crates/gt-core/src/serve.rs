@@ -26,6 +26,7 @@ use crate::error::GtError;
 use crate::framework::{BatchOutcome, BatchReport, DegradeAction, FailReason, Framework};
 use crate::journal::{self, Journal};
 use crate::scheduler::PreproStrategy;
+use crate::tracing::{RequestTracer, TracerConfig};
 use crate::trainer::GraphTensor;
 use gt_graph::VId;
 use gt_sample::validate_batch;
@@ -159,6 +160,9 @@ pub struct Supervisor {
     pub quarantine: Vec<QuarantineRecord>,
     /// Total virtual time spent in retry backoff, µs.
     pub backoff_paid_us: f64,
+    /// Per-request causal tracer + flight recorder + SLO engine; `None`
+    /// (the default) keeps serving exactly as before tracing existed.
+    pub tracer: Option<RequestTracer>,
     batches_served: usize,
     strikes: usize,
     degraded_prepro: bool,
@@ -177,6 +181,7 @@ impl Supervisor {
             plan,
             quarantine: Vec::new(),
             backoff_paid_us: 0.0,
+            tracer: None,
             batches_served: 0,
             strikes: 0,
             degraded_prepro: false,
@@ -194,9 +199,50 @@ impl Supervisor {
         self.degraded_prepro
     }
 
+    /// Attach a [`RequestTracer`] with `config`, evaluating `slo` when
+    /// given, exporting through the trainer's telemetry handle. From now
+    /// on every resolved batch yields a span tree in the flight recorder.
+    pub fn enable_tracing(
+        &mut self,
+        config: TracerConfig,
+        slo: Option<gt_telemetry::SloSpec>,
+    ) -> &mut RequestTracer {
+        self.tracer = Some(RequestTracer::new(
+            config,
+            slo,
+            self.trainer.telemetry.clone(),
+        ));
+        self.tracer.as_mut().expect("just set")
+    }
+
     /// Train one batch under supervision. Never panics on injected faults;
     /// the report's [`BatchOutcome`] says how the batch resolved.
     pub fn serve_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
+        let batch_index = self.batches_served;
+        let backoff_before = self.backoff_paid_us;
+        let report = self.serve_batch_inner(data, batch);
+        if self.tracer.is_some() {
+            // The injected serving stall is charged by the layer above the
+            // trainer (gateway service pricing); re-derive it here so the
+            // trace's stall segment agrees with that pricing exactly.
+            let stall_us = if self.plan.is_empty() {
+                0.0
+            } else {
+                self.plan
+                    .active(batch_index, 0)
+                    .serve_delay_us()
+                    .unwrap_or(0.0)
+            };
+            let backoff_us = self.backoff_paid_us - backoff_before;
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.finish_batch(batch_index, &report, stall_us, backoff_us);
+            }
+        }
+        report
+    }
+
+    /// The retry/degrade ladder itself (see [`Supervisor::serve_batch`]).
+    fn serve_batch_inner(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
         let batch_index = self.batches_served;
         self.batches_served += 1;
         let telemetry = self.trainer.telemetry.clone();
@@ -492,6 +538,9 @@ impl Supervisor {
                         ("site", &CrashSite::MidJournal.label()),
                     ],
                 );
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer.dump_now(&format!("crash:{}", CrashSite::MidJournal.label()));
+                }
                 return Err(GtError::InjectedCrash {
                     site: CrashSite::MidJournal,
                 });
@@ -526,6 +575,9 @@ impl Supervisor {
                     ("site", &CrashSite::MidCheckpoint.label()),
                 ],
             );
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.dump_now(&format!("crash:{}", CrashSite::MidCheckpoint.label()));
+            }
             return Err(GtError::InjectedCrash {
                 site: CrashSite::MidCheckpoint,
             });
@@ -542,6 +594,9 @@ impl Supervisor {
                     ("site", &CrashSite::AfterCommit.label()),
                 ],
             );
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.dump_now(&format!("crash:{}", CrashSite::AfterCommit.label()));
+            }
             return Err(GtError::InjectedCrash {
                 site: CrashSite::AfterCommit,
             });

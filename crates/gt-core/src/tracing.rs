@@ -1,0 +1,407 @@
+//! Request-scoped causal tracing through the serving stack.
+//!
+//! The [`RequestTracer`] is the gt-core end of gt-telemetry's tracing
+//! contract: it mints a deterministic [`TraceContext`] per request (from
+//! `(seed, request_index)` — never wall-clock), assembles the span tree
+//! for every batch the [`Supervisor`](crate::serve::Supervisor) resolves
+//! (queue-wait / S / R / K / T / kernel / stall / backoff, all in DES
+//! virtual µs), and drives the two consumers:
+//!
+//! * the **flight recorder** — a bounded ring of recent span trees,
+//!   frozen to a Perfetto-loadable JSON dump on the first SLO breach or
+//!   an injected crash site;
+//! * the **SLO engine** — every completion (served *and* shed) is
+//!   classified against a declarative latency objective with multi-window
+//!   burn-rate alerting, on the same virtual clock the DES prices batches
+//!   in, so the whole alert stream is bit-identical across `GT_THREADS`
+//!   widths.
+//!
+//! Tail sampling keeps dumps informative and bounded: any request that
+//! resolved abnormally (shed, quarantined, degraded, recovered) or blew
+//! the SLO latency threshold keeps its full tree; plain successes pass
+//! through a seeded Algorithm-R-style reservoir and are otherwise demoted
+//! to their root span (still present, still reconcilable against the
+//! journal — just one span instead of a tree).
+
+use crate::framework::{BatchOutcome, BatchReport};
+use gt_sim::Phase;
+use gt_telemetry::{
+    FlightRecorder, RequestTrace, SegmentKind, SloAlert, SloEngine, SloSpec, Telemetry, ToJson,
+    TraceContext, TraceSpan,
+};
+use std::path::PathBuf;
+
+/// Static policy of a [`RequestTracer`].
+#[derive(Debug, Clone)]
+pub struct TracerConfig {
+    /// Seed all trace/span identities derive from (hash input, not RNG).
+    pub seed: u64,
+    /// Requests retained by the flight-recorder ring.
+    pub ring_capacity: usize,
+    /// Plain successes that keep their full span tree (Algorithm-R
+    /// acceptance over the stream of normal requests; everything abnormal
+    /// is always kept in full).
+    pub reservoir: usize,
+    /// Where flight dumps are written (`None` = kept in memory only).
+    pub flight_path: Option<PathBuf>,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig {
+            seed: 0x6774_7263, // "gttrc"
+            ring_capacity: 64,
+            reservoir: 8,
+            flight_path: None,
+        }
+    }
+}
+
+/// Gateway-provided identity of the request a `serve_batch` call is
+/// serving: who it is and when it arrived/started on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    request_index: usize,
+    arrival_us: f64,
+    start_us: f64,
+}
+
+/// One dump artifact the tracer produced (also written to
+/// [`TracerConfig::flight_path`] when set).
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Why the dump was taken (`slo-breach:<rule>`, `crash:<site>`, ...).
+    pub reason: String,
+    /// The full JSON artifact (Chrome trace document + `gt_flight_*` keys).
+    pub artifact: String,
+}
+
+/// Per-request causal tracer + flight recorder + SLO engine. Owned by the
+/// [`Supervisor`](crate::serve::Supervisor); the
+/// [`Gateway`](crate::overload::Gateway) feeds it arrival/queue context
+/// and shed resolutions.
+pub struct RequestTracer {
+    config: TracerConfig,
+    recorder: FlightRecorder,
+    slo: Option<SloEngine>,
+    telemetry: Telemetry,
+    pending: Option<PendingRequest>,
+    /// Internal virtual clock for supervisor-only serving (no gateway):
+    /// advances by each batch's service time.
+    clock_us: f64,
+    /// Monotone clamp for the SLO feed: gateway sheds can resolve at an
+    /// arrival instant earlier than the previous served completion.
+    slo_clock_us: f64,
+    /// Plain successes seen so far (the reservoir's stream index).
+    normal_seen: usize,
+    alerts: Vec<SloAlert>,
+    dumps: Vec<FlightDump>,
+    breach_dumped: bool,
+}
+
+impl RequestTracer {
+    /// A tracer with `config`, optionally evaluating `slo`, exporting
+    /// metrics and events through `telemetry`.
+    pub fn new(config: TracerConfig, slo: Option<SloSpec>, telemetry: Telemetry) -> RequestTracer {
+        let slo = slo.map(|spec| SloEngine::new(spec, telemetry.clone()));
+        RequestTracer {
+            recorder: FlightRecorder::new(config.ring_capacity),
+            config,
+            slo,
+            telemetry,
+            pending: None,
+            clock_us: 0.0,
+            slo_clock_us: 0.0,
+            normal_seen: 0,
+            alerts: Vec::new(),
+            dumps: Vec::new(),
+            breach_dumped: false,
+        }
+    }
+
+    /// The flight-recorder ring.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Every SLO rule transition so far, in virtual-time order.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// True while any SLO rule is firing.
+    pub fn breached(&self) -> bool {
+        self.slo.as_ref().is_some_and(|e| e.breached())
+    }
+
+    /// The SLO engine's stable state label (`ok`, `breach:<rule>`), or
+    /// `none` when no objective was configured.
+    pub fn slo_state(&self) -> String {
+        match &self.slo {
+            Some(e) => e.state(),
+            None => "none".to_string(),
+        }
+    }
+
+    /// Dump artifacts produced so far.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Gateway hand-off: the next `serve_batch` call serves request
+    /// `request_index`, which arrived at `arrival_us` and starts service
+    /// at `start_us` (both virtual µs).
+    pub fn begin_request(&mut self, request_index: usize, arrival_us: f64, start_us: f64) {
+        self.pending = Some(PendingRequest {
+            request_index,
+            arrival_us,
+            start_us,
+        });
+    }
+
+    /// Resolve one served batch into a span tree, record it, and feed the
+    /// SLO engine. Called by the supervisor at the end of `serve_batch`
+    /// with the stall/backoff the serving layer charged on top of the
+    /// report's modeled latency.
+    pub fn finish_batch(
+        &mut self,
+        batch_index: usize,
+        report: &BatchReport,
+        stall_us: f64,
+        backoff_us: f64,
+    ) {
+        // Without a gateway in front, the batch index doubles as the
+        // request index and service is back-to-back on the virtual clock.
+        let pending = self.pending.take().unwrap_or(PendingRequest {
+            request_index: batch_index,
+            arrival_us: self.clock_us,
+            start_us: self.clock_us,
+        });
+        let service_us = report.e2e_us(true) + stall_us + backoff_us;
+        let queued_us = pending.start_us - pending.arrival_us;
+        let done_us = pending.start_us + service_us;
+        self.clock_us = self.clock_us.max(done_us);
+
+        let ctx = TraceContext::for_request(self.config.seed, pending.request_index);
+        let root = ctx.parent_span_id;
+        let mut spans = vec![TraceSpan {
+            span_id: root,
+            parent: None,
+            kind: SegmentKind::Request,
+            name: format!("request #{}", pending.request_index),
+            start_us: pending.arrival_us,
+            dur_us: queued_us + service_us,
+        }];
+        // Child span ids are minted in a fixed order so the tree is a pure
+        // function of (seed, request_index) and the segments present.
+        let mut minted = 0usize;
+        let mut child = |spans: &mut Vec<TraceSpan>, kind, name: String, start, dur| {
+            let span_id = ctx.span_id(minted);
+            minted += 1;
+            spans.push(TraceSpan {
+                span_id,
+                parent: Some(root),
+                kind,
+                name,
+                start_us: start,
+                dur_us: dur,
+            });
+        };
+        if queued_us > 0.0 {
+            child(
+                &mut spans,
+                SegmentKind::QueueWait,
+                "queue-wait".to_string(),
+                pending.arrival_us,
+                queued_us,
+            );
+        }
+        // Preprocessing subtasks: one envelope span per S/R/K/T phase,
+        // offset from the schedule's own origin to the service start.
+        if let Some(schedule) = &report.prepro {
+            for (phase, kind) in [
+                (Phase::Sampling, SegmentKind::Sampling),
+                (Phase::Reindex, SegmentKind::Reindex),
+                (Phase::Lookup, SegmentKind::Lookup),
+                (Phase::Transfer, SegmentKind::Transfer),
+            ] {
+                if let Some((from, until)) = schedule.phase_window_us(phase) {
+                    child(
+                        &mut spans,
+                        kind,
+                        kind.label().to_string(),
+                        pending.start_us + from,
+                        until - from,
+                    );
+                }
+            }
+        }
+        let gpu_us = report.gpu_us();
+        if gpu_us > 0.0 {
+            // Steady-state overlap: kernels run against the next batch's
+            // preprocessing, so the segment starts at service start.
+            child(
+                &mut spans,
+                SegmentKind::Kernel,
+                "kernel".to_string(),
+                pending.start_us,
+                gpu_us,
+            );
+        }
+        let mut tail = pending.start_us + report.e2e_us(true);
+        if stall_us > 0.0 {
+            child(
+                &mut spans,
+                SegmentKind::Stall,
+                "stall".to_string(),
+                tail,
+                stall_us,
+            );
+            tail += stall_us;
+        }
+        if backoff_us > 0.0 {
+            child(
+                &mut spans,
+                SegmentKind::Backoff,
+                "backoff".to_string(),
+                tail,
+                backoff_us,
+            );
+        }
+
+        let latency_us = queued_us + service_us;
+        let ok = report.outcome.trained();
+        let mut trace = RequestTrace {
+            trace_id: ctx.trace_id,
+            request_index: pending.request_index,
+            batch_index: Some(batch_index),
+            outcome: report.outcome.label().to_string(),
+            outcome_json: report.outcome.to_json().to_json_string(),
+            arrival_us: pending.arrival_us,
+            done_us,
+            spans,
+        };
+        let interesting = !matches!(report.outcome, BatchOutcome::Succeeded)
+            || self
+                .slo
+                .as_ref()
+                .is_some_and(|e| latency_us > e.spec().latency_threshold_us);
+        self.retain(&mut trace, interesting);
+        self.feed_slo(done_us, latency_us, ok);
+    }
+
+    /// Record a request the gateway refused to serve: a root-only trace
+    /// (there is nothing below it — no batch ran) that still carries the
+    /// outcome, plus an always-bad SLO sample.
+    pub fn record_shed(
+        &mut self,
+        request_index: usize,
+        outcome: &BatchOutcome,
+        arrival_us: f64,
+        done_us: f64,
+    ) {
+        self.pending = None;
+        let ctx = TraceContext::for_request(self.config.seed, request_index);
+        let mut trace = RequestTrace {
+            trace_id: ctx.trace_id,
+            request_index,
+            batch_index: None,
+            outcome: outcome.label().to_string(),
+            outcome_json: outcome.to_json().to_json_string(),
+            arrival_us,
+            done_us,
+            spans: vec![TraceSpan {
+                span_id: ctx.parent_span_id,
+                parent: None,
+                kind: SegmentKind::Request,
+                name: format!("request #{request_index}"),
+                start_us: arrival_us,
+                dur_us: done_us - arrival_us,
+            }],
+        };
+        self.retain(&mut trace, true);
+        self.feed_slo(done_us, done_us - arrival_us, false);
+    }
+
+    /// Freeze the ring now (crash sites, chaos-oracle violations). Returns
+    /// the artifact; also appends it to [`dumps`](RequestTracer::dumps)
+    /// and writes [`TracerConfig::flight_path`] when configured.
+    pub fn dump_now(&mut self, reason: &str) -> String {
+        let artifact = self.recorder.dump(reason);
+        self.telemetry
+            .counter("gt_flight_dumps_total", "Flight-recorder dumps taken")
+            .inc();
+        self.telemetry.event(
+            "flight",
+            "flight_dump",
+            &[("reason", &reason), ("requests", &self.recorder.len())],
+        );
+        if let Some(path) = &self.config.flight_path {
+            // Best-effort: a full disk must not take the serving path down
+            // with it; the artifact stays available in memory.
+            let _ = std::fs::write(path, &artifact);
+        }
+        self.dumps.push(FlightDump {
+            reason: reason.to_string(),
+            artifact: artifact.clone(),
+        });
+        artifact
+    }
+
+    /// Apply tail sampling and append to the ring.
+    fn retain(&mut self, trace: &mut RequestTrace, interesting: bool) {
+        self.telemetry
+            .counter("gt_trace_requests_total", "Requests traced")
+            .inc();
+        if !interesting && !self.reservoir_keeps(trace.trace_id) {
+            trace.demote_to_root();
+            self.telemetry
+                .counter(
+                    "gt_trace_demoted_total",
+                    "Normal requests demoted to a root-only trace",
+                )
+                .inc();
+        }
+        self.recorder.record(trace.clone());
+    }
+
+    /// Algorithm-R acceptance over the stream of plain successes: the
+    /// `n`-th one is kept in full with probability `reservoir/(n+1)`,
+    /// decided by the request's own (seeded, deterministic) trace id.
+    /// Earlier accepted trees are not evicted — the ring already bounds
+    /// memory, so erring toward detail is free.
+    fn reservoir_keeps(&mut self, trace_id: u64) -> bool {
+        let n = self.normal_seen as u64;
+        self.normal_seen += 1;
+        n < self.config.reservoir as u64 || trace_id % (n + 1) < self.config.reservoir as u64
+    }
+
+    /// Feed one completion to the SLO engine (monotone-clamped) and take a
+    /// flight dump on the first breach transition.
+    fn feed_slo(&mut self, done_us: f64, latency_us: f64, ok: bool) {
+        let Some(engine) = self.slo.as_mut() else {
+            return;
+        };
+        self.slo_clock_us = self.slo_clock_us.max(done_us);
+        let alerts = engine.record(self.slo_clock_us, latency_us, ok);
+        let fired: Option<&'static str> = alerts.iter().find(|a| a.firing).map(|a| a.rule);
+        self.alerts.extend(alerts);
+        if let Some(rule) = fired {
+            if !self.breach_dumped {
+                self.breach_dumped = true;
+                self.dump_now(&format!("slo-breach:{rule}"));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RequestTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestTracer")
+            .field("config", &self.config)
+            .field("recorded", &self.recorder.len())
+            .field("slo", &self.slo_state())
+            .field("dumps", &self.dumps.len())
+            .finish()
+    }
+}

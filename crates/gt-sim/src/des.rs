@@ -130,6 +130,21 @@ impl Schedule {
             .fold(0.0, f64::max)
     }
 
+    /// Envelope of `phase` in schedule time: `(first start, last finish)`,
+    /// or `None` if no task of that phase ran. This is the span a tracing
+    /// consumer renders for the phase — busy time can be smaller when the
+    /// phase's tasks have gaps between them.
+    pub fn phase_window_us(&self, phase: Phase) -> Option<(f64, f64)> {
+        let mut window: Option<(f64, f64)> = None;
+        for e in self.events.iter().filter(|e| e.phase == phase) {
+            window = Some(match window {
+                Some((from, until)) => (from.min(e.start_us), until.max(e.end_us)),
+                None => (e.start_us, e.end_us),
+            });
+        }
+        window
+    }
+
     /// Sum of busy time in `phase`.
     pub fn phase_busy_us(&self, phase: Phase) -> f64 {
         self.events

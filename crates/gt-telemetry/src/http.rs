@@ -1,7 +1,8 @@
 //! A zero-dependency metrics endpoint: `GET /metrics` renders the
 //! Prometheus exposition of a [`Telemetry`] registry, `GET /healthz`
-//! answers `ok`. Built directly on `std::net::TcpListener` because the
-//! workspace builds offline — no hyper, no tokio, one accept thread.
+//! answers `ok` plus uptime and the last SLO state. Built directly on
+//! `std::net::TcpListener` because the workspace builds offline — no
+//! hyper, no tokio, one accept thread.
 //!
 //! The server is deliberately minimal: it parses only the request line
 //! (method + path), answers one request per connection, and closes. That
@@ -36,6 +37,19 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        // What-am-I-scraping beacon: value 1, identity in the HELP text
+        // (the registry has no label support; see docs/telemetry.md).
+        telemetry
+            .gauge(
+                "gt_build_info",
+                concat!(
+                    "crate ",
+                    env!("CARGO_PKG_VERSION"),
+                    ", flight schema 1, exposition 0.0.4"
+                ),
+            )
+            .set(1.0);
+        let started = std::time::Instant::now();
         let handle = std::thread::Builder::new()
             .name("gt-metrics-http".into())
             .spawn(move || {
@@ -48,7 +62,7 @@ impl MetricsServer {
                         // serve_one additionally enforces an overall
                         // deadline across reads.
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = serve_one(stream, &telemetry);
+                        let _ = serve_one(stream, &telemetry, started);
                     }
                 }
             })?;
@@ -100,7 +114,11 @@ const READ_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Answer a single HTTP/1.x request on `stream`. Only the request line is
 /// interpreted; headers and body are drained implicitly by closing.
-fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    telemetry: &Telemetry,
+    started: std::time::Instant,
+) -> std::io::Result<()> {
     // Read until the header terminator: one read() can return a partial
     // request (the client may write in several syscalls), and answering a
     // partial request closes the socket under the client's feet. Reading
@@ -154,7 +172,18 @@ fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()
             "text/plain; version=0.0.4; charset=utf-8",
             prometheus::render(&telemetry.snapshot()),
         ),
-        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", "/healthz") => {
+            // First line stays a bare liveness verdict for dumb probes;
+            // uptime and the last SLO engine state (the gt_slo_ok gauge,
+            // kept current by gt_telemetry::slo::SloEngine) follow.
+            let slo = match telemetry.snapshot().gauge("gt_slo_ok") {
+                Some(0.0) => "breach",
+                Some(_) => "ok",
+                None => "none",
+            };
+            let body = format!("ok\nuptime_s {}\nslo {slo}\n", started.elapsed().as_secs());
+            ("200 OK", "text/plain; charset=utf-8", body)
+        }
         ("GET", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -202,10 +231,16 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
         assert!(head.contains("version=0.0.4"), "{head}");
         assert!(body.contains("gt_http_smoke_total 7"), "{body}");
+        // The build-info beacon is registered at server start.
+        assert!(body.contains("gt_build_info 1"), "{body}");
+        assert!(body.contains("# HELP gt_build_info crate "), "{body}");
 
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("uptime_s "), "{body}");
+        // No SLO engine ran on this handle: state is `none`.
+        assert!(body.contains("slo none"), "{body}");
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
@@ -232,7 +267,7 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.ends_with("ok\n"), "{response}");
+        assert!(response.contains("\r\n\r\nok\n"), "{response}");
         server.shutdown();
     }
 
@@ -252,7 +287,7 @@ mod tests {
         // deadline expires, not starved forever.
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("ok\n"), "{body}");
 
         let mut response = String::new();
         stalled.read_to_string(&mut response).unwrap();

@@ -22,23 +22,29 @@
 //! Everything here is hand-rolled (including the JSON layer in [`json`])
 //! because the workspace builds offline with no vendored external crates.
 
+pub mod context;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;
+pub mod ring;
+pub mod slo;
 pub mod span;
 pub mod summary;
 pub mod trace;
 
 use std::sync::{Arc, OnceLock};
 
+pub use context::{RequestTrace, SegmentKind, TraceContext, TraceSpan};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsSnapshot,
     Registry,
 };
+pub use ring::{dump_outcomes, FlightRecorder, FLIGHT_SCHEMA_VERSION};
+pub use slo::{BurnRule, SloAlert, SloEngine, SloSpec};
 pub use span::{Collector, EventRecord, MemoryCollector, NullCollector, Span, SpanRecord};
-pub use trace::{from_chrome_json, write_chrome_json, Trace, TraceEvent};
+pub use trace::{from_chrome_json, write_chrome_json, Flow, FlowStep, Trace, TraceEvent};
 
 /// A collector plus a metrics registry; the handle instrumented code holds.
 /// Cloning is cheap (two `Arc`s) and clones share all state.

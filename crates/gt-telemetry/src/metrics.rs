@@ -478,6 +478,66 @@ mod tests {
         assert!((10.0..=42.0).contains(&p50), "p50 = {p50}");
     }
 
+    /// A single-sample snapshot: every quantile must stay inside the
+    /// bucket that holds the one observation, bounded by the observed
+    /// value itself — never the raw bucket bound.
+    #[test]
+    fn single_sample_quantiles_never_leave_the_sample() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0, 1000.0]);
+        h.observe(42.0);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!((10.0..=42.0).contains(&v), "q={q} escaped the sample: {v}");
+        }
+        // q=1.0 is exactly the sample (upper clamp is min(bound, max)).
+        assert_eq!(s.quantile(1.0), Some(42.0));
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    /// A single sample below the first bound: the lower edge of bucket 0
+    /// is min(min, bound), so interpolation cannot undershoot the
+    /// observation's bucket.
+    #[test]
+    fn single_sample_in_first_bucket() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0]);
+        h.observe(3.0);
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((3.0..=10.0).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(1.0), Some(3.0));
+    }
+
+    /// All mass in the overflow bucket: interpolation runs from the last
+    /// finite bound toward the observed max, never past it — and never to
+    /// +inf, which a naive "+Inf upper bound" implementation would yield.
+    #[test]
+    fn overflow_bucket_interpolates_toward_max() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0]);
+        for v in [200.0, 400.0, 800.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 3]);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let v = s.quantile(q).unwrap();
+            assert!(v.is_finite(), "q={q} is not finite: {v}");
+            assert!(
+                (100.0..=800.0).contains(&v),
+                "q={q} outside [last bound, max]: {v}"
+            );
+        }
+        assert_eq!(s.quantile(1.0), Some(800.0));
+        // Quantiles are monotone in q across the overflow bucket.
+        let (a, b, c) = (
+            s.quantile(0.2).unwrap(),
+            s.quantile(0.6).unwrap(),
+            s.quantile(0.95).unwrap(),
+        );
+        assert!(a <= b && b <= c, "non-monotone: {a} {b} {c}");
+    }
+
     #[test]
     #[should_panic(expected = "different kind")]
     fn kind_mismatch_panics() {

@@ -1,0 +1,233 @@
+//! Flight recorder: a fixed-size ring of recent [`RequestTrace`]s.
+//!
+//! Aircraft keep their last minutes of telemetry in a crash-survivable
+//! loop; this is the serving stack's equivalent. The ring holds the most
+//! recent request span trees, cheap to append and bounded in memory, and
+//! [`FlightRecorder::dump`] freezes them into one JSON artifact when
+//! something goes wrong — an SLO breach, an injected fault, a chaos-oracle
+//! violation, or a crash site.
+//!
+//! The dump is a valid Chrome trace-event document (it opens directly in
+//! Perfetto) carrying extra top-level `gt_*` keys: the dump reason, the
+//! schema version, and a per-request outcome table whose `outcome_json`
+//! strings are byte-identical to the write-ahead journal's records — that
+//! is what lets a dump be reconciled exactly against the journal's
+//! `BatchOutcome` stream.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::context::RequestTrace;
+use crate::json::{obj, parse, Json, JsonError, ToJson};
+use crate::trace::{write_chrome_json, Trace};
+
+/// Version of the dump's `gt_flight_schema` field.
+pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+
+/// Fixed-capacity ring buffer of recent request traces.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestTrace>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` requests.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a trace, evicting the oldest when full.
+    pub fn record(&self, trace: RequestTrace) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Copy of the retained traces, oldest first.
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Freeze the ring into a dump artifact: a Chrome trace-event JSON
+    /// document (Perfetto-loadable) with `gt_flight_*` metadata on top.
+    pub fn dump(&self, reason: &str) -> String {
+        let traces = self.traces();
+        let mut trace = Trace::new("flight recorder");
+        for rt in &traces {
+            rt.render(&mut trace);
+        }
+        let chrome = write_chrome_json(&[&trace]);
+        // write_chrome_json returns a complete `{...}` object; splice the
+        // gt_* keys in by re-parsing (the in-tree parser is strict and the
+        // document is ours, so this cannot fail).
+        let mut doc = match parse(&chrome) {
+            Ok(Json::Obj(pairs)) => pairs,
+            _ => unreachable!("write_chrome_json emits a JSON object"),
+        };
+        doc.push((
+            "gt_flight_schema".to_string(),
+            Json::from(FLIGHT_SCHEMA_VERSION),
+        ));
+        doc.push(("gt_flight_reason".to_string(), Json::from(reason)));
+        doc.push((
+            "gt_flight_requests".to_string(),
+            Json::Arr(traces.iter().map(|t| t.to_json()).collect()),
+        ));
+        Json::Obj(doc).to_json_string()
+    }
+}
+
+/// The reconciliation view of a dump: `(batch_index, outcome_json)` for
+/// every retained request that reached the supervisor, in batch order —
+/// directly comparable against the journal's batch records.
+pub fn dump_outcomes(dump: &str) -> Result<Vec<(usize, String)>, JsonError> {
+    let doc = parse(dump)?;
+    let requests = doc
+        .get("gt_flight_requests")
+        .and_then(|r| r.as_arr())
+        .ok_or(JsonError {
+            message: "missing gt_flight_requests".to_string(),
+            offset: 0,
+        })?;
+    let mut out: Vec<(usize, String)> = requests
+        .iter()
+        .filter_map(|r| {
+            let batch = r.get("batch_index")?.as_f64()? as usize;
+            let outcome = r.get("outcome_json")?.as_str()?.to_string();
+            Some((batch, outcome))
+        })
+        .collect();
+    out.sort_by_key(|(b, _)| *b);
+    Ok(out)
+}
+
+impl ToJson for FlightRecorder {
+    fn to_json(&self) -> Json {
+        obj([
+            ("capacity", Json::from(self.capacity as u64)),
+            (
+                "traces",
+                Json::Arr(self.traces().iter().map(|t| t.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SegmentKind, TraceContext, TraceSpan};
+    use crate::trace::from_chrome_json;
+
+    fn trace(request_index: usize) -> RequestTrace {
+        let ctx = TraceContext::for_request(1, request_index);
+        RequestTrace {
+            trace_id: ctx.trace_id,
+            request_index,
+            batch_index: Some(request_index),
+            outcome: "succeeded".to_string(),
+            outcome_json: "{\"outcome\":\"succeeded\"}".to_string(),
+            arrival_us: request_index as f64 * 10.0,
+            done_us: request_index as f64 * 10.0 + 5.0,
+            spans: vec![TraceSpan {
+                span_id: ctx.parent_span_id,
+                parent: None,
+                kind: SegmentKind::Request,
+                name: format!("request #{request_index}"),
+                start_us: request_index as f64 * 10.0,
+                dur_us: 5.0,
+            }],
+        }
+    }
+
+    /// Ring wraparound: capacity is never exceeded, eviction is exactly
+    /// FIFO, and the retained window is the most recent one — through
+    /// several complete wraps.
+    #[test]
+    fn wraparound_keeps_the_newest_window() {
+        let rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        for i in 0..11 {
+            rec.record(trace(i));
+            assert!(rec.len() <= 4, "capacity exceeded at insert {i}");
+            let got: Vec<usize> = rec.traces().iter().map(|t| t.request_index).collect();
+            let want: Vec<usize> = (i.saturating_sub(3)..=i).collect();
+            assert_eq!(got, want, "after insert {i}");
+        }
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn exactly_at_capacity_no_eviction() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..3 {
+            rec.record(trace(i));
+        }
+        assert_eq!(rec.len(), 3);
+        let got: Vec<usize> = rec.traces().iter().map(|t| t.request_index).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dump_is_perfetto_loadable_and_carries_metadata() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..3 {
+            rec.record(trace(i));
+        }
+        let dump = rec.dump("slo-breach:latency");
+        // Perfetto round-trip: the dump parses as a Chrome trace document.
+        let traces = from_chrome_json(&dump).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].process, "flight recorder");
+        assert_eq!(traces[0].events.len(), 3);
+        // Metadata survives alongside.
+        let doc = parse(&dump).unwrap();
+        assert_eq!(
+            doc.get("gt_flight_reason").unwrap().as_str(),
+            Some("slo-breach:latency")
+        );
+        assert_eq!(
+            doc.get("gt_flight_schema").unwrap().as_f64(),
+            Some(FLIGHT_SCHEMA_VERSION as f64)
+        );
+        let outcomes = dump_outcomes(&dump).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].0, 0);
+        assert!(outcomes.iter().all(|(_, o)| o.contains("succeeded")));
+    }
+
+    #[test]
+    fn dump_outcomes_skips_shed_requests() {
+        let rec = FlightRecorder::new(4);
+        let mut shed = trace(5);
+        shed.batch_index = None;
+        shed.outcome = "shed".to_string();
+        rec.record(trace(0));
+        rec.record(shed);
+        let outcomes = dump_outcomes(&rec.dump("test")).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].0, 0);
+    }
+}

@@ -7,12 +7,34 @@
 //!
 //! Format notes (see the Trace Event Format spec): we emit `"M"` metadata
 //! events naming each process/thread, `"X"` complete events for durations,
-//! and `"i"` instant events. Timestamps are microseconds.
+//! `"i"` instant events, and `"s"`/`"f"` flow events — the arrows Perfetto
+//! draws between causally linked slices on different tracks (a parent span
+//! on the request track flowing into its S/R/K/T children on the core /
+//! PCIe / GPU tracks). Timestamps are microseconds.
 
 use crate::json::{obj, parse, Json, JsonError};
 use crate::span::{EventRecord, SpanRecord};
 
-/// One duration or instant event on a track.
+/// Which end of a flow arrow an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStep {
+    /// The arrow's origin (`ph:"s"`).
+    Start,
+    /// The arrow's destination (`ph:"f"`, binding point `"e"`).
+    Finish,
+}
+
+/// Flow linkage of a [`TraceEvent`]: events sharing an `id` are joined by
+/// an arrow from the `Start` event to the `Finish` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Which end of the arrow this event is.
+    pub step: FlowStep,
+    /// Flow identity; start and finish must agree.
+    pub id: u64,
+}
+
+/// One duration, instant, or flow event on a track.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Event name (shown on the slice).
@@ -25,6 +47,9 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Duration, µs. `None` renders as an instant event.
     pub dur_us: Option<f64>,
+    /// Flow linkage; when set, the event renders as `ph:"s"`/`ph:"f"`
+    /// (duration is ignored by the format for flow events).
+    pub flow: Option<Flow>,
     /// Extra payload shown in the viewer's args pane.
     pub args: Vec<(String, Json)>,
 }
@@ -63,6 +88,7 @@ impl Trace {
             track: track.into(),
             ts_us,
             dur_us: Some(dur_us),
+            flow: None,
             args,
         });
     }
@@ -82,7 +108,49 @@ impl Trace {
             track: track.into(),
             ts_us,
             dur_us: None,
+            flow: None,
             args,
+        });
+    }
+
+    /// Append the origin of a flow arrow named `name` with identity `id`.
+    pub fn flow_start(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        ts_us: f64,
+        id: u64,
+    ) {
+        self.flow_event(track, name, ts_us, FlowStep::Start, id);
+    }
+
+    /// Append the destination of flow arrow `id`.
+    pub fn flow_finish(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        ts_us: f64,
+        id: u64,
+    ) {
+        self.flow_event(track, name, ts_us, FlowStep::Finish, id);
+    }
+
+    fn flow_event(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        ts_us: f64,
+        step: FlowStep,
+        id: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat: "flow".to_string(),
+            track: track.into(),
+            ts_us,
+            dur_us: None,
+            flow: Some(Flow { step, id }),
+            args: Vec::new(),
         });
     }
 
@@ -166,12 +234,24 @@ pub fn write_chrome_json(traces: &[&Trace]) -> String {
                 ("tid", tid.into()),
                 ("ts", e.ts_us.into()),
             ];
-            match e.dur_us {
-                Some(dur) => {
+            match (&e.flow, e.dur_us) {
+                (Some(flow), _) => {
+                    match flow.step {
+                        FlowStep::Start => fields.push(("ph", "s".into())),
+                        FlowStep::Finish => {
+                            fields.push(("ph", "f".into()));
+                            // Bind to the enclosing slice so the arrow ends
+                            // on the child slice rather than its next event.
+                            fields.push(("bp", "e".into()));
+                        }
+                    }
+                    fields.push(("id", flow.id.into()));
+                }
+                (None, Some(dur)) => {
                     fields.push(("ph", "X".into()));
                     fields.push(("dur", dur.into()));
                 }
-                None => {
+                (None, None) => {
                     fields.push(("ph", "i".into()));
                     fields.push(("s", "t".into()));
                 }
@@ -246,7 +326,7 @@ pub fn from_chrome_json(text: &str) -> Result<Vec<Trace>, JsonError> {
                     _ => {}
                 }
             }
-            "X" | "i" => {
+            "X" | "i" | "s" | "f" => {
                 let track = tracks[i]
                     .iter()
                     .find(|(t, _)| *t == tid)
@@ -269,6 +349,17 @@ pub fn from_chrome_json(text: &str) -> Result<Vec<Trace>, JsonError> {
                         Some(ev.get("dur").and_then(|v| v.as_f64()).unwrap_or(0.0))
                     } else {
                         None
+                    },
+                    flow: match ph {
+                        "s" | "f" => Some(Flow {
+                            step: if ph == "s" {
+                                FlowStep::Start
+                            } else {
+                                FlowStep::Finish
+                            },
+                            id: ev.get("id").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+                        }),
+                        _ => None,
                     },
                     args,
                 });
@@ -373,6 +464,37 @@ mod tests {
         );
         let text = write_chrome_json(&[&t]);
         assert_eq!(from_chrome_json(&text).unwrap()[0], t);
+    }
+
+    /// Flow events (`ph:"s"`/`ph:"f"`) linking parent→child slices across
+    /// tracks survive the export→parse round trip bit-exactly, like every
+    /// other event kind.
+    #[test]
+    fn flow_events_round_trip() {
+        let mut t = Trace::new("requests");
+        t.duration("request", "request #4", "request", 10.0, 90.0, vec![]);
+        t.duration("GPU", "kernel", "request", 30.0, 40.0, vec![]);
+        t.flow_start("request", "kernel", 10.0, 0xDEAD_BEEF);
+        t.flow_finish("GPU", "kernel", 30.0, 0xDEAD_BEEF);
+
+        let text = write_chrome_json(&[&t]);
+        // Raw format checks: both phases present, finish binds enclosing.
+        assert!(text.contains("\"ph\":\"s\""), "{text}");
+        assert!(text.contains("\"ph\":\"f\""), "{text}");
+        assert!(text.contains("\"bp\":\"e\""), "{text}");
+
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], t);
+        let flows: Vec<_> = back[0]
+            .events
+            .iter()
+            .filter_map(|e| e.flow.as_ref())
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].step, FlowStep::Start);
+        assert_eq!(flows[1].step, FlowStep::Finish);
+        assert!(flows.iter().all(|f| f.id == 0xDEAD_BEEF));
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //!   wall-clock spans/events of the serving loop, and the discrete-event
 //!   preprocessing schedule of the last trained batch (one track per host
 //!   core / PCIe / GPU). Load it at <https://ui.perfetto.dev>.
+//! * `flight.json` — the request tracer's flight-recorder ring: one span
+//!   tree per served request (queue wait, S/R/K/T segments, kernel,
+//!   stall/backoff), parent→child causality as Perfetto flow events.
 //! * `metrics.prom` — every counter and histogram in Prometheus text
 //!   exposition format.
-//! * stdout — human-readable metric and span summaries.
+//! * stdout — human-readable metric, span, and span-tree summaries.
 //!
 //! ```sh
 //! cargo run --release --example tracing_demo
@@ -41,6 +44,9 @@ fn main() {
         .with_straggler(0, 4.0)
         .with_transient_memory_pressure(1e-6, 0.2);
     let mut server = Supervisor::new(trainer, plan);
+    // Request-scoped causal tracing: every served batch gets a span tree
+    // with deterministic ids; the ring keeps the most recent ones.
+    server.enable_tracing(TracerConfig::default(), None);
 
     println!("serving 12 batches under injected faults...");
     let mut last_schedule = None;
@@ -65,6 +71,30 @@ fn main() {
         wall.events.len(),
         des.events.len()
     );
+
+    // The flight recorder's view of the same run: per-request span trees,
+    // dumped in the exact format an SLO breach or crash would freeze.
+    let tracer = server.tracer.as_ref().expect("tracing enabled");
+    let flight = tracer.recorder().dump("demo");
+    std::fs::write("flight.json", &flight).expect("write flight.json");
+    let traces = tracer.recorder().traces();
+    println!(
+        "wrote flight.json ({} request span trees); open it at https://ui.perfetto.dev",
+        traces.len()
+    );
+    if let Some(t) = traces.last() {
+        println!(
+            "\nlast request's span tree (request {}, outcome {}):",
+            t.request_index, t.outcome
+        );
+        for s in &t.spans {
+            let branch = if s.parent.is_some() { "└─ " } else { "" };
+            println!(
+                "  {branch}{:<10} {:>9.1} µs @ {:>10.1} µs",
+                s.name, s.dur_us, s.start_us
+            );
+        }
+    }
 
     let snapshot = telemetry.snapshot();
     std::fs::write("metrics.prom", prometheus::render(&snapshot)).expect("write metrics.prom");

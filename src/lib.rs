@@ -60,10 +60,11 @@ pub mod prelude {
     pub use gt_core::serve::{
         DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor,
     };
+    pub use gt_core::tracing::{RequestTracer, TracerConfig};
     pub use gt_core::trainer::{GraphTensor, GtVariant};
     pub use gt_datasets::{DatasetSpec, Scale};
     pub use gt_models::{evaluate, gat_lite, gcn, gin, ngcf, train_epochs};
     pub use gt_sample::{BatchIter, SamplerConfig};
     pub use gt_sim::{CrashSite, FaultPlan, SystemSpec};
-    pub use gt_telemetry::{http::MetricsServer, Telemetry};
+    pub use gt_telemetry::{http::MetricsServer, SloSpec, Telemetry};
 }
