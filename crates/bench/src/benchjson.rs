@@ -8,8 +8,9 @@
 //! information and only gated when `benchdiff --wall` opts in).
 //!
 //! Metric direction is encoded in the name, not in a side table: any
-//! metric whose name contains `throughput` is higher-is-better; all
-//! others (latencies, idle percentages, makespans) are lower-is-better.
+//! metric whose name contains `throughput` or `hit_rate` is
+//! higher-is-better; all others (latencies, idle percentages, makespans)
+//! are lower-is-better.
 
 use gt_telemetry::Json;
 
@@ -55,10 +56,10 @@ pub struct BenchReport {
     pub wall: Vec<(String, f64)>,
 }
 
-/// Direction rule: `throughput` anywhere in the name means higher is
-/// better; everything else is a cost (latency, idle, makespan).
+/// Direction rule: `throughput` or `hit_rate` anywhere in the name means
+/// higher is better; everything else is a cost (latency, idle, makespan).
 pub fn higher_is_better(name: &str) -> bool {
-    name.contains("throughput")
+    name.contains("throughput") || name.contains("hit_rate")
 }
 
 fn pairs_to_json(pairs: &[(String, f64)]) -> Json {
@@ -334,6 +335,8 @@ mod tests {
     #[test]
     fn direction_rule() {
         assert!(higher_is_better("throughput_samples_per_s"));
+        assert!(higher_is_better("embedding_cache_hit_rate"));
+        assert!(higher_is_better("subgraph_cache_hit_rate"));
         assert!(!higher_is_better("batch_e2e_us_p99"));
         assert!(!higher_is_better("prepro_idle_pct"));
     }

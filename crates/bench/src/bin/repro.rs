@@ -8,7 +8,7 @@
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
-//!              threads durability chaos slo smoke
+//!              threads durability chaos slo serving smoke
 //! ```
 //!
 //! `--threads N` pins the process-wide `gt_par` pool (same effect as
@@ -52,6 +52,15 @@
 //! span trees to PATH before recovery (last crash wins). All dump bytes
 //! are deterministic — bit-identical at every `GT_THREADS` width. See
 //! `docs/telemetry.md` §Tracing contexts and §SLOs in virtual time.
+//!
+//! The `serving` experiment runs the million-user scenario: a seeded
+//! open-loop diurnal workload (hot-key skew, flash crowds, three
+//! tenants) against the durable gateway with per-tenant quotas, deficit
+//! round robin, and the skew-exploiting serving caches enabled. With
+//! `--bench-out` it writes `BENCH_serving.json` — cache hit rates,
+//! shed/degrade totals, and the p99-vs-load curve, all in virtual time
+//! and bit-identical at every `GT_THREADS` width — which is the
+//! `serving-smoke` CI gate's workload. See `docs/serving.md`.
 
 use gt_bench::experiments::*;
 use gt_bench::ExpConfig;
@@ -67,7 +76,7 @@ fn usage() -> ! {
          [--chaos-replay FILE] [--chaos-out PATH] [--flight-out PATH] [--slo]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
-         durability chaos slo smoke"
+         durability chaos slo serving smoke"
     );
     std::process::exit(2);
 }
@@ -83,6 +92,7 @@ fn main() {
     let mut durability_opts = durability::DurabilityOpts::default();
     let mut chaos_opts = chaos::ChaosOpts::default();
     let mut slo_opts = slo::SloOpts::default();
+    let mut serving_opts = serving::ServingOpts::default();
     // The experiment is normally the first positional argument; flag-only
     // invocations (e.g. `repro --chaos-replay plan.json`) name it via
     // `--experiment` or imply `chaos` from a replay file.
@@ -213,8 +223,10 @@ fn main() {
         }
     }
 
-    // `slo` serves durably too; `--checkpoint-dir` names its state dir.
+    // `slo` and `serving` serve durably too; `--checkpoint-dir` names
+    // their state dir.
     slo_opts.dir = durability_opts.dir.clone();
+    serving_opts.dir = durability_opts.dir.clone();
 
     if trace_out.is_some() {
         gt_telemetry::set_global(gt_telemetry::Telemetry::recording());
@@ -253,6 +265,7 @@ fn main() {
         "durability" => durability::print(cfg, &durability_opts),
         "chaos" => chaos::print(cfg, &chaos_opts),
         "slo" => slo::print(cfg, &slo_opts),
+        "serving" => serving::print(cfg, &serving_opts),
         "smoke" => gt_bench::probe::print(cfg),
         _ => usage(),
     };
@@ -285,7 +298,13 @@ fn main() {
     }
 
     if let Some(path) = bench_out {
-        let report = gt_bench::probe::report(&exp, &cfg);
+        // `serving` distills its own scenario; everything else shares the
+        // training-loop perf probe.
+        let report = if exp == "serving" {
+            serving::report(&cfg, &serving_opts)
+        } else {
+            gt_bench::probe::report(&exp, &cfg)
+        };
         match std::fs::write(&path, report.to_json_string()) {
             Ok(()) => eprintln!(
                 "wrote {} modeled + {} wall metrics to {path} (gate with benchdiff)",

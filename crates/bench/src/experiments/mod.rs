@@ -19,6 +19,7 @@ pub mod fig20;
 pub mod fig6;
 pub mod fig8;
 pub mod scalability;
+pub mod serving;
 pub mod slo;
 pub mod table1;
 pub mod table2;

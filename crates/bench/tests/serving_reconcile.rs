@@ -1,0 +1,247 @@
+//! Property test for the serving pipeline: an open-loop workload through
+//! the durable, cached, multi-tenant gateway must reconcile exactly —
+//! every completion against the write-ahead journal, every per-tenant
+//! counter against the completion stream — and resolve bit-identically
+//! across `GT_THREADS` widths (docs/serving.md, docs/parallelism.md).
+//!
+//! The thread-width check re-executes this test binary with
+//! `GT_THREADS=1` and `GT_THREADS=4` (the global pool freezes its width
+//! at first use, so one process can only ever observe one width) and
+//! compares the digests the two children print.
+
+use gt_core::config::ModelConfig;
+use gt_core::data::GraphData;
+use gt_core::framework::{BatchOutcome, ShedCause};
+use gt_core::journal;
+use gt_core::serve::{DurabilityConfig, Supervisor};
+use gt_core::trainer::{GraphTensor, GtVariant};
+use gt_core::{CacheConfig, Gateway, OverloadConfig, TenancyConfig, TenantQuota};
+use gt_datasets::workload::{self, WorkloadSpec};
+use gt_sample::SamplerConfig;
+use gt_sim::{FaultPlan, SystemSpec};
+
+/// Set in the re-executed child to make `digest_helper` print the digest.
+const DIGEST_ENV: &str = "GT_SERVING_DIGEST";
+
+/// A compressed burst of the serving day: enough arrivals to engage the
+/// quota, the deadline, and both caches, small enough for a unit test.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        duration_us: 600_000.0,
+        ..WorkloadSpec::default_day(13)
+    }
+}
+
+/// Run the workload through a durable, cached, three-tenant gateway
+/// under an injected stall, assert every reconciliation invariant, and
+/// return a deterministic digest of the full resolution sequence.
+fn run_scenario(tag: &str) -> String {
+    let data = GraphData::synthetic(300, 3000, 16, 4, 3);
+    let wl = spec();
+    let arrivals = workload::generate(&wl, data.num_vertices());
+    assert!(!arrivals.is_empty());
+
+    let mut trainer = GraphTensor::new(
+        GtVariant::Dynamic,
+        ModelConfig::gcn(2, 16, 4),
+        SystemSpec::tiny(),
+    );
+    trainer.sampler = SamplerConfig {
+        fanout: 4,
+        layers: 2,
+        seed: 11,
+        ..Default::default()
+    };
+    trainer.telemetry = gt_telemetry::Telemetry::recording();
+    let telemetry = trainer.telemetry.clone();
+    // A sustained 40 ms stall against ~10 ms arrivals: the diurnal peak
+    // overloads hard while the trough still serves.
+    let plan = FaultPlan::new(5).with_serve_delay_window(40_000.0, 0, None);
+    let mut sup = Supervisor::new(trainer, plan);
+    sup.enable_caches(CacheConfig::default());
+    let dir =
+        std::env::temp_dir().join(format!("gt_serving_reconcile_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability = DurabilityConfig::new(&dir);
+    sup.make_durable(durability.clone()).expect("durable state");
+
+    let mut g = Gateway::new(
+        sup,
+        OverloadConfig {
+            queue_capacity: 8,
+            deadline_us: 150_000.0,
+            degrade_watermark: 3,
+            halve_watermark: 5,
+            reduced_fanout: 2,
+        },
+    );
+    // Tenant 2's ~20% share of the offered ~100 req/s is capped at 20/s
+    // with a burst of 2: it must trip its quota at the peak.
+    g.enable_tenancy(TenancyConfig {
+        quotas: vec![
+            TenantQuota::unlimited(),
+            TenantQuota::unlimited(),
+            TenantQuota::new(20.0, 2.0),
+        ],
+        quantum: wl.batch_size,
+    });
+
+    let mut all = Vec::new();
+    for a in &arrivals {
+        all.extend(g.submit_from(&data, a.at_us, a.tenant, &a.batch));
+        assert!(g.queue_depth() <= 8, "queue overflowed its bound");
+    }
+    all.extend(g.drain(&data));
+    assert_eq!(
+        all.len(),
+        arrivals.len(),
+        "every arrival must resolve exactly once"
+    );
+    assert_eq!(g.submitted(), arrivals.len());
+
+    // Completions ↔ journal, 1:1: every non-shed completion was served
+    // through `serve_durable` and journaled as one batch record with a
+    // contiguous batch index; shed requests never reached the supervisor
+    // and must have no record.
+    let scan = journal::read_journal(durability.journal_path()).expect("readable journal");
+    let mut journaled: Vec<usize> = scan
+        .records
+        .iter()
+        .filter(|r| journal::record_type(r) == Some("batch"))
+        .map(|r| journal::record_batch_index(r).expect("batch record has index"))
+        .collect();
+    journaled.sort_unstable();
+    let not_shed = all
+        .iter()
+        .filter(|c| !matches!(c.outcome, BatchOutcome::Shed { .. }))
+        .count();
+    assert_eq!(
+        journaled.len(),
+        not_shed,
+        "journal must hold exactly one batch record per non-shed completion"
+    );
+    assert_eq!(
+        journaled,
+        (0..not_shed).collect::<Vec<_>>(),
+        "journaled batch indices must be contiguous from 0"
+    );
+
+    // Per-tenant counters ↔ completions: submitted counters sum to
+    // `submitted()`, and served + shed partition each tenant's stream.
+    let snapshot = telemetry.snapshot();
+    let tenants = wl.tenant_weights.len();
+    let mut submitted_sum = 0u64;
+    for t in 0..tenants {
+        let submitted = snapshot.counter(&format!("gt_gateway_tenant{t}_submitted_total"));
+        let served = snapshot.counter(&format!("gt_gateway_tenant{t}_served_total"));
+        let shed = snapshot.counter(&format!("gt_gateway_tenant{t}_shed_total"));
+        submitted_sum += submitted;
+        assert_eq!(
+            submitted,
+            all.iter().filter(|c| c.tenant == t).count() as u64,
+            "tenant {t} submitted counter disagrees with completions"
+        );
+        assert_eq!(
+            served + shed,
+            submitted,
+            "tenant {t}'s served + shed must partition its submissions"
+        );
+    }
+    assert_eq!(
+        submitted_sum,
+        g.submitted() as u64,
+        "per-tenant submitted counters must sum to the gateway total"
+    );
+
+    // The scenario must actually exercise the machinery it reconciles.
+    let quota_shed = all
+        .iter()
+        .filter(|c| {
+            c.outcome
+                == BatchOutcome::Shed {
+                    cause: ShedCause::QuotaExceeded,
+                }
+        })
+        .count();
+    assert!(quota_shed > 0, "tenant 2 must trip its quota");
+    let stats = g.supervisor.cache_stats().expect("caches enabled");
+    assert!(stats.embedding_hits > 0, "the hot set must hit the cache");
+
+    let mut digest = String::new();
+    for c in &all {
+        digest.push_str(&format!(
+            "{}:t{}:{:?}:q{}:s{}:d{};",
+            c.request_index, c.tenant, c.outcome, c.queued_us, c.service_us, c.done_us
+        ));
+    }
+    digest.push_str(&format!(
+        "eh={};em={};sh={};sm={};saved={}",
+        stats.embedding_hits,
+        stats.embedding_misses,
+        stats.subgraph_hits,
+        stats.subgraph_misses,
+        stats.saved_us
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    digest
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The in-process invariants at whatever width this process runs.
+#[test]
+fn serving_day_reconciles_journal_and_tenant_counters() {
+    let digest = run_scenario("main_a");
+    // Determinism within one process, too.
+    assert_eq!(digest, run_scenario("main_b"));
+}
+
+/// Prints the scenario digest when [`DIGEST_ENV`] is set; a no-op test
+/// otherwise. Exists to be re-executed by
+/// [`serving_day_is_bit_identical_across_thread_widths`].
+#[test]
+fn digest_helper() {
+    if std::env::var(DIGEST_ENV).is_err() {
+        return;
+    }
+    println!("serving-digest={:#018x}", fnv1a(&run_scenario("child")));
+}
+
+/// `GT_THREADS=1` and `GT_THREADS=4` resolve the identical serving day —
+/// outcomes, tenants, cache counters, virtual timestamps, everything.
+#[test]
+fn serving_day_is_bit_identical_across_thread_widths() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let digest_at = |threads: &str| -> String {
+        let out = std::process::Command::new(&exe)
+            .args(["digest_helper", "--exact", "--nocapture"])
+            .env(DIGEST_ENV, "1")
+            .env(gt_par::THREADS_ENV, threads)
+            .output()
+            .expect("re-exec test binary");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "GT_THREADS={threads} child failed:\n{stdout}"
+        );
+        stdout
+            .lines()
+            .find_map(|l| l.split_once("serving-digest=").map(|(_, d)| d))
+            .and_then(|d| d.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no digest in GT_THREADS={threads} output:\n{stdout}"))
+            .to_string()
+    };
+    let one = digest_at("1");
+    let four = digest_at("4");
+    assert_eq!(
+        one, four,
+        "serving resolution diverged between GT_THREADS=1 and GT_THREADS=4"
+    );
+}

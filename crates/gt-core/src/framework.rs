@@ -57,6 +57,20 @@ pub enum DegradeAction {
         /// Fanout actually sampled with.
         to: usize,
     },
+    /// Both overload rungs at once: the queue was deep enough that the
+    /// batch was halved *and* sampled with reduced fanout. Reported as one
+    /// composed action so the caller (and the degrade telemetry) sees the
+    /// full extent of what it gave up.
+    HalvedBatchReducedFanout {
+        /// Original batch size.
+        from: usize,
+        /// Size actually trained.
+        to: usize,
+        /// Configured fanout.
+        fanout_from: usize,
+        /// Fanout actually sampled with.
+        fanout_to: usize,
+    },
 }
 
 /// Why the overload gateway refused to serve a batch at all.
@@ -64,9 +78,12 @@ pub enum DegradeAction {
 pub enum ShedCause {
     /// The admission queue was full when the request arrived.
     QueueFull,
-    /// The request waited in the queue past its deadline; serving it would
-    /// return an answer nobody is waiting for anymore.
+    /// The request waited (or provably would wait) past its deadline;
+    /// serving it would return an answer nobody is waiting for anymore.
     DeadlineExpired,
+    /// The tenant's token-bucket quota was exhausted at admission; one
+    /// tenant's burst may not starve the others.
+    QuotaExceeded,
 }
 
 impl ShedCause {
@@ -75,6 +92,7 @@ impl ShedCause {
         match self {
             ShedCause::QueueFull => "queue-full",
             ShedCause::DeadlineExpired => "deadline-expired",
+            ShedCause::QuotaExceeded => "quota-exceeded",
         }
     }
 }
@@ -258,6 +276,18 @@ mod machine_readable {
                     ("action", "reduced-fanout".into()),
                     ("from", (*from).into()),
                     ("to", (*to).into()),
+                ]),
+                DegradeAction::HalvedBatchReducedFanout {
+                    from,
+                    to,
+                    fanout_from,
+                    fanout_to,
+                } => obj([
+                    ("action", "halved-batch+reduced-fanout".into()),
+                    ("from", (*from).into()),
+                    ("to", (*to).into()),
+                    ("fanout_from", (*fanout_from).into()),
+                    ("fanout_to", (*fanout_to).into()),
                 ]),
             }
         }

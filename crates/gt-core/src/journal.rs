@@ -227,9 +227,16 @@ pub fn truncate_to(path: impl AsRef<Path>, valid_len: u64) -> Result<(), GtError
 }
 
 /// The record appended for every resolved batch: its serving index, the
-/// vertex ids as submitted (what replay re-serves), and the outcome in its
-/// canonical telemetry JSON form.
-pub fn batch_record(batch_index: usize, batch: &[VId], outcome: &BatchOutcome) -> Json {
+/// vertex ids as submitted (what replay re-serves), the sampling fanout
+/// the batch was actually served with (the gateway reduces it under
+/// load, and replay must match), and the outcome in its canonical
+/// telemetry JSON form.
+pub fn batch_record(
+    batch_index: usize,
+    batch: &[VId],
+    outcome: &BatchOutcome,
+    fanout: usize,
+) -> Json {
     obj([
         ("type", "batch".into()),
         ("batch_index", batch_index.into()),
@@ -237,6 +244,7 @@ pub fn batch_record(batch_index: usize, batch: &[VId], outcome: &BatchOutcome) -
             "batch",
             Json::Arr(batch.iter().map(|&v| Json::from(v as u64)).collect()),
         ),
+        ("fanout", fanout.into()),
         ("outcome", outcome.to_json()),
     ])
 }
@@ -278,6 +286,14 @@ pub fn record_batch_index(rec: &Json) -> Option<usize> {
         .map(|f| f as usize)
 }
 
+/// A batch record's `"fanout"` field (absent in journals written before
+/// the field existed; replay then uses the configured fanout).
+pub fn record_fanout(rec: &Json) -> Option<usize> {
+    rec.get("fanout")
+        .and_then(|v| v.as_f64())
+        .map(|f| f as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,8 +307,8 @@ mod tests {
 
     fn sample_records() -> Vec<Json> {
         vec![
-            batch_record(0, &[1, 2, 3], &BatchOutcome::Succeeded),
-            batch_record(1, &[4, 5], &BatchOutcome::Recovered { retries: 2 }),
+            batch_record(0, &[1, 2, 3], &BatchOutcome::Succeeded, 4),
+            batch_record(1, &[4, 5], &BatchOutcome::Recovered { retries: 2 }, 4),
             quarantine_record(&QuarantineRecord {
                 batch_index: 2,
                 batch: vec![9, 9],
@@ -322,13 +338,15 @@ mod tests {
 
     #[test]
     fn record_accessors() {
-        let r = batch_record(7, &[10, 20], &BatchOutcome::Succeeded);
+        let r = batch_record(7, &[10, 20], &BatchOutcome::Succeeded, 6);
         assert_eq!(record_type(&r), Some("batch"));
         assert_eq!(record_batch_index(&r), Some(7));
         assert_eq!(batch_ids(&r), Some(vec![10, 20]));
+        assert_eq!(record_fanout(&r), Some(6));
         let c = checkpoint_record(3, 42);
         assert_eq!(record_type(&c), Some("checkpoint"));
         assert_eq!(batch_ids(&c), None);
+        assert_eq!(record_fanout(&c), None);
     }
 
     /// Truncate a journal at EVERY byte length: the scan must never panic,
@@ -395,9 +413,9 @@ mod tests {
         let dir = tmp_dir("torn");
         let path = dir.join("outcomes.gtj");
         let mut j = Journal::create(&path).unwrap();
-        let full = batch_record(0, &[1], &BatchOutcome::Succeeded);
+        let full = batch_record(0, &[1], &BatchOutcome::Succeeded, 4);
         j.append(&full).unwrap();
-        j.append_torn(&batch_record(1, &[2], &BatchOutcome::Succeeded))
+        j.append_torn(&batch_record(1, &[2], &BatchOutcome::Succeeded, 4))
             .unwrap();
         drop(j);
         let s = read_journal(&path).unwrap();
@@ -406,7 +424,7 @@ mod tests {
         truncate_to(&path, s.valid_len).unwrap();
         // After truncation the journal is clean and appendable again.
         let mut j = Journal::open_append(&path).unwrap();
-        let next = batch_record(1, &[2], &BatchOutcome::Succeeded);
+        let next = batch_record(1, &[2], &BatchOutcome::Succeeded, 4);
         j.append(&next).unwrap();
         drop(j);
         let s = read_journal(&path).unwrap();
@@ -493,7 +511,7 @@ mod tests {
         use gt_sim::IoFault;
         let dir = tmp_dir("inject");
         let path = dir.join("outcomes.gtj");
-        let rec = batch_record(0, &[1], &BatchOutcome::Succeeded);
+        let rec = batch_record(0, &[1], &BatchOutcome::Succeeded, 4);
 
         // Torn write: valid prefix survives, tail truncates away.
         let mut j = Journal::create(&path).unwrap();

@@ -17,6 +17,7 @@
 //! trait that `gt-baselines` also implements, so every evaluation figure
 //! compares like with like.
 
+pub mod cache;
 pub mod config;
 pub mod data;
 pub mod error;
@@ -32,13 +33,14 @@ pub mod serve;
 pub mod tracing;
 pub mod trainer;
 
+pub use cache::{CacheConfig, CacheLookup, CacheStats, ServingCaches};
 pub use config::{EdgeWeighting, ModelConfig};
 pub use data::GraphData;
 pub use error::GtError;
 pub use framework::{
     BatchOutcome, BatchReport, DegradeAction, FailReason, Framework, FrameworkTraits, ShedCause,
 };
-pub use overload::{Completion, Gateway, OverloadConfig};
+pub use overload::{Completion, Gateway, OverloadConfig, TenancyConfig, TenantQuota};
 pub use scheduler::{build_prepro_sim, schedule_prepro_with_faults, PreproStrategy};
 pub use serve::{DurabilityConfig, QuarantineRecord, RecoveryReport, ServeConfig, Supervisor};
 pub use tracing::{FlightDump, RequestTracer, TracerConfig};

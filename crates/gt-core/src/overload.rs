@@ -1,4 +1,5 @@
-//! Deadline watchdog and overload shedding in front of the supervisor.
+//! Deadline watchdog, multi-tenant admission, and overload shedding in
+//! front of the supervisor.
 //!
 //! The [`Supervisor`](crate::serve::Supervisor) keeps individual batches
 //! alive through faults; this module keeps the *service* alive through
@@ -6,32 +7,53 @@
 //! clock (the same simulated-µs timeline the DES prices batches in) and
 //! applies a shed/degrade ladder ordered by queue pressure:
 //!
-//! 1. **Deadline watchdog** — a queued request whose wait exceeds
-//!    [`OverloadConfig::deadline_us`] at the moment it would start is shed
+//! 1. **Quota** — with [`TenancyConfig`] enabled, each tenant spends one
+//!    token per submission from a token bucket refilled at
+//!    [`TenantQuota::rate_per_s`] on the virtual clock; an empty bucket
+//!    sheds the arrival ([`ShedCause::QuotaExceeded`]) before it can take
+//!    queue space from other tenants.
+//! 2. **Deadline watchdog** — a queued request that has waited, *or
+//!    provably will wait* (the server is busy until `busy_until_us`), at
+//!    least [`OverloadConfig::deadline_us`] is shed
 //!    ([`ShedCause::DeadlineExpired`]): serving it would burn capacity on
-//!    an answer nobody is waiting for, which is how overload spirals.
-//! 2. **Reduced fanout** — at queue depth ≥
+//!    an answer nobody is waiting for, which is how overload spirals. The
+//!    bound is inclusive — a wait of exactly the deadline is already late.
+//! 3. **Reduced fanout** — at queue depth ≥
 //!    [`OverloadConfig::degrade_watermark`], batches are sampled with
 //!    [`OverloadConfig::reduced_fanout`] instead of the configured fanout,
 //!    shrinking per-batch preprocessing and GPU work while the queue
 //!    drains ([`DegradeAction::ReducedFanout`]).
-//! 3. **Halved batch** — at depth ≥ [`OverloadConfig::halve_watermark`],
-//!    batches are additionally cut in half ([`DegradeAction::HalvedBatch`]).
-//! 4. **Reject newest** — when the queue is full, the arriving request is
+//! 4. **Halved batch** — at depth ≥ [`OverloadConfig::halve_watermark`],
+//!    batches are additionally cut in half. When both rungs engage the
+//!    completion reports the composed
+//!    [`DegradeAction::HalvedBatchReducedFanout`], never just one of them.
+//! 5. **Reject newest** — when the queue is full, the arriving request is
 //!    refused outright ([`ShedCause::QueueFull`]); the queue can never
 //!    grow past [`OverloadConfig::queue_capacity`].
+//!
+//! With tenancy enabled, admitted requests are dequeued by deficit round
+//! robin: each tenant accrues [`TenancyConfig::quantum`] deficit (in batch
+//! vertices) per round-robin visit and serves from its FIFO while the
+//! deficit covers the head's cost, so a flooding tenant cannot starve the
+//! others regardless of arrival interleaving. Without tenancy the gateway
+//! is the single global FIFO it always was.
 //!
 //! Every resolution — served, degraded, or shed — produces exactly one
 //! [`Completion`] and one structured telemetry event on the `gateway`
 //! track, so an exported trace reconciles 1:1 against the outcomes the
-//! caller saw.
+//! caller saw. With tenancy enabled, per-tenant
+//! `gt_gateway_tenant{t}_{submitted,served,shed,degraded}_total` counters
+//! break the same stream down by tenant.
 //!
 //! Service time for a batch is its overlapped end-to-end latency
 //! ([`BatchReport::e2e_us`]) plus any injected
 //! [`gt_sim::FaultKind::ServeDelay`] stall and any retry backoff the
 //! supervisor paid — so a fault plan with a sustained stall window is
 //! exactly how tests (and capacity planners) push the gateway into
-//! overload, deterministically.
+//! overload, deterministically. When serving caches are enabled on the
+//! supervisor ([`Supervisor::enable_caches`]), the preprocessing µs a
+//! cache hit saved are subtracted from the critical path before the
+//! overlap max — warm caches raise effective capacity.
 
 use crate::data::GraphData;
 use crate::framework::{BatchOutcome, BatchReport, DegradeAction, ShedCause};
@@ -44,8 +66,9 @@ use std::collections::VecDeque;
 pub struct OverloadConfig {
     /// Hard bound on queued requests; arrivals beyond it are shed.
     pub queue_capacity: usize,
-    /// A request that has waited longer than this when it reaches the head
-    /// of the queue is shed instead of served (∞ = no deadline).
+    /// A request that has waited — or provably will wait — at least this
+    /// long when it would start is shed instead of served (∞ = no
+    /// deadline). The bound is inclusive.
     pub deadline_us: f64,
     /// Queue depth at which batches are served with reduced fanout.
     pub degrade_watermark: usize,
@@ -67,12 +90,68 @@ impl Default for OverloadConfig {
     }
 }
 
+/// Token-bucket admission quota for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Sustained admission rate, requests per virtual second.
+    pub rate_per_s: f64,
+    /// Bucket capacity: how many requests may burst above the rate.
+    pub burst: f64,
+}
+
+impl TenantQuota {
+    /// A quota admitting `rate_per_s` sustained with `burst` headroom.
+    pub fn new(rate_per_s: f64, burst: f64) -> Self {
+        TenantQuota { rate_per_s, burst }
+    }
+
+    /// No quota: the bucket never empties.
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            rate_per_s: f64::INFINITY,
+            burst: f64::INFINITY,
+        }
+    }
+}
+
+/// Multi-tenant admission policy: one quota per tenant plus the deficit
+/// round-robin quantum (in batch vertices) used to share the server.
+#[derive(Debug, Clone)]
+pub struct TenancyConfig {
+    /// Per-tenant token-bucket quotas; the vector length fixes the tenant
+    /// count and tenant ids are indices into it.
+    pub quotas: Vec<TenantQuota>,
+    /// Deficit round-robin quantum, in batch vertices, accrued per visit.
+    pub quantum: usize,
+}
+
 /// One admitted request waiting for service.
 #[derive(Debug)]
 struct Pending {
     request_index: usize,
+    tenant: usize,
     arrival_us: f64,
     batch: Vec<VId>,
+}
+
+/// Per-tenant admission state: FIFO, token bucket, and DRR deficit.
+#[derive(Debug)]
+struct Tenant {
+    queue: VecDeque<Pending>,
+    tokens: f64,
+    refilled_us: f64,
+    deficit: usize,
+}
+
+impl Tenant {
+    fn new(tokens: f64) -> Self {
+        Tenant {
+            queue: VecDeque::new(),
+            tokens,
+            refilled_us: 0.0,
+            deficit: 0,
+        }
+    }
 }
 
 /// How one submitted request resolved.
@@ -80,6 +159,8 @@ struct Pending {
 pub struct Completion {
     /// Submission index of the request (0-based, in arrival order).
     pub request_index: usize,
+    /// Tenant the request was submitted for (0 without tenancy).
+    pub tenant: usize,
     /// The resolution: a served outcome, or [`BatchOutcome::Shed`].
     pub outcome: BatchOutcome,
     /// Virtual µs the request waited in the admission queue.
@@ -97,7 +178,9 @@ pub struct Gateway {
     pub supervisor: Supervisor,
     /// Admission-control policy.
     pub config: OverloadConfig,
-    queue: VecDeque<Pending>,
+    tenancy: Option<TenancyConfig>,
+    tenants: Vec<Tenant>,
+    rr_cursor: usize,
     busy_until_us: f64,
     last_arrival_us: f64,
     submitted: usize,
@@ -110,16 +193,32 @@ impl Gateway {
         Gateway {
             supervisor,
             config,
-            queue: VecDeque::new(),
+            tenancy: None,
+            tenants: vec![Tenant::new(f64::INFINITY)],
+            rr_cursor: 0,
             busy_until_us: 0.0,
             last_arrival_us: 0.0,
             submitted: 0,
         }
     }
 
+    /// Switch the gateway to multi-tenant admission. Must be called before
+    /// the first submission; tenant ids are indices into `cfg.quotas`.
+    pub fn enable_tenancy(&mut self, cfg: TenancyConfig) {
+        assert_eq!(
+            self.submitted, 0,
+            "tenancy must be configured before any submission"
+        );
+        assert!(!cfg.quotas.is_empty(), "tenancy needs at least one tenant");
+        assert!(cfg.quantum > 0, "DRR quantum must be positive");
+        self.tenants = cfg.quotas.iter().map(|q| Tenant::new(q.burst)).collect();
+        self.rr_cursor = 0;
+        self.tenancy = Some(cfg);
+    }
+
     /// Requests currently waiting (never exceeds the configured capacity).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.tenants.iter().map(|t| t.queue.len()).sum()
     }
 
     /// Requests submitted so far.
@@ -127,58 +226,90 @@ impl Gateway {
         self.submitted
     }
 
-    /// Submit a request arriving at `arrival_us` (arrivals must be
-    /// monotone). The virtual clock advances to the arrival: every queued
-    /// request whose service completes by then is processed first, and the
-    /// resulting completions — plus this request's own immediate shed, if
-    /// the queue is full — are returned in resolution order.
+    /// Submit a single-tenant request (tenant 0); see [`Gateway::submit_from`].
     pub fn submit(&mut self, data: &GraphData, arrival_us: f64, batch: &[VId]) -> Vec<Completion> {
+        self.submit_from(data, arrival_us, 0, batch)
+    }
+
+    /// Submit a request for `tenant` arriving at `arrival_us` (arrivals
+    /// must be monotone across all tenants). The virtual clock advances to
+    /// the arrival: every queued request whose service completes by then is
+    /// processed first, and the resulting completions — plus this request's
+    /// own immediate shed, if quota, capacity, or the deadline refuse it —
+    /// are returned in resolution order.
+    pub fn submit_from(
+        &mut self,
+        data: &GraphData,
+        arrival_us: f64,
+        tenant: usize,
+        batch: &[VId],
+    ) -> Vec<Completion> {
         assert!(
             arrival_us >= self.last_arrival_us,
             "arrivals must be monotone: {arrival_us} < {}",
             self.last_arrival_us
         );
+        assert!(
+            tenant < self.tenants.len(),
+            "tenant {tenant} out of range (0..{})",
+            self.tenants.len()
+        );
         self.last_arrival_us = arrival_us;
         let request_index = self.submitted;
         self.submitted += 1;
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        if self.tenancy.is_some() {
+            telemetry
+                .counter(
+                    &format!("gt_gateway_tenant{tenant}_submitted_total"),
+                    "Requests submitted by this tenant",
+                )
+                .inc();
+        }
 
         let mut done = self.pump(data, arrival_us);
-        let telemetry = self.supervisor.trainer.telemetry.clone();
-        if self.queue.len() >= self.config.queue_capacity {
-            let cause = ShedCause::QueueFull;
-            telemetry
-                .counter("gt_gateway_shed_total", "Requests shed by the gateway")
-                .inc();
-            telemetry.event(
-                "gateway",
-                "shed",
-                &[
-                    ("request", &request_index),
-                    ("cause", &cause.label()),
-                    ("queue_depth", &self.queue.len()),
-                ],
-            );
-            let outcome = BatchOutcome::Shed { cause };
-            if let Some(tracer) = self.supervisor.tracer.as_mut() {
-                tracer.record_shed(request_index, &outcome, arrival_us, arrival_us);
+
+        if let Some(cfg) = &self.tenancy {
+            // Token-bucket quota, refilled on the virtual arrival clock.
+            let quota = &cfg.quotas[tenant];
+            let t = &mut self.tenants[tenant];
+            let elapsed_s = (arrival_us - t.refilled_us) / 1e6;
+            t.tokens = quota.burst.min(t.tokens + elapsed_s * quota.rate_per_s);
+            t.refilled_us = arrival_us;
+            if t.tokens < 1.0 {
+                done.push(self.shed_arrival(
+                    request_index,
+                    tenant,
+                    arrival_us,
+                    ShedCause::QuotaExceeded,
+                ));
+                self.update_depth_gauge();
+                return done;
             }
-            done.push(Completion {
+            t.tokens -= 1.0;
+        }
+
+        if self.queue_depth() >= self.config.queue_capacity {
+            done.push(self.shed_arrival(request_index, tenant, arrival_us, ShedCause::QueueFull));
+        } else if self.busy_until_us.max(arrival_us) - arrival_us >= self.config.deadline_us {
+            // Predicted lateness: the server is provably busy past this
+            // request's deadline before it could even start — shedding now
+            // is strictly better than queueing a guaranteed-late answer.
+            done.push(self.shed_arrival(
                 request_index,
-                outcome,
-                queued_us: 0.0,
-                service_us: 0.0,
-                done_us: arrival_us,
-            });
+                tenant,
+                arrival_us,
+                ShedCause::DeadlineExpired,
+            ));
         } else {
-            self.queue.push_back(Pending {
+            self.tenants[tenant].queue.push_back(Pending {
                 request_index,
+                tenant,
                 arrival_us,
                 batch: batch.to_vec(),
             });
         }
-        telemetry
-            .gauge("gt_gateway_queue_depth", "Admission-queue occupancy")
-            .set(self.queue.len() as f64);
+        self.update_depth_gauge();
         done
     }
 
@@ -194,26 +325,159 @@ impl Gateway {
         done
     }
 
-    /// Process queued requests whose service starts by `now_us`.
+    fn update_depth_gauge(&self) {
+        self.supervisor
+            .trainer
+            .telemetry
+            .gauge("gt_gateway_queue_depth", "Admission-queue occupancy")
+            .set(self.queue_depth() as f64);
+    }
+
+    /// Shed an arriving request before it is queued (quota, capacity, or
+    /// predicted lateness): one counter bump, one event, one completion.
+    fn shed_arrival(
+        &mut self,
+        request_index: usize,
+        tenant: usize,
+        arrival_us: f64,
+        cause: ShedCause,
+    ) -> Completion {
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        telemetry
+            .counter("gt_gateway_shed_total", "Requests shed by the gateway")
+            .inc();
+        if self.tenancy.is_some() {
+            telemetry
+                .counter(
+                    &format!("gt_gateway_tenant{tenant}_shed_total"),
+                    "Requests shed for this tenant",
+                )
+                .inc();
+        }
+        telemetry.event(
+            "gateway",
+            "shed",
+            &[
+                ("request", &request_index),
+                ("cause", &cause.label()),
+                ("queue_depth", &self.queue_depth()),
+            ],
+        );
+        let outcome = BatchOutcome::Shed { cause };
+        let traced_tenant = self.tenancy.is_some().then_some(tenant);
+        if let Some(tracer) = self.supervisor.tracer.as_mut() {
+            tracer.record_shed(
+                request_index,
+                &outcome,
+                traced_tenant,
+                arrival_us,
+                arrival_us,
+            );
+        }
+        Completion {
+            request_index,
+            tenant,
+            outcome,
+            queued_us: 0.0,
+            service_us: 0.0,
+            done_us: arrival_us,
+        }
+    }
+
+    /// Pick the tenant whose queue head is served next. Without tenancy
+    /// this is the global FIFO; with tenancy it is deficit round robin:
+    /// each visit to a nonempty tenant accrues one quantum, and a tenant
+    /// holds the cursor while its deficit covers its head's cost. Emptied
+    /// tenants forfeit their deficit. Re-selection without an intervening
+    /// serve is idempotent (an affordable head returns before any accrual),
+    /// so pausing the pump mid-backlog cannot skew the schedule.
+    fn select_tenant(&mut self) -> Option<usize> {
+        if self.tenancy.is_none() {
+            return (!self.tenants[0].queue.is_empty()).then_some(0);
+        }
+        if self.queue_depth() == 0 {
+            return None;
+        }
+        let quantum = self.tenancy.as_ref().expect("tenancy checked").quantum;
+        let n = self.tenants.len();
+        loop {
+            let t = self.rr_cursor;
+            let Some(front) = self.tenants[t].queue.front() else {
+                self.tenants[t].deficit = 0;
+                self.rr_cursor = (t + 1) % n;
+                continue;
+            };
+            let cost = front.batch.len().max(1);
+            if self.tenants[t].deficit >= cost {
+                return Some(t);
+            }
+            self.tenants[t].deficit += quantum;
+            if self.tenants[t].deficit >= cost {
+                return Some(t);
+            }
+            self.rr_cursor = (t + 1) % n;
+        }
+    }
+
+    /// DRR bookkeeping after tenant `t`'s head was removed. Serving charges
+    /// the head's cost against the deficit; shedding is free (the server
+    /// was never occupied). The cursor stays on `t` while it can still
+    /// afford its next head, otherwise moves on.
+    fn after_dequeue(&mut self, t: usize, served_cost: Option<usize>) {
+        if self.tenancy.is_none() {
+            return;
+        }
+        let n = self.tenants.len();
+        let ten = &mut self.tenants[t];
+        if let Some(cost) = served_cost {
+            ten.deficit = ten.deficit.saturating_sub(cost);
+        }
+        match ten.queue.front() {
+            None => {
+                ten.deficit = 0;
+                self.rr_cursor = (t + 1) % n;
+            }
+            Some(next) if ten.deficit < next.batch.len().max(1) => {
+                self.rr_cursor = (t + 1) % n;
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Process queued requests whose service starts by `now_us`. Fronts
+    /// that are already (or provably) past the deadline are shed even
+    /// beyond `now_us` — their lateness is a fact the moment
+    /// `busy_until_us` passes the bound, not something to wait for.
     fn pump(&mut self, data: &GraphData, now_us: f64) -> Vec<Completion> {
         let mut out = Vec::new();
-        while let Some(front) = self.queue.front() {
+        while let Some(t) = self.select_tenant() {
+            let front = self.tenants[t].queue.front().expect("selected nonempty");
             let start_us = self.busy_until_us.max(front.arrival_us);
-            if start_us > now_us {
+            let queued_us = start_us - front.arrival_us;
+            let late = queued_us >= self.config.deadline_us;
+            if start_us > now_us && !late {
                 break;
             }
-            let p = self.queue.pop_front().expect("front checked");
-            let queued_us = start_us - p.arrival_us;
+            let p = self.tenants[t].queue.pop_front().expect("front checked");
             let telemetry = self.supervisor.trainer.telemetry.clone();
             telemetry
                 .histogram_us("gt_gateway_queue_wait_us", "Admission-queue wait, µs")
                 .observe(queued_us);
-            if queued_us > self.config.deadline_us {
+            if late {
                 // Deadline watchdog: the answer is already too late.
+                self.after_dequeue(t, None);
                 let cause = ShedCause::DeadlineExpired;
                 telemetry
                     .counter("gt_gateway_shed_total", "Requests shed by the gateway")
                     .inc();
+                if self.tenancy.is_some() {
+                    telemetry
+                        .counter(
+                            &format!("gt_gateway_tenant{t}_shed_total"),
+                            "Requests shed for this tenant",
+                        )
+                        .inc();
+                }
                 telemetry.event(
                     "gateway",
                     "shed",
@@ -224,11 +488,19 @@ impl Gateway {
                     ],
                 );
                 let outcome = BatchOutcome::Shed { cause };
+                let traced_tenant = self.tenancy.is_some().then_some(p.tenant);
                 if let Some(tracer) = self.supervisor.tracer.as_mut() {
-                    tracer.record_shed(p.request_index, &outcome, p.arrival_us, start_us);
+                    tracer.record_shed(
+                        p.request_index,
+                        &outcome,
+                        traced_tenant,
+                        p.arrival_us,
+                        start_us,
+                    );
                 }
                 out.push(Completion {
                     request_index: p.request_index,
+                    tenant: p.tenant,
                     outcome,
                     queued_us,
                     service_us: 0.0,
@@ -236,9 +508,27 @@ impl Gateway {
                 });
                 continue; // the server was never occupied
             }
-            let depth = self.queue.len();
+            let cost = p.batch.len().max(1);
+            let depth = self.queue_depth();
             let (outcome, service_us) = self.serve_one(data, &p, depth, start_us);
             self.busy_until_us = start_us + service_us;
+            self.after_dequeue(t, Some(cost));
+            if self.tenancy.is_some() {
+                telemetry
+                    .counter(
+                        &format!("gt_gateway_tenant{t}_served_total"),
+                        "Requests served for this tenant",
+                    )
+                    .inc();
+                if matches!(outcome, BatchOutcome::Degraded { .. }) {
+                    telemetry
+                        .counter(
+                            &format!("gt_gateway_tenant{t}_degraded_total"),
+                            "Requests served degraded for this tenant",
+                        )
+                        .inc();
+                }
+            }
             telemetry.event(
                 "gateway",
                 "served",
@@ -250,6 +540,7 @@ impl Gateway {
             );
             out.push(Completion {
                 request_index: p.request_index,
+                tenant: p.tenant,
                 outcome,
                 queued_us,
                 service_us,
@@ -299,9 +590,19 @@ impl Gateway {
             if to < from {
                 self.supervisor.trainer.sampler.fanout = to;
                 restore_fanout = Some(from);
-                if action.is_none() {
-                    action = Some(DegradeAction::ReducedFanout { from, to });
-                }
+                // Both rungs engaged must be reported as both rungs: the
+                // composed variant, not whichever fired first.
+                action = Some(match action.take() {
+                    Some(DegradeAction::HalvedBatch { from: bf, to: bt }) => {
+                        DegradeAction::HalvedBatchReducedFanout {
+                            from: bf,
+                            to: bt,
+                            fanout_from: from,
+                            fanout_to: to,
+                        }
+                    }
+                    _ => DegradeAction::ReducedFanout { from, to },
+                });
             }
         }
         if let Some(a) = &action {
@@ -322,6 +623,9 @@ impl Gateway {
                         &match a {
                             DegradeAction::HalvedBatch { .. } => "halved-batch",
                             DegradeAction::ReducedFanout { .. } => "reduced-fanout",
+                            DegradeAction::HalvedBatchReducedFanout { .. } => {
+                                "halved-batch+reduced-fanout"
+                            }
                             DegradeAction::SerializedPrepro => "serialized-prepro",
                         },
                     ),
@@ -329,8 +633,9 @@ impl Gateway {
             );
         }
 
+        let traced_tenant = self.tenancy.is_some().then_some(p.tenant);
         if let Some(tracer) = self.supervisor.tracer.as_mut() {
-            tracer.begin_request(p.request_index, p.arrival_us, start_us);
+            tracer.begin_request(p.request_index, traced_tenant, p.arrival_us, start_us);
         }
         let backoff_before = self.supervisor.backoff_paid_us;
         // A durable supervisor journals through the gateway too, so flight
@@ -349,7 +654,15 @@ impl Gateway {
             self.supervisor.trainer.sampler.fanout = fanout;
         }
         let backoff_us = self.supervisor.backoff_paid_us - backoff_before;
-        let service_us = report.e2e_us(true) + stall_us + backoff_us;
+        // Cache hits shave preprocessing off the critical path before the
+        // prepro/GPU overlap max; with caches disabled saved is 0 and this
+        // is exactly `e2e_us(true)`.
+        let saved_us = self.supervisor.cache_saved_us();
+        let service_us = (report.prepro_us() - saved_us)
+            .max(0.0)
+            .max(report.gpu_us())
+            + stall_us
+            + backoff_us;
 
         // A gateway degradation outranks a clean supervisor outcome in the
         // report (the caller got less than it asked for); a supervisor
@@ -421,6 +734,7 @@ mod tests {
         assert_eq!(all.len(), 6);
         assert!(all.iter().all(|c| c.outcome == BatchOutcome::Succeeded));
         assert!(all.iter().all(|c| c.queued_us == 0.0));
+        assert!(all.iter().all(|c| c.tenant == 0));
     }
 
     /// A sustained injected stall makes service far slower than arrivals:
@@ -490,6 +804,77 @@ mod tests {
         }
     }
 
+    /// When both the halve and the fanout rungs engage, the completion
+    /// must report the composed action — not just whichever fired first —
+    /// and the degrade event must carry the composed label.
+    #[test]
+    fn composed_degradation_reports_both_rungs() {
+        let plan = FaultPlan::new(7).with_serve_delay_window(50_000.0, 0, None);
+        let cfg = OverloadConfig {
+            queue_capacity: 6,
+            deadline_us: f64::INFINITY,
+            degrade_watermark: 2,
+            halve_watermark: 3,
+            reduced_fanout: 2,
+        };
+        let mut g = Gateway::new(supervisor(plan), cfg);
+        let d = data();
+        let mut all = Vec::new();
+        for (i, b) in batches(16).iter().enumerate() {
+            all.extend(g.submit(&d, i as f64 * 1000.0, b));
+        }
+        all.extend(g.drain(&d));
+        let composed: Vec<&Completion> = all
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome,
+                    BatchOutcome::Degraded {
+                        action: DegradeAction::HalvedBatchReducedFanout { .. },
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(
+            !composed.is_empty(),
+            "deep queue must compose both degrade rungs"
+        );
+        for c in &composed {
+            let BatchOutcome::Degraded {
+                action:
+                    DegradeAction::HalvedBatchReducedFanout {
+                        from,
+                        to,
+                        fanout_from,
+                        fanout_to,
+                    },
+                ..
+            } = c.outcome
+            else {
+                unreachable!("filtered above");
+            };
+            assert!(to < from, "batch must actually shrink");
+            assert!(fanout_to < fanout_from, "fanout must actually shrink");
+        }
+        // Each composed completion has a degrade event with the composed label.
+        let events = g.supervisor.trainer.telemetry.events();
+        for c in &composed {
+            let idx = c.request_index.to_string();
+            assert!(
+                events.iter().any(|e| {
+                    e.track == "gateway"
+                        && e.name == "degrade"
+                        && e.args.iter().any(|(k, v)| k == "request" && *v == idx)
+                        && e.args
+                            .iter()
+                            .any(|(k, v)| k == "action" && v == "halved-batch+reduced-fanout")
+                }),
+                "no composed degrade event for request {idx}"
+            );
+        }
+    }
+
     /// The watchdog sheds requests whose queue wait blows the deadline.
     #[test]
     fn deadline_watchdog_sheds_stale_requests() {
@@ -529,6 +914,156 @@ mod tests {
         }
     }
 
+    /// Regression for the off-by-one at the deadline boundary: a wait of
+    /// *exactly* the deadline is late (inclusive bound), and a provably
+    /// late arrival is shed immediately instead of queueing. One µs of
+    /// headroom and the same request is served.
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        let d = data();
+        // Probe the exact virtual service time of the first batch.
+        let service = {
+            let mut g = Gateway::new(supervisor(FaultPlan::new(0)), OverloadConfig::default());
+            let mut c = g.submit(&d, 0.0, &batches(1)[0]);
+            c.extend(g.drain(&d));
+            assert_eq!(c.len(), 1);
+            c[0].done_us
+        };
+        assert!(service > 0.0);
+
+        let cfg = OverloadConfig {
+            queue_capacity: 16,
+            deadline_us: service,
+            degrade_watermark: usize::MAX,
+            halve_watermark: usize::MAX,
+            reduced_fanout: 2,
+        };
+        // Request 1 arrives while request 0 occupies the server for exactly
+        // `service` µs: its wait would be exactly the deadline — shed.
+        let mut g = Gateway::new(supervisor(FaultPlan::new(0)), cfg.clone());
+        let mut all = g.submit(&d, 0.0, &batches(2)[0]);
+        all.extend(g.submit(&d, 0.0, &batches(2)[1]));
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), 2);
+        assert!(all[0].outcome.trained());
+        assert_eq!(
+            all[1].outcome,
+            BatchOutcome::Shed {
+                cause: ShedCause::DeadlineExpired
+            },
+            "a wait of exactly the deadline must shed (inclusive bound)"
+        );
+        assert_eq!(
+            all[1].done_us, 0.0,
+            "predicted-late sheds resolve on arrival"
+        );
+
+        // With one µs of headroom the same request is served after queueing
+        // for the full service time.
+        let cfg2 = OverloadConfig {
+            deadline_us: service + 1.0,
+            ..cfg
+        };
+        let mut g = Gateway::new(supervisor(FaultPlan::new(0)), cfg2);
+        let mut all = g.submit(&d, 0.0, &batches(2)[0]);
+        all.extend(g.submit(&d, 0.0, &batches(2)[1]));
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), 2);
+        assert!(
+            all[1].outcome.trained(),
+            "1µs under the deadline must serve"
+        );
+        assert_eq!(all[1].queued_us, service);
+    }
+
+    /// Tenancy: token buckets shed a tenant that exceeds its quota, and
+    /// deficit round robin keeps the remaining tenants' service balanced.
+    #[test]
+    fn tenant_quotas_and_fair_queue() {
+        let plan = FaultPlan::new(5).with_serve_delay_window(40_000.0, 0, None);
+        let cfg = OverloadConfig {
+            queue_capacity: 24,
+            deadline_us: f64::INFINITY,
+            degrade_watermark: usize::MAX,
+            halve_watermark: usize::MAX,
+            reduced_fanout: 2,
+        };
+        let mut g = Gateway::new(supervisor(plan), cfg);
+        // Tenant 2 is offered ~333 req/s but its quota admits 20 req/s with
+        // a burst of 1: the first request passes, the rest are shed.
+        g.enable_tenancy(TenancyConfig {
+            quotas: vec![
+                TenantQuota::unlimited(),
+                TenantQuota::unlimited(),
+                TenantQuota::new(20.0, 1.0),
+            ],
+            quantum: 8,
+        });
+        let d = data();
+        let n = 24;
+        let mut all = Vec::new();
+        for (i, b) in batches(n).iter().enumerate() {
+            all.extend(g.submit_from(&d, i as f64 * 1000.0, i % 3, b));
+        }
+        all.extend(g.drain(&d));
+        assert_eq!(all.len(), n, "every request must resolve exactly once");
+
+        let quota_shed: Vec<&Completion> = all
+            .iter()
+            .filter(|c| {
+                c.outcome
+                    == BatchOutcome::Shed {
+                        cause: ShedCause::QuotaExceeded,
+                    }
+            })
+            .collect();
+        assert!(!quota_shed.is_empty(), "tenant 2 must exceed its quota");
+        assert!(
+            quota_shed.iter().all(|c| c.tenant == 2),
+            "only the over-quota tenant may be quota-shed"
+        );
+        let served_by = |t: usize| {
+            all.iter()
+                .filter(|c| c.tenant == t && c.outcome.trained())
+                .count()
+        };
+        assert!(
+            served_by(0) > 0 && served_by(1) > 0,
+            "DRR must serve both tenants"
+        );
+        assert!(
+            (served_by(0) as i64 - served_by(1) as i64).abs() <= 1,
+            "equal offered load must get near-equal service: {} vs {}",
+            served_by(0),
+            served_by(1)
+        );
+
+        // Per-tenant counters reconcile with the completion stream.
+        let tm = &g.supervisor.trainer.telemetry;
+        for t in 0..3 {
+            let submitted = all.iter().filter(|c| c.tenant == t).count() as u64;
+            let shed = all
+                .iter()
+                .filter(|c| c.tenant == t && matches!(c.outcome, BatchOutcome::Shed { .. }))
+                .count() as u64;
+            assert_eq!(
+                tm.counter(&format!("gt_gateway_tenant{t}_submitted_total"), "")
+                    .get(),
+                submitted
+            );
+            assert_eq!(
+                tm.counter(&format!("gt_gateway_tenant{t}_shed_total"), "")
+                    .get(),
+                shed
+            );
+            assert_eq!(
+                tm.counter(&format!("gt_gateway_tenant{t}_served_total"), "")
+                    .get(),
+                submitted - shed
+            );
+        }
+    }
+
     /// Identical plans and arrival sequences resolve identically — the
     /// gateway inherits the stack's determinism contract.
     #[test]
@@ -547,10 +1082,14 @@ mod tests {
                     reduced_fanout: 2,
                 },
             );
+            g.enable_tenancy(TenancyConfig {
+                quotas: vec![TenantQuota::new(400.0, 2.0), TenantQuota::unlimited()],
+                quantum: 8,
+            });
             let d = data();
             let mut all = Vec::new();
             for (i, b) in batches(12).iter().enumerate() {
-                all.extend(g.submit(&d, i as f64 * 2000.0, b));
+                all.extend(g.submit_from(&d, i as f64 * 2000.0, i % 2, b));
             }
             all.extend(g.drain(&d));
             all
@@ -565,5 +1104,17 @@ mod tests {
         let d = data();
         g.submit(&d, 100.0, &[0, 1]);
         g.submit(&d, 50.0, &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any submission")]
+    fn tenancy_after_submission_is_rejected() {
+        let mut g = Gateway::new(supervisor(FaultPlan::new(0)), OverloadConfig::default());
+        let d = data();
+        g.submit(&d, 0.0, &[0, 1]);
+        g.enable_tenancy(TenancyConfig {
+            quotas: vec![TenantQuota::unlimited()],
+            quantum: 8,
+        });
     }
 }

@@ -21,6 +21,7 @@
 //! trainer takes its exact unsupervised code path and numerics are
 //! bit-identical.
 
+use crate::cache::{CacheConfig, CacheStats, ServingCaches};
 use crate::data::GraphData;
 use crate::error::GtError;
 use crate::framework::{BatchOutcome, BatchReport, DegradeAction, FailReason, Framework};
@@ -167,6 +168,9 @@ pub struct Supervisor {
     strikes: usize,
     degraded_prepro: bool,
     durability: Option<DurabilityState>,
+    /// Skew-exploiting serving caches; `None` (the default) keeps serving
+    /// exactly as before caching existed.
+    caches: Option<ServingCaches>,
 }
 
 impl Supervisor {
@@ -186,6 +190,7 @@ impl Supervisor {
             strikes: 0,
             degraded_prepro: false,
             durability: None,
+            caches: None,
         }
     }
 
@@ -215,12 +220,96 @@ impl Supervisor {
         self.tracer.as_mut().expect("just set")
     }
 
+    /// Attach the skew-exploiting serving caches (see [`crate::cache`]).
+    /// From now on every trained batch consults the historical-embedding
+    /// and sampled-subgraph caches; hits shrink the *modeled* service
+    /// time the gateway charges, while the numerics (parameters, journal,
+    /// checkpoints) stay byte-identical to an uncached run.
+    pub fn enable_caches(&mut self, config: CacheConfig) {
+        self.caches = Some(ServingCaches::new(config));
+    }
+
+    /// Running cache totals, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.caches.as_ref().map(|c| c.stats())
+    }
+
+    /// Modeled µs the most recent batch saved via cache hits (0 when
+    /// caching is off) — what the gateway subtracts from the batch's
+    /// preprocessing time when pricing service.
+    pub fn cache_saved_us(&self) -> f64 {
+        self.caches.as_ref().map_or(0.0, |c| c.last_saved_us())
+    }
+
+    /// The serving caches, when enabled.
+    pub fn caches(&self) -> Option<&ServingCaches> {
+        self.caches.as_ref()
+    }
+
     /// Train one batch under supervision. Never panics on injected faults;
     /// the report's [`BatchOutcome`] says how the batch resolved.
     pub fn serve_batch(&mut self, data: &GraphData, batch: &[VId]) -> BatchReport {
         let batch_index = self.batches_served;
         let backoff_before = self.backoff_paid_us;
         let report = self.serve_batch_inner(data, batch);
+        if let Some(caches) = self.caches.as_mut() {
+            // Quarantined/shed batches never reached the preprocessing
+            // pipeline, so they neither consult nor populate the caches.
+            if report.outcome.trained() {
+                let lookup = caches.consult(batch, self.trainer.sampler.fanout);
+                // A subgraph hit skips sampling + reindex outright; cached
+                // embedding rows shrink the lookup phase by the batch's
+                // hit fraction. Capped at the makespan: a cache can erase
+                // preprocessing, never GPU compute.
+                let mut saved = 0.0;
+                if let Some(schedule) = &report.prepro {
+                    if lookup.subgraph_hit {
+                        saved += schedule.phase_busy_us(gt_sim::Phase::Sampling)
+                            + schedule.phase_busy_us(gt_sim::Phase::Reindex);
+                    }
+                    if lookup.batch_len > 0 {
+                        saved += schedule.phase_busy_us(gt_sim::Phase::Lookup)
+                            * lookup.embedding_hits as f64
+                            / lookup.batch_len as f64;
+                    }
+                }
+                let saved = saved.min(report.prepro_us());
+                caches.note_saved(saved);
+                let telemetry = self.trainer.telemetry.clone();
+                telemetry
+                    .counter(
+                        "gt_cache_embedding_hits_total",
+                        "Embedding-cache hits (batch vertices)",
+                    )
+                    .add(lookup.embedding_hits as u64);
+                telemetry
+                    .counter(
+                        "gt_cache_embedding_misses_total",
+                        "Embedding-cache misses (batch vertices)",
+                    )
+                    .add((lookup.batch_len - lookup.embedding_hits) as u64);
+                telemetry
+                    .counter(
+                        "gt_cache_subgraph_hits_total",
+                        "Sampled-subgraph cache hits (batches)",
+                    )
+                    .add(lookup.subgraph_hit as u64);
+                telemetry
+                    .counter(
+                        "gt_cache_subgraph_misses_total",
+                        "Sampled-subgraph cache misses (batches)",
+                    )
+                    .add(!lookup.subgraph_hit as u64);
+                telemetry
+                    .counter(
+                        "gt_cache_saved_us_total",
+                        "Modeled preprocessing µs saved by cache hits",
+                    )
+                    .add(saved as u64);
+            } else {
+                caches.note_saved(0.0);
+            }
+        }
         if self.tracer.is_some() {
             // The injected serving stall is charged by the layer above the
             // trainer (gateway service pricing); re-derive it here so the
@@ -465,6 +554,11 @@ impl Supervisor {
     /// [`Supervisor::recover`] instead.
     pub fn make_durable(&mut self, cfg: DurabilityConfig) -> Result<(), GtError> {
         std::fs::create_dir_all(&cfg.dir)?;
+        // A fresh journal is a fresh serving history; caches warmed before
+        // it opened cannot be replayed, so they must start cold too.
+        if let Some(caches) = self.caches.as_mut() {
+            caches.reset();
+        }
         // A crash between tmp-write and atomic rename in a *previous*
         // process leaks its staging sibling forever; sweep it on startup.
         checkpoint::remove_stale_tmp(cfg.checkpoint_path());
@@ -516,7 +610,15 @@ impl Supervisor {
         let _io_guard = chaosio::arm(&io_faults);
         let telemetry = self.trainer.telemetry.clone();
         let report = self.serve_batch(data, batch);
-        let rec = journal::batch_record(batch_index, batch, &report.outcome);
+        // The record carries the fanout the batch was actually sampled
+        // with: a gateway under load serves with reduced fanout, and a
+        // replay at the configured fanout would diverge.
+        let rec = journal::batch_record(
+            batch_index,
+            batch,
+            &report.outcome,
+            self.trainer.sampler.fanout,
+        );
         let qrec = match report.outcome {
             BatchOutcome::Quarantined { .. } => {
                 self.quarantine.last().map(journal::quarantine_record)
@@ -629,6 +731,11 @@ impl Supervisor {
             .telemetry
             .counter("gt_checkpoints_total", "Parameter checkpoints committed")
             .inc();
+        // Cached subgraphs were sampled against the pre-checkpoint
+        // parameter epoch; advancing it retires them deterministically.
+        if let Some(caches) = self.caches.as_mut() {
+            caches.bump_epoch();
+        }
         Ok(())
     }
 
@@ -653,6 +760,12 @@ impl Supervisor {
         cfg: DurabilityConfig,
     ) -> Result<RecoveryReport, GtError> {
         let telemetry = self.trainer.telemetry.clone();
+        // Checkpoint restore invalidates the serving caches outright; the
+        // deterministic replay below rebuilds the exact cache state (and
+        // hit counters) the crashed process had at the crash instant.
+        if let Some(caches) = self.caches.as_mut() {
+            caches.reset();
+        }
         let scan = journal::read_journal(cfg.journal_path())?;
         if scan.torn_tail {
             journal::truncate_to(cfg.journal_path(), scan.valid_len)?;
@@ -678,7 +791,16 @@ impl Supervisor {
                         .get("outcome")
                         .ok_or_else(|| corrupt("batch record without outcome"))?
                         .to_json_string();
+                    // Replay with the fanout the batch was served at (a
+                    // gateway may have reduced it under load); records
+                    // from journals predating the field use the
+                    // configured fanout, exactly as before.
+                    let configured_fanout = self.trainer.sampler.fanout;
+                    if let Some(f) = journal::record_fanout(rec) {
+                        self.trainer.sampler.fanout = f;
+                    }
                     let report = self.serve_batch(data, &ids);
+                    self.trainer.sampler.fanout = configured_fanout;
                     let got = report.outcome.to_json().to_json_string();
                     if got != recorded {
                         return Err(GtError::ReplayDiverged {
@@ -718,6 +840,12 @@ impl Supervisor {
                         });
                     }
                     checkpoints_verified += 1;
+                    // The live run bumped the cache epoch when this
+                    // checkpoint committed; replay must too, or subgraph
+                    // keys (and thus hit counters) would diverge.
+                    if let Some(caches) = self.caches.as_mut() {
+                        caches.bump_epoch();
+                    }
                 }
                 other => {
                     return Err(corrupt(&format!("unknown record type {other:?}")));

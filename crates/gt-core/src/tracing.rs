@@ -62,8 +62,18 @@ impl Default for TracerConfig {
 #[derive(Debug, Clone, Copy)]
 struct PendingRequest {
     request_index: usize,
+    tenant: Option<usize>,
     arrival_us: f64,
     start_us: f64,
+}
+
+/// Root-span name: the request index, qualified with the tenant when the
+/// gateway runs multi-tenant admission.
+fn root_name(request_index: usize, tenant: Option<usize>) -> String {
+    match tenant {
+        Some(t) => format!("request #{request_index} (tenant {t})"),
+        None => format!("request #{request_index}"),
+    }
 }
 
 /// One dump artifact the tracer produced (also written to
@@ -149,11 +159,18 @@ impl RequestTracer {
     }
 
     /// Gateway hand-off: the next `serve_batch` call serves request
-    /// `request_index`, which arrived at `arrival_us` and starts service
-    /// at `start_us` (both virtual µs).
-    pub fn begin_request(&mut self, request_index: usize, arrival_us: f64, start_us: f64) {
+    /// `request_index` for `tenant` (None without tenancy), which arrived
+    /// at `arrival_us` and starts service at `start_us` (both virtual µs).
+    pub fn begin_request(
+        &mut self,
+        request_index: usize,
+        tenant: Option<usize>,
+        arrival_us: f64,
+        start_us: f64,
+    ) {
         self.pending = Some(PendingRequest {
             request_index,
+            tenant,
             arrival_us,
             start_us,
         });
@@ -174,6 +191,7 @@ impl RequestTracer {
         // request index and service is back-to-back on the virtual clock.
         let pending = self.pending.take().unwrap_or(PendingRequest {
             request_index: batch_index,
+            tenant: None,
             arrival_us: self.clock_us,
             start_us: self.clock_us,
         });
@@ -188,7 +206,7 @@ impl RequestTracer {
             span_id: root,
             parent: None,
             kind: SegmentKind::Request,
-            name: format!("request #{}", pending.request_index),
+            name: root_name(pending.request_index, pending.tenant),
             start_us: pending.arrival_us,
             dur_us: queued_us + service_us,
         }];
@@ -274,6 +292,7 @@ impl RequestTracer {
         let mut trace = RequestTrace {
             trace_id: ctx.trace_id,
             request_index: pending.request_index,
+            tenant: pending.tenant,
             batch_index: Some(batch_index),
             outcome: report.outcome.label().to_string(),
             outcome_json: report.outcome.to_json().to_json_string(),
@@ -297,6 +316,7 @@ impl RequestTracer {
         &mut self,
         request_index: usize,
         outcome: &BatchOutcome,
+        tenant: Option<usize>,
         arrival_us: f64,
         done_us: f64,
     ) {
@@ -305,6 +325,7 @@ impl RequestTracer {
         let mut trace = RequestTrace {
             trace_id: ctx.trace_id,
             request_index,
+            tenant,
             batch_index: None,
             outcome: outcome.label().to_string(),
             outcome_json: outcome.to_json().to_json_string(),
@@ -314,7 +335,7 @@ impl RequestTracer {
                 span_id: ctx.parent_span_id,
                 parent: None,
                 kind: SegmentKind::Request,
-                name: format!("request #{request_index}"),
+                name: root_name(request_index, tenant),
                 start_us: arrival_us,
                 dur_us: done_us - arrival_us,
             }],

@@ -1,0 +1,362 @@
+//! Seeded open-loop workload generator for the million-user serving
+//! scenario (EXPERIMENTS.md "serving").
+//!
+//! Serving benchmarks need *open-loop* arrivals — requests land on the
+//! gateway's virtual clock at times the server does not control, so queue
+//! growth and shedding emerge from the offered load instead of from the
+//! measurement harness. This module turns a [`WorkloadSpec`] into a
+//! deterministic arrival schedule:
+//!
+//! * a **non-homogeneous Poisson process** (by thinning) whose rate
+//!   follows a diurnal sinusoid around `1/mean_gap_us`, so the run sweeps
+//!   from under- to over-capacity and back;
+//! * seeded **burst windows** that multiply the instantaneous rate by
+//!   [`WorkloadSpec::burst_factor`] — the flash-crowd overlay;
+//! * a **per-tenant mix** drawn from [`WorkloadSpec::tenant_weights`];
+//! * **hot-key skew**: batch vertices are drawn rank-wise from a Zipf
+//!   distribution and mapped through a seeded rank→vertex permutation, so
+//!   the hot set is a stable but arbitrary subset of the graph — exactly
+//!   the access pattern embedding caches exploit;
+//! * **template repeats**: with probability
+//!   [`WorkloadSpec::repeat_fraction`] an arrival re-issues one of
+//!   [`WorkloadSpec::templates`] pre-drawn batches verbatim, modeling the
+//!   duplicate queries (same feed, same page) that make subgraph caches
+//!   pay off.
+//!
+//! Everything derives from [`WorkloadSpec::seed`] via splitmix64 — no
+//! wall clock, no global RNG — so the same spec over the same graph yields
+//! the same `Vec<Arrival>` bytes on every machine and at every
+//! `GT_THREADS` width. Batches never contain duplicate vertex ids: the
+//! supervisor quarantines duplicate-id batches as malformed, and this
+//! generator models load, not poison.
+
+use gt_graph::VId;
+
+/// Everything that defines an open-loop serving workload. Deterministic:
+/// two equal specs generate identical arrival schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Seed every random choice derives from.
+    pub seed: u64,
+    /// Length of the generated window, virtual µs.
+    pub duration_us: f64,
+    /// Mean inter-arrival gap at the *baseline* rate, virtual µs; the
+    /// diurnal curve and bursts modulate around `1/mean_gap_us`.
+    pub mean_gap_us: f64,
+    /// Diurnal modulation depth in `[0, 1)`: the rate swings between
+    /// `(1-a)` and `(1+a)` times baseline over one period (= the window).
+    pub diurnal_amplitude: f64,
+    /// Number of seeded burst windows overlaid on the diurnal curve.
+    pub bursts: usize,
+    /// Length of each burst window, virtual µs.
+    pub burst_len_us: f64,
+    /// Rate multiplier inside a burst window.
+    pub burst_factor: f64,
+    /// Relative request share per tenant; the length fixes the tenant
+    /// count. Need not sum to 1.
+    pub tenant_weights: Vec<f64>,
+    /// Zipf exponent of the vertex popularity ranking (larger = hotter
+    /// hot set).
+    pub zipf_exponent: f64,
+    /// Probability an arrival re-issues a pre-drawn template batch
+    /// verbatim instead of sampling a fresh one.
+    pub repeat_fraction: f64,
+    /// Number of template batches shared by repeat arrivals.
+    pub templates: usize,
+    /// Vertices per request batch.
+    pub batch_size: usize,
+}
+
+impl WorkloadSpec {
+    /// A compressed "day" of traffic: strong diurnal swing, a few flash
+    /// crowds, three tenants with a 50/30/20 split, hot-key skew steep
+    /// enough that a small cache covers most lookups.
+    pub fn default_day(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            duration_us: 2_000_000.0,
+            mean_gap_us: 10_000.0,
+            diurnal_amplitude: 0.6,
+            bursts: 3,
+            burst_len_us: 100_000.0,
+            burst_factor: 3.0,
+            tenant_weights: vec![0.5, 0.3, 0.2],
+            zipf_exponent: 1.2,
+            repeat_fraction: 0.3,
+            templates: 16,
+            batch_size: 8,
+        }
+    }
+}
+
+/// One generated request: when it lands, who sent it, what it asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Arrival time on the virtual clock, µs from window start.
+    pub at_us: f64,
+    /// Submitting tenant (index into [`WorkloadSpec::tenant_weights`]).
+    pub tenant: usize,
+    /// Requested seed vertices (unique, in `0..num_vertices`).
+    pub batch: Vec<VId>,
+}
+
+/// Splitmix64: the same tiny deterministic generator the samplers use.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 significant bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf-over-ranks sampler behind a seeded rank→vertex permutation.
+struct SkewedVertices {
+    /// `perm[rank]` = vertex id holding that popularity rank.
+    perm: Vec<VId>,
+    /// Cumulative (unnormalized) Zipf weights per rank.
+    cumulative: Vec<f64>,
+}
+
+impl SkewedVertices {
+    fn new(num_vertices: usize, exponent: f64, rng: &mut Rng) -> SkewedVertices {
+        let mut perm: Vec<VId> = (0..num_vertices as VId).collect();
+        // Fisher–Yates with the seeded stream: the hot set is stable for a
+        // spec but not simply "the lowest vertex ids".
+        for i in (1..perm.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut cumulative = Vec::with_capacity(num_vertices);
+        let mut total = 0.0;
+        for rank in 0..num_vertices {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        SkewedVertices { perm, cumulative }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> VId {
+        let total = *self.cumulative.last().expect("non-empty graph");
+        let target = rng.next_f64() * total;
+        let rank = self.cumulative.partition_point(|&c| c < target);
+        self.perm[rank.min(self.perm.len() - 1)]
+    }
+
+    /// A batch of `size` *unique* vertices (duplicate ids would be
+    /// quarantined as a malformed batch downstream).
+    fn batch(&self, size: usize, rng: &mut Rng) -> Vec<VId> {
+        let mut out: Vec<VId> = Vec::with_capacity(size);
+        while out.len() < size {
+            let v = self.sample(rng);
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Generate the arrival schedule for `spec` over a graph with
+/// `num_vertices` vertices. Pure in `(spec, num_vertices)`.
+pub fn generate(spec: &WorkloadSpec, num_vertices: usize) -> Vec<Arrival> {
+    assert!(num_vertices > 0, "workload needs a non-empty graph");
+    assert!(
+        spec.batch_size <= num_vertices,
+        "batch size {} exceeds graph size {num_vertices}",
+        spec.batch_size
+    );
+    assert!(spec.mean_gap_us > 0.0 && spec.duration_us > 0.0);
+    assert!((0.0..1.0).contains(&spec.diurnal_amplitude));
+    assert!(!spec.tenant_weights.is_empty(), "need at least one tenant");
+
+    let mut rng = Rng(spec.seed ^ 0x574B_4C44); // "WKLD"
+    let skew = SkewedVertices::new(num_vertices, spec.zipf_exponent, &mut rng);
+
+    // Template batches shared by repeat arrivals.
+    let templates: Vec<Vec<VId>> = (0..spec.templates.max(1))
+        .map(|_| skew.batch(spec.batch_size, &mut rng))
+        .collect();
+
+    // Seeded burst windows, anywhere in the run.
+    let burst_windows: Vec<(f64, f64)> = (0..spec.bursts)
+        .map(|_| {
+            let start = rng.next_f64() * (spec.duration_us - spec.burst_len_us).max(0.0);
+            (start, start + spec.burst_len_us)
+        })
+        .collect();
+
+    let base_rate = 1.0 / spec.mean_gap_us;
+    let rate_at = |t: f64| {
+        // Trough at the window edges, peak mid-window.
+        let phase = 2.0 * std::f64::consts::PI * t / spec.duration_us - std::f64::consts::FRAC_PI_2;
+        let mut r = base_rate * (1.0 + spec.diurnal_amplitude * phase.sin());
+        if burst_windows.iter().any(|&(a, b)| t >= a && t < b) {
+            r *= spec.burst_factor;
+        }
+        r
+    };
+    let max_rate = base_rate * (1.0 + spec.diurnal_amplitude) * spec.burst_factor.max(1.0);
+
+    let weight_total: f64 = spec.tenant_weights.iter().sum();
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Thinning: candidate gaps at the envelope rate, accepted with
+        // probability rate(t)/max_rate — an exact non-homogeneous Poisson
+        // process, still a pure function of the seed.
+        t += -rng.next_f64().max(f64::MIN_POSITIVE).ln() / max_rate;
+        if t >= spec.duration_us {
+            break;
+        }
+        if rng.next_f64() * max_rate > rate_at(t) {
+            continue;
+        }
+        let mut pick = rng.next_f64() * weight_total;
+        let mut tenant = 0;
+        for (i, w) in spec.tenant_weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                tenant = i;
+                break;
+            }
+        }
+        let batch = if rng.next_f64() < spec.repeat_fraction {
+            templates[(rng.next_u64() % templates.len() as u64) as usize].clone()
+        } else {
+            skew.batch(spec.batch_size, &mut rng)
+        };
+        out.push(Arrival {
+            at_us: t,
+            tenant,
+            batch,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::default_day(42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(), 300);
+        let b = generate(&spec(), 300);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // A different seed yields a different schedule.
+        let c = generate(&WorkloadSpec::default_day(43), 300);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_in_window() {
+        let arrivals = generate(&spec(), 300);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us, "arrivals must be monotone");
+        }
+        for a in &arrivals {
+            assert!(a.at_us >= 0.0 && a.at_us < spec().duration_us);
+        }
+    }
+
+    #[test]
+    fn batches_are_unique_and_in_range() {
+        let s = spec();
+        for a in generate(&s, 300) {
+            assert_eq!(a.batch.len(), s.batch_size);
+            let mut seen = a.batch.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), s.batch_size, "duplicate vertex in batch");
+            assert!(a.batch.iter().all(|&v| (v as usize) < 300));
+        }
+    }
+
+    #[test]
+    fn vertex_popularity_is_skewed() {
+        let arrivals = generate(&spec(), 300);
+        let mut counts: HashMap<VId, usize> = HashMap::new();
+        let mut total = 0usize;
+        for a in &arrivals {
+            for &v in &a.batch {
+                *counts.entry(v).or_default() += 1;
+                total += 1;
+            }
+        }
+        let mut by_count: Vec<usize> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest 10% of touched vertices carry most of the traffic.
+        let hot: usize = by_count.iter().take(by_count.len().div_ceil(10)).sum();
+        assert!(
+            hot * 2 > total,
+            "zipf skew too flat: hot 10% carried {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn template_repeats_produce_duplicate_batches() {
+        let arrivals = generate(&spec(), 300);
+        let mut batch_counts: HashMap<Vec<VId>, usize> = HashMap::new();
+        for a in &arrivals {
+            *batch_counts.entry(a.batch.clone()).or_default() += 1;
+        }
+        let repeats: usize = batch_counts.values().filter(|&&c| c > 1).sum();
+        assert!(
+            repeats * 5 >= arrivals.len(),
+            "expected ~30% template repeats, saw {repeats}/{}",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn tenant_mix_follows_weights() {
+        let s = spec();
+        let arrivals = generate(&s, 300);
+        let mut per_tenant = vec![0usize; s.tenant_weights.len()];
+        for a in &arrivals {
+            per_tenant[a.tenant] += 1;
+        }
+        assert!(
+            per_tenant.iter().all(|&c| c > 0),
+            "every tenant must appear"
+        );
+        // 50/30/20 split: ordering must hold with generous slack.
+        assert!(per_tenant[0] > per_tenant[1]);
+        assert!(per_tenant[1] > per_tenant[2]);
+    }
+
+    #[test]
+    fn diurnal_curve_concentrates_arrivals_mid_window() {
+        let s = WorkloadSpec {
+            bursts: 0,
+            repeat_fraction: 0.0,
+            ..spec()
+        };
+        let arrivals = generate(&s, 300);
+        let tenth = s.duration_us / 10.0;
+        let trough = arrivals.iter().filter(|a| a.at_us < tenth).count();
+        let peak = arrivals
+            .iter()
+            .filter(|a| a.at_us >= 4.5 * tenth && a.at_us < 5.5 * tenth)
+            .count();
+        assert!(
+            peak > trough * 2,
+            "diurnal peak ({peak}) should dominate the trough ({trough})"
+        );
+    }
+}

@@ -132,6 +132,9 @@ pub struct RequestTrace {
     pub trace_id: u64,
     /// Submission index of the request.
     pub request_index: usize,
+    /// Tenant the request was submitted for (`None` when the gateway runs
+    /// without multi-tenant admission).
+    pub tenant: Option<usize>,
     /// Supervisor batch index actually served (`None` for shed requests —
     /// they never reached the supervisor or the journal).
     pub batch_index: Option<usize>,
@@ -229,7 +232,7 @@ impl ToJson for TraceSpan {
 
 impl ToJson for RequestTrace {
     fn to_json(&self) -> Json {
-        obj([
+        let mut pairs = vec![
             ("trace_id", self.trace_id.into()),
             ("request", Json::from(self.request_index as u64)),
             (
@@ -239,6 +242,13 @@ impl ToJson for RequestTrace {
                     None => Json::Null,
                 },
             ),
+        ];
+        // Emitted only under multi-tenant admission, so single-tenant dumps
+        // are byte-identical to what they were before tenancy existed.
+        if let Some(t) = self.tenant {
+            pairs.push(("tenant", Json::from(t as u64)));
+        }
+        pairs.extend([
             ("outcome", self.outcome.as_str().into()),
             ("outcome_json", self.outcome_json.as_str().into()),
             ("arrival_us", self.arrival_us.into()),
@@ -247,7 +257,8 @@ impl ToJson for RequestTrace {
                 "spans",
                 Json::Arr(self.spans.iter().map(|s| s.to_json()).collect()),
             ),
-        ])
+        ]);
+        obj(pairs)
     }
 }
 
@@ -277,6 +288,7 @@ mod tests {
         RequestTrace {
             trace_id: ctx.trace_id,
             request_index: 12,
+            tenant: None,
             batch_index: Some(9),
             outcome: "succeeded".to_string(),
             outcome_json: "{\"outcome\":\"succeeded\"}".to_string(),

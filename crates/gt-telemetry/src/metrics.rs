@@ -100,16 +100,18 @@ impl Histogram {
     }
 
     /// Default buckets for microsecond latencies: 10µs .. 10s, roughly
-    /// logarithmic (1-2-5 per decade).
+    /// logarithmic (1-2-5 per decade). The 10s (1e7 µs) cap is the last
+    /// finite bound; everything slower lands in the overflow bucket.
     pub fn latency_us() -> Histogram {
         let mut bounds = Vec::new();
         let mut decade = 10.0;
-        while decade <= 1e7 {
+        while decade < 1e7 {
             for mult in [1.0, 2.0, 5.0] {
                 bounds.push(decade * mult);
             }
             decade *= 10.0;
         }
+        bounds.push(1e7);
         Histogram::with_bounds(bounds)
     }
 
@@ -466,6 +468,29 @@ mod tests {
         let s = Histogram::latency_us().snapshot();
         assert_eq!(s.quantile(0.5), None);
         assert_eq!(s.mean(), None);
+    }
+
+    /// The default latency buckets must match their documented contract:
+    /// 10µs .. 10s, strictly ascending, 1-2-5 per decade, and not one
+    /// bound past the 1e7 µs cap.
+    #[test]
+    fn latency_bounds_conform_to_documented_range() {
+        let s = Histogram::latency_us().snapshot();
+        let bounds = &s.bounds;
+        assert_eq!(bounds.first().copied(), Some(10.0));
+        assert_eq!(bounds.last().copied(), Some(1e7));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "not ascending");
+        for &b in bounds {
+            assert!(b <= 1e7, "bound {b} exceeds the documented 10s cap");
+            // 1-2-5 series: the mantissa of every bound is 1, 2, or 5.
+            let mantissa = b / 10f64.powf(b.log10().floor());
+            assert!(
+                [1.0, 2.0, 5.0].iter().any(|m| (mantissa - m).abs() < 1e-9),
+                "bound {b} is not on the 1-2-5 grid"
+            );
+        }
+        // Six full decades (10..5e6) plus the cap itself.
+        assert_eq!(bounds.len(), 6 * 3 + 1);
     }
 
     #[test]

@@ -146,6 +146,7 @@ mod tests {
         RequestTrace {
             trace_id: ctx.trace_id,
             request_index,
+            tenant: None,
             batch_index: Some(request_index),
             outcome: "succeeded".to_string(),
             outcome_json: "{\"outcome\":\"succeeded\"}".to_string(),

@@ -189,6 +189,17 @@ fn main() {
                 DegradeAction::ReducedFanout { from, to } => {
                     format!("degraded: fanout {from}->{to} ({retries} retries)")
                 }
+                DegradeAction::HalvedBatchReducedFanout {
+                    from,
+                    to,
+                    fanout_from,
+                    fanout_to,
+                } => {
+                    format!(
+                        "degraded: batch {from}->{to} nodes, fanout \
+                         {fanout_from}->{fanout_to} ({retries} retries)"
+                    )
+                }
             },
             BatchOutcome::Failed { reason } => format!("failed: {reason:?}"),
             BatchOutcome::Quarantined { reason, attempts } => {
