@@ -210,6 +210,36 @@ impl DiffReport {
             || !self.missing.is_empty()
             || self.lines.iter().any(|l| l.regressed)
     }
+
+    /// Multi-line failure summary enumerating EVERY failing metric with its
+    /// baseline and candidate values (and every vanished metric), so a CI
+    /// log shows the whole damage at once instead of just a count. Empty
+    /// when nothing regressed.
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        if let Some(why) = &self.incompatible {
+            out.push_str(&format!("incompatible: {why}\n"));
+            return out;
+        }
+        for l in self.lines.iter().filter(|l| l.regressed) {
+            let direction = if l.higher_is_better { "fell" } else { "rose" };
+            out.push_str(&format!(
+                "{}: {direction} {} -> {} ({})\n",
+                l.name,
+                l.base,
+                l.cand,
+                if l.ratio.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{:.2}x", l.ratio)
+                }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name}: missing from candidate (schema break)\n"));
+        }
+        out
+    }
 }
 
 fn diff_pairs(
@@ -410,6 +440,36 @@ mod tests {
         let d = compare(&base, &cand, 0.3, false);
         assert_eq!(d.missing, vec!["batch_e2e_us_p50".to_string()]);
         assert!(d.regressed());
+    }
+
+    #[test]
+    fn failure_summary_enumerates_every_regression() {
+        let base = report();
+        let mut cand = report();
+        cand.metrics[0].1 *= 3.0; // p50 latency 3×
+        cand.metrics[2].1 *= 0.1; // throughput collapses
+        cand.metrics.remove(1); // p99 vanishes
+        let d = compare(&base, &cand, 0.3, false);
+        assert!(d.regressed());
+        let summary = d.failure_summary();
+        let lines: Vec<&str> = summary.lines().collect();
+        assert_eq!(lines.len(), 3, "all three failures listed:\n{summary}");
+        assert!(
+            summary.contains("batch_e2e_us_p50: rose 1000 -> 3000 (3.00x)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("throughput_samples_per_s: fell 40000 -> 4000 (0.10x)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("batch_e2e_us_p99: missing from candidate (schema break)"),
+            "{summary}"
+        );
+        // A clean comparison yields an empty summary.
+        assert!(compare(&base, &base, 0.3, false)
+            .failure_summary()
+            .is_empty());
     }
 
     #[test]

@@ -100,6 +100,11 @@ fn main() {
 
     if diff.regressed() {
         let n = diff.lines.iter().filter(|l| l.regressed).count() + diff.missing.len();
+        // Every failing metric with both values, not just a count: a CI
+        // log must show the whole damage in one run.
+        for line in diff.failure_summary().lines() {
+            eprintln!("benchdiff:   {line}");
+        }
         eprintln!("benchdiff: {n} regression(s)");
         std::process::exit(1);
     }

@@ -5,10 +5,12 @@
 //!       [--batch B] [--fanout F] [--layers L] [--threads N]
 //!       [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR]
 //!       [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit]
+//!       [--workers N] [--partition vertex-cut|feature-dim]
+//!       [--kill-worker W] [--kill-at N]
 //!
 //! experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18
 //!              fig19 fig20 table1 table2 table3 scalability ablation
-//!              threads durability chaos slo serving smoke
+//!              threads durability chaos cluster slo serving smoke
 //! ```
 //!
 //! `--threads N` pins the process-wide `gt_par` pool (same effect as
@@ -53,6 +55,19 @@
 //! are deterministic — bit-identical at every `GT_THREADS` width. See
 //! `docs/telemetry.md` §Tracing contexts and §SLOs in virtual time.
 //!
+//! The `cluster` experiment runs the distributed worker-kill campaign:
+//! `--workers N` simulated workers split each batch (`--partition`
+//! vertex-cut or feature-dim), and every campaign seed (from
+//! `--seeds-file`, or derived from `--seed`) kills one derived worker at
+//! one derived batch; the run must detect the death, re-replay the
+//! partition from the journal, and finish bit-identical to the
+//! fault-free reference, else the process exits 4. `--kill-worker W
+//! --kill-at N` runs one directed kill instead, persisting its durable
+//! state into `--checkpoint-dir`. With `--bench-out` it writes
+//! `BENCH_cluster.json` — per-worker busy/idle, collective time, modeled
+//! recovery time, hedge counters, all in virtual time — which is the
+//! `cluster-smoke` CI gate's workload. See `docs/distributed.md`.
+//!
 //! The `serving` experiment runs the million-user scenario: a seeded
 //! open-loop diurnal workload (hot-key skew, flash crowds, three
 //! tenants) against the durable gateway with per-tenant quotas, deficit
@@ -73,10 +88,12 @@ fn usage() -> ! {
          [--trace-out PATH] [--bench-out PATH] [--checkpoint-dir DIR] \
          [--crash-at N] [--crash-site mid-journal|mid-checkpoint|after-commit] \
          [--experiment NAME] [--seeds N] [--seeds-file PATH] \
-         [--chaos-replay FILE] [--chaos-out PATH] [--flight-out PATH] [--slo]\n\
+         [--chaos-replay FILE] [--chaos-out PATH] [--flight-out PATH] [--slo] \
+         [--workers N] [--partition vertex-cut|feature-dim] \
+         [--kill-worker W] [--kill-at N]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
-         durability chaos slo serving smoke"
+         durability chaos cluster slo serving smoke"
     );
     std::process::exit(2);
 }
@@ -91,6 +108,7 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut durability_opts = durability::DurabilityOpts::default();
     let mut chaos_opts = chaos::ChaosOpts::default();
+    let mut cluster_opts = cluster::ClusterOpts::default();
     let mut slo_opts = slo::SloOpts::default();
     let mut serving_opts = serving::ServingOpts::default();
     // The experiment is normally the first positional argument; flag-only
@@ -192,7 +210,40 @@ fn main() {
             }
             "--seeds-file" => {
                 i += 1;
-                chaos_opts.seeds_file = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+                let path: std::path::PathBuf = args.get(i).cloned().unwrap_or_else(usage_v).into();
+                chaos_opts.seeds_file = Some(path.clone());
+                cluster_opts.seeds_file = Some(path);
+            }
+            "--workers" => {
+                i += 1;
+                cluster_opts.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(usage_v);
+            }
+            "--partition" => {
+                i += 1;
+                cluster_opts.partition = args
+                    .get(i)
+                    .and_then(|s| gt_core::Partition::parse(s))
+                    .unwrap_or_else(usage_v);
+            }
+            "--kill-worker" => {
+                i += 1;
+                cluster_opts.kill_worker = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(usage_v),
+                );
+            }
+            "--kill-at" => {
+                i += 1;
+                cluster_opts.kill_at = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(usage_v),
+                );
             }
             "--chaos-replay" => {
                 i += 1;
@@ -223,10 +274,11 @@ fn main() {
         }
     }
 
-    // `slo` and `serving` serve durably too; `--checkpoint-dir` names
-    // their state dir.
+    // `slo`, `serving`, and `cluster` serve durably too;
+    // `--checkpoint-dir` names their state dir.
     slo_opts.dir = durability_opts.dir.clone();
     serving_opts.dir = durability_opts.dir.clone();
+    cluster_opts.dir = durability_opts.dir.clone();
 
     if trace_out.is_some() {
         gt_telemetry::set_global(gt_telemetry::Telemetry::recording());
@@ -264,6 +316,7 @@ fn main() {
         "threads" => threads::print(cfg),
         "durability" => durability::print(cfg, &durability_opts),
         "chaos" => chaos::print(cfg, &chaos_opts),
+        "cluster" => cluster::print(cfg, &cluster_opts),
         "slo" => slo::print(cfg, &slo_opts),
         "serving" => serving::print(cfg, &serving_opts),
         "smoke" => gt_bench::probe::print(cfg),
@@ -298,10 +351,12 @@ fn main() {
     }
 
     if let Some(path) = bench_out {
-        // `serving` distills its own scenario; everything else shares the
-        // training-loop perf probe.
+        // `serving` and `cluster` distill their own scenarios; everything
+        // else shares the training-loop perf probe.
         let report = if exp == "serving" {
             serving::report(&cfg, &serving_opts)
+        } else if exp == "cluster" {
+            cluster::report(&cfg, &cluster_opts)
         } else {
             gt_bench::probe::report(&exp, &cfg)
         };

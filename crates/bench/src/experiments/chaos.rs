@@ -601,7 +601,7 @@ pub fn run_replay(cfg: &ExpConfig, path: &Path, opts: &ChaosOpts) -> Result<Plan
     run_plan(cfg, &plan, opts)
 }
 
-fn read_seeds(path: &Path) -> Result<Vec<u64>, GtError> {
+pub(crate) fn read_seeds(path: &Path) -> Result<Vec<u64>, GtError> {
     let text = std::fs::read_to_string(path)?;
     let mut seeds = Vec::new();
     for (lineno, line) in text.lines().enumerate() {

@@ -1,0 +1,494 @@
+//! Distributed cluster campaign — worker-kill bit-identity over a seed
+//! corpus plus modeled cluster metrics for the perf gate
+//! (docs/distributed.md).
+//!
+//! Every campaign run serves the same workload twice through the
+//! [`ClusterSupervisor`]: once fault-free and once with a seeded
+//! `WorkerKill` at a derived (worker, batch). The oracle demands the
+//! killed run detect the death, re-replay its partition from the
+//! journal, and finish with byte-identical parameters and journaled
+//! outcome stream — the distributed restatement of the single-node
+//! durability contract. On a violation the process exits 4, same as the
+//! chaos campaign.
+//!
+//! With `--bench-out` the experiment distills the fault-free run (plus
+//! one canonical kill) into a schema-stable `BENCH_cluster.json`:
+//! per-worker busy/idle, collective time, modeled recovery time, hedge
+//! launch/win counters. All metrics are DES virtual time, bit-identical
+//! at every `GT_THREADS` width and worker count sweep, so CI gates them
+//! with `benchdiff` against a committed baseline.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::benchjson::{BenchConfig, BenchReport, EnvFingerprint, SCHEMA_VERSION};
+use crate::runner::{print_table, ExpConfig};
+use gt_core::config::ModelConfig;
+use gt_core::error::GtError;
+use gt_core::journal;
+use gt_core::serve::{DurabilityConfig, Supervisor};
+use gt_core::trainer::GtVariant;
+use gt_core::{ClusterConfig, ClusterSummary, ClusterSupervisor, Partition};
+use gt_sim::{ClusterSpec, FaultPlan, SystemSpec};
+
+/// Campaign knobs (separate from the `Copy` [`ExpConfig`]).
+#[derive(Debug, Clone)]
+pub struct ClusterOpts {
+    /// Workers in the simulated cluster.
+    pub workers: usize,
+    /// How work is split across workers.
+    pub partition: Partition,
+    /// Batches in the serving stream.
+    pub batches: usize,
+    /// Directed kill: which worker dies (with `kill_at`); overrides the
+    /// seeded campaign.
+    pub kill_worker: Option<usize>,
+    /// Directed kill: the batch at which the worker dies.
+    pub kill_at: Option<usize>,
+    /// Launch speculative backups for straggling workers.
+    pub hedging: bool,
+    /// Read campaign seeds (one integer per line, `#` comments) from this
+    /// file instead of deriving them from `--seed`.
+    pub seeds_file: Option<PathBuf>,
+    /// Seeds sampled when no seeds file is given; seed `i` is
+    /// `cfg.seed + i`.
+    pub seeds: usize,
+    /// Persist the canonical killed run's durable state (journal +
+    /// recovered checkpoint) here so CI can `cmp` checkpoints across
+    /// worker counts and `GT_THREADS` widths.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for ClusterOpts {
+    fn default() -> Self {
+        ClusterOpts {
+            workers: 4,
+            partition: Partition::VertexCut,
+            batches: 6,
+            kill_worker: None,
+            kill_at: None,
+            hedging: true,
+            seeds_file: None,
+            seeds: 8,
+            dir: None,
+        }
+    }
+}
+
+/// One cluster run: modeled summary plus the bit-comparable artifacts.
+#[derive(Debug)]
+pub struct Run {
+    /// Modeled virtual-time summary.
+    pub summary: ClusterSummary,
+    /// Serialized final model parameters.
+    pub params: Vec<u8>,
+    /// Journaled `(batch_index, outcome JSON)` stream.
+    pub stream: Vec<(usize, String)>,
+}
+
+/// One campaign's totals.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Killed runs executed (stops at the first violation).
+    pub runs: usize,
+    /// Runs bit-identical to the fault-free reference.
+    pub clean: usize,
+    /// `(seed, detail)` of the violating run, if any.
+    pub violation: Option<(u64, String)>,
+    /// The fault-free reference run's modeled summary.
+    pub reference: ClusterSummary,
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NONCE: AtomicUsize = AtomicUsize::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gt_cluster_{}_{n}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Removes a throwaway durable-state directory on every exit path.
+struct DirCleanup(PathBuf);
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The base fault plan every run shares: a persistent straggler on the
+/// last worker's first core, so the hedging path is exercised and the
+/// report's hedge counters are live numbers. The core index is outside
+/// the inner trainer's own simulator for any multi-worker cluster, so
+/// the straggler prices cluster stages without touching the numerics.
+fn base_plan(cfg: &ExpConfig, opts: &ClusterOpts, spec: &ClusterSpec) -> FaultPlan {
+    let plan = FaultPlan::new(cfg.seed);
+    if opts.workers < 2 {
+        return plan; // a 1-worker cluster can neither hedge nor adopt
+    }
+    let cores = spec.workers[0].host.cores;
+    plan.with_straggler((opts.workers - 1) * cores, 64.0)
+}
+
+/// Drive one cluster over the workload into `dir`; checkpoint at the end.
+fn run_once(
+    cfg: &ExpConfig,
+    opts: &ClusterOpts,
+    plan: FaultPlan,
+    dir: &Path,
+) -> Result<Run, GtError> {
+    let spec = gt_datasets::by_name("reddit2").expect("known dataset");
+    let data = cfg.build(&spec);
+    let model = ModelConfig::gcn(cfg.layers, 64, spec.out_dim);
+    let exp = *cfg;
+    let factory = move || {
+        Supervisor::new(
+            exp.graphtensor(GtVariant::Dynamic, model.clone()),
+            plan.clone(),
+        )
+    };
+    let mut cluster_cfg =
+        ClusterConfig::new(ClusterSpec::paper_testbed(opts.workers), opts.partition);
+    cluster_cfg.hedging = opts.hedging;
+    let mut cs = ClusterSupervisor::new(factory, cluster_cfg);
+    cs.make_durable(DurabilityConfig::new(dir))?;
+
+    let n = cfg.batch.min(data.num_vertices());
+    let (nv, seed) = (data.num_vertices(), cfg.seed);
+    let stream: Vec<_> = (0u64..)
+        .flat_map(|epoch| gt_sample::BatchIter::new(nv, n, seed.wrapping_add(epoch)))
+        .take(opts.batches)
+        .collect();
+
+    // Drive by the serving index, not call count: a crash recovered
+    // after journal commit folds its batch in during replay.
+    let mut spins = 0usize;
+    while cs.supervisor.batches_served() < opts.batches {
+        spins += 1;
+        if spins > 8 * opts.batches {
+            return Err(GtError::Io {
+                detail: format!(
+                    "cluster made no progress after {spins} serve calls \
+                     ({} of {} batches)",
+                    cs.supervisor.batches_served(),
+                    opts.batches
+                ),
+            });
+        }
+        let i = cs.supervisor.batches_served();
+        cs.serve_batch(&data, &stream[i])?;
+    }
+    cs.supervisor.checkpoint_now()?;
+
+    let durability = DurabilityConfig::new(dir);
+    let scan = journal::read_journal(durability.journal_path())?;
+    let stream = scan
+        .records
+        .iter()
+        .filter(|r| journal::record_type(r) == Some("batch"))
+        .map(|r| {
+            (
+                journal::record_batch_index(r).unwrap_or(usize::MAX),
+                r.get("outcome")
+                    .map(|o| o.to_json_string())
+                    .unwrap_or_default(),
+            )
+        })
+        .collect();
+    Ok(Run {
+        summary: cs.summary(),
+        params: std::fs::read(durability.checkpoint_path())?,
+        stream,
+    })
+}
+
+/// The fault-free reference run in a throwaway directory.
+fn reference_run(cfg: &ExpConfig, opts: &ClusterOpts) -> Result<Run, GtError> {
+    let spec = ClusterSpec::paper_testbed(opts.workers);
+    let dir = fresh_dir("ref");
+    let _cleanup = DirCleanup(dir.clone());
+    run_once(cfg, opts, base_plan(cfg, opts, &spec), &dir)
+}
+
+/// A killed run in `dir` (or a throwaway) compared against `reference`;
+/// `Ok(Ok(summary))` is clean, `Ok(Err(detail))` an oracle violation.
+#[allow(clippy::type_complexity)]
+fn killed_run(
+    cfg: &ExpConfig,
+    opts: &ClusterOpts,
+    reference: &Run,
+    worker: usize,
+    kill_at: usize,
+    dir: Option<&Path>,
+) -> Result<Result<ClusterSummary, String>, GtError> {
+    let spec = ClusterSpec::paper_testbed(opts.workers);
+    let plan = base_plan(cfg, opts, &spec).with_worker_kill(kill_at, worker);
+    let (dir, _cleanup) = match dir {
+        Some(d) => {
+            let _ = std::fs::remove_dir_all(d);
+            (d.to_path_buf(), None)
+        }
+        None => {
+            let d = fresh_dir("kill");
+            (d.clone(), Some(DirCleanup(d)))
+        }
+    };
+    let run = run_once(cfg, opts, plan, &dir)?;
+    if run.params != reference.params {
+        return Ok(Err(format!(
+            "kill worker {worker} at batch {kill_at}: recovered checkpoint diverged \
+             from the fault-free reference ({} vs {} bytes)",
+            run.params.len(),
+            reference.params.len()
+        )));
+    }
+    if run.stream != reference.stream {
+        return Ok(Err(format!(
+            "kill worker {worker} at batch {kill_at}: journaled outcome stream \
+             diverged ({} vs {} records)",
+            run.stream.len(),
+            reference.stream.len()
+        )));
+    }
+    if run.summary.recoveries == 0 {
+        return Ok(Err(format!(
+            "kill worker {worker} at batch {kill_at}: the kill was never detected \
+             (0 recoveries)"
+        )));
+    }
+    Ok(Ok(run.summary))
+}
+
+/// Derive a (worker, kill batch) from a campaign seed.
+fn kill_site(seed: u64, opts: &ClusterOpts) -> (usize, usize) {
+    // splitmix64 finalizer: decorrelates consecutive corpus seeds.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let worker = (z % opts.workers as u64) as usize;
+    let kill_at = ((z >> 16) % opts.batches as u64) as usize;
+    (worker, kill_at)
+}
+
+/// Run the campaign: one fault-free reference, then a killed run per
+/// seed, each demanded bit-identical. Stops at the first violation.
+pub fn run_campaign(cfg: &ExpConfig, opts: &ClusterOpts) -> Result<CampaignSummary, GtError> {
+    let reference = reference_run(cfg, opts)?;
+    let mut summary = CampaignSummary {
+        runs: 0,
+        clean: 0,
+        violation: None,
+        reference: reference.summary.clone(),
+    };
+    if let (Some(worker), Some(kill_at)) = (opts.kill_worker, opts.kill_at) {
+        // Directed single kill (`--kill-worker W --kill-at N`).
+        summary.runs = 1;
+        match killed_run(cfg, opts, &reference, worker, kill_at, opts.dir.as_deref())? {
+            Ok(_) => summary.clean = 1,
+            Err(detail) => summary.violation = Some((cfg.seed, detail)),
+        }
+        return Ok(summary);
+    }
+    let seeds: Vec<u64> = match &opts.seeds_file {
+        Some(path) => super::chaos::read_seeds(path)?,
+        None => (0..opts.seeds as u64)
+            .map(|i| cfg.seed.wrapping_add(i))
+            .collect(),
+    };
+    for (i, &seed) in seeds.iter().enumerate() {
+        let (worker, kill_at) = kill_site(seed, opts);
+        // The last seed's durable state lands in `--checkpoint-dir` so CI
+        // can compare recovered checkpoints across sweeps.
+        let dir = if i + 1 == seeds.len() {
+            opts.dir.as_deref()
+        } else {
+            None
+        };
+        summary.runs += 1;
+        match killed_run(cfg, opts, &reference, worker, kill_at, dir)? {
+            Ok(_) => summary.clean += 1,
+            Err(detail) => {
+                summary.violation = Some((seed, detail));
+                return Ok(summary);
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Distill the cluster into a schema-stable [`BenchReport`] for
+/// `repro cluster --bench-out` / the `cluster-smoke` CI gate: the
+/// fault-free run's modeled metrics plus one canonical kill's recovery
+/// cost. Everything is virtual time — bit-identical at any
+/// `GT_THREADS`.
+pub fn report(cfg: &ExpConfig, opts: &ClusterOpts) -> BenchReport {
+    let wall = Instant::now();
+    let reference =
+        reference_run(cfg, opts).unwrap_or_else(|e| panic!("cluster experiment failed: {e}"));
+    let s = &reference.summary;
+    let (worker, kill_at) = (opts.workers - 1, opts.batches / 2);
+    let killed = killed_run(cfg, opts, &reference, worker, kill_at, None)
+        .unwrap_or_else(|e| panic!("cluster kill run failed: {e}"))
+        .unwrap_or_else(|detail| panic!("cluster kill run violated the oracle: {detail}"));
+    let wall_us = wall.elapsed().as_secs_f64() * 1e6;
+
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("cluster_clock_us".into(), s.clock_us),
+        ("collective_us".into(), s.collective_us),
+        ("hedges_launched_total".into(), s.hedges_launched as f64),
+        ("hedges_won_total".into(), s.hedges_won as f64),
+        (
+            "hedge_win_rate".into(),
+            if s.hedges_launched == 0 {
+                0.0
+            } else {
+                s.hedges_won as f64 / s.hedges_launched as f64
+            },
+        ),
+        ("false_suspicions_total".into(), s.false_suspicions as f64),
+        ("recovery_virtual_us".into(), killed.recovery_virtual_us),
+        ("recoveries_total".into(), killed.recoveries as f64),
+    ];
+    for w in 0..s.workers {
+        metrics.push((format!("worker{w}_busy_us"), s.worker_busy_us[w]));
+        metrics.push((format!("worker{w}_idle_us"), s.worker_idle_us[w]));
+    }
+
+    let sys = SystemSpec::paper_testbed();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "cluster".to_string(),
+        config: BenchConfig {
+            scale_divisor: cfg.scale.divisor() as u64,
+            seed: cfg.seed,
+            batch: cfg.batch as u64,
+            fanout: cfg.fanout as u64,
+            layers: cfg.layers as u64,
+            measure_batches: opts.batches as u64,
+        },
+        env: EnvFingerprint {
+            threads: gt_par::ThreadPool::global().workers() as u64,
+            gpu: sys.gpu.name.to_string(),
+            host: sys.host.name.to_string(),
+            host_cores: sys.host.cores as u64,
+        },
+        metrics,
+        wall: vec![("wall_campaign_us".into(), wall_us)],
+    }
+}
+
+/// Print the campaign; exits 4 when the bit-identity oracle is violated
+/// (same convention as the chaos campaign).
+pub fn print(cfg: &ExpConfig, opts: &ClusterOpts) {
+    let summary =
+        run_campaign(cfg, opts).unwrap_or_else(|e| panic!("cluster campaign failed: {e}"));
+    let s = &summary.reference;
+    print_table(
+        &format!(
+            "cluster: {} workers ({}), {} kills × {} batches (oracle: bit-identical recovery)",
+            opts.workers,
+            opts.partition.label(),
+            summary.runs,
+            opts.batches
+        ),
+        &["verdict", "runs"],
+        &[
+            vec!["clean".to_string(), summary.clean.to_string()],
+            vec![
+                "violation".to_string(),
+                usize::from(summary.violation.is_some()).to_string(),
+            ],
+        ],
+    );
+    let rows: Vec<Vec<String>> = (0..s.workers)
+        .map(|w| {
+            vec![
+                format!("worker{w}"),
+                format!("{:.1}", s.worker_busy_us[w]),
+                format!("{:.1}", s.worker_idle_us[w]),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "fault-free modeled time: clock {:.1}µs, collectives {:.1}µs, \
+             hedges {}/{} won",
+            s.clock_us, s.collective_us, s.hedges_won, s.hedges_launched
+        ),
+        &["worker", "busy µs", "idle µs"],
+        &rows,
+    );
+    if let Some(dir) = &opts.dir {
+        println!(
+            "  recovered durable state (journal + checkpoint): {}",
+            dir.display()
+        );
+    }
+    if let Some((seed, detail)) = &summary.violation {
+        println!("  seed {seed} VIOLATED the oracle: {detail}");
+        std::process::exit(4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(workers: usize) -> ClusterOpts {
+        ClusterOpts {
+            workers,
+            batches: 4,
+            seeds: 2,
+            ..Default::default()
+        }
+    }
+
+    /// The seeded campaign over a small corpus is clean: every derived
+    /// (worker, batch) kill recovers bit-identically.
+    #[test]
+    fn seeded_kill_campaign_is_clean() {
+        let cfg = ExpConfig::test();
+        for workers in [1usize, 2] {
+            let summary = run_campaign(&cfg, &opts(workers)).unwrap();
+            assert_eq!(summary.runs, 2, "{workers} workers");
+            assert_eq!(
+                summary.violation, None,
+                "{workers} workers: campaign must be clean"
+            );
+            assert_eq!(summary.clean, 2, "{workers} workers");
+        }
+    }
+
+    /// A directed kill (`--kill-worker`/`--kill-at`) runs exactly one
+    /// comparison and is clean.
+    #[test]
+    fn directed_kill_is_clean() {
+        let cfg = ExpConfig::test();
+        let mut o = opts(2);
+        o.kill_worker = Some(1);
+        o.kill_at = Some(2);
+        let summary = run_campaign(&cfg, &o).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.violation, None);
+    }
+
+    /// The bench report is deterministic and survives a JSON round-trip
+    /// — the property the `cluster-smoke` gate's cross-width diff rests
+    /// on.
+    #[test]
+    fn report_is_deterministic() {
+        let cfg = ExpConfig::test();
+        let o = opts(2);
+        let a = report(&cfg, &o);
+        let b = report(&cfg, &o);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a
+            .metrics
+            .iter()
+            .any(|(n, v)| n == "recovery_virtual_us" && *v > 0.0));
+        let back: BenchReport = a.to_json_string().parse().unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,910 @@
+//! Fault-tolerant distributed execution over a simulated worker cluster.
+//!
+//! The [`ClusterSupervisor`] generalizes single-node serving to N modeled
+//! workers (a [`gt_sim::ClusterSpec`]): every batch's measured
+//! preprocessing work is partitioned across the alive workers, each
+//! partition's S/R/K/T + NAPA subtasks are priced through that worker's own
+//! DES instance, and ring all-gather/all-reduce collectives are charged on
+//! the modeled network link. On top sits a robustness layer:
+//!
+//! * **Heartbeat failure detection** — a deterministic [`PhiDetector`] per
+//!   worker, fed one virtual-time heartbeat per batch. `WorkerKill` faults
+//!   are *detected* after the detector's confirm delay, never assumed.
+//! * **Straggler hedging** — when a worker's stage time exceeds
+//!   [`ClusterConfig::hedge_factor`] × the median, its partition is
+//!   speculatively re-executed on the fastest peer; first completion wins,
+//!   with a deterministic lowest-index tiebreak. Every hedge is journaled
+//!   write-ahead, so the `gt_cluster_hedges_*` counters reconcile exactly
+//!   against the journal.
+//! * **Partition re-replay recovery** — a killed worker's partition is
+//!   adopted by the lowest-index survivor and the serving state is rebuilt
+//!   by deterministic journal replay ([`Supervisor::recover`]), resuming at
+//!   the exact batch index the kill interrupted.
+//!
+//! **The bit-identity contract.** Numerics (parameters, journal records,
+//! checkpoints) flow through exactly one inner [`Supervisor`] regardless of
+//! worker count: partitioning, collectives, heartbeats, hedges, and
+//! recovery all live in modeled virtual time. A run with any worker count,
+//! any `GT_THREADS` width, killed or fault-free, hedged or not, therefore
+//! produces byte-identical model state — the cluster layer only changes
+//! what the virtual clock reads.
+
+use crate::data::GraphData;
+use crate::error::GtError;
+use crate::framework::BatchReport;
+use crate::journal;
+use crate::prepro::{HopWork, PreproWork};
+use crate::scheduler::build_prepro_sim;
+use crate::serve::{DurabilityConfig, Supervisor};
+use gt_graph::VId;
+use gt_sim::{
+    ActiveFaults, ClusterSpec, FaultKind, HeartbeatConfig, Phase, PhiDetector, Resource, Schedule,
+    TaskSpec,
+};
+
+/// How a batch's preprocessing work is split across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Vertex cut: each worker owns a near-equal share of the sampled
+    /// nodes, so every per-hop quantity (sampling ops, reindex ops, edges,
+    /// structure and feature bytes) scales with the node share.
+    VertexCut,
+    /// NeutronTP-style feature-dimension tensor split: the feature matrix
+    /// is sliced along the embedding dimension, so feature bytes divide by
+    /// the partition count while structure work is replicated on every
+    /// worker.
+    FeatureDim,
+}
+
+impl Partition {
+    /// Stable label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Partition::VertexCut => "vertex-cut",
+            Partition::FeatureDim => "feature-dim",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<Partition> {
+        match s {
+            "vertex-cut" => Some(Partition::VertexCut),
+            "feature-dim" => Some(Partition::FeatureDim),
+            _ => None,
+        }
+    }
+}
+
+/// Cluster topology + robustness policy.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker specs and the fabric connecting them.
+    pub spec: ClusterSpec,
+    /// Work partitioning strategy.
+    pub partition: Partition,
+    /// Heartbeat protocol parameters (detector per worker).
+    pub heartbeat: HeartbeatConfig,
+    /// Launch a backup when a worker's stage time exceeds `hedge_factor ×`
+    /// the median stage time.
+    pub hedging: bool,
+    /// The straggler multiple that triggers a hedge.
+    pub hedge_factor: f64,
+}
+
+impl ClusterConfig {
+    /// Hedging on at 2.5× median, default heartbeats, over `spec`.
+    pub fn new(spec: ClusterSpec, partition: Partition) -> Self {
+        ClusterConfig {
+            spec,
+            partition,
+            heartbeat: HeartbeatConfig::default(),
+            hedging: true,
+            hedge_factor: 2.5,
+        }
+    }
+}
+
+/// Modeled per-worker utilization, accumulated across batches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Virtual µs the worker's resources spent executing subtasks.
+    pub busy_us: f64,
+    /// Virtual µs the worker idled waiting at the collective barrier.
+    pub idle_us: f64,
+}
+
+/// Deterministic modeled metrics of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Worker count (including dead workers).
+    pub workers: usize,
+    /// Batches the inner supervisor has served.
+    pub batches: usize,
+    /// Total virtual time on the cluster clock, µs.
+    pub clock_us: f64,
+    /// Virtual µs spent in all-gather/all-reduce collectives.
+    pub collective_us: f64,
+    /// Virtual µs spent detecting failures and replaying partitions.
+    pub recovery_virtual_us: f64,
+    /// Hedges launched (one journal record each).
+    pub hedges_launched: u64,
+    /// Hedges whose backup strictly beat the straggler.
+    pub hedges_won: u64,
+    /// Heartbeat silences that crossed the phi threshold on a live worker.
+    pub false_suspicions: u64,
+    /// Supervisor rebuild-and-replay recoveries (kills + injected crashes).
+    pub recoveries: u64,
+    /// Per-worker busy time, µs.
+    pub worker_busy_us: Vec<f64>,
+    /// Per-worker idle time, µs.
+    pub worker_idle_us: Vec<f64>,
+}
+
+/// Distributed serving supervisor: partitions batches across a simulated
+/// worker cluster and survives worker kills, stragglers, and crashes. See
+/// the module docs for the execution and bit-identity model.
+pub struct ClusterSupervisor {
+    /// Topology + policy.
+    pub config: ClusterConfig,
+    /// The single inner supervisor carrying all numerics. Public so tests
+    /// and experiments can inspect parameters, quarantine, and plan.
+    pub supervisor: Supervisor,
+    /// Rebuilds a supervisor configured exactly like the original (same
+    /// trainer settings, same fault plan) — invoked on every recovery, as
+    /// after a real process kill.
+    rebuild: Box<dyn Fn() -> Supervisor>,
+    durability: Option<DurabilityConfig>,
+    /// Liveness per worker.
+    alive: Vec<bool>,
+    /// `owner[p]` = worker currently executing partition `p`. Partitions
+    /// are 1:1 with workers at start; kills reassign them.
+    owner: Vec<usize>,
+    detectors: Vec<PhiDetector>,
+    stats: Vec<WorkerStats>,
+    clock_us: f64,
+    collective_us: f64,
+    recovery_virtual_us: f64,
+    hedges_launched: u64,
+    hedges_won: u64,
+    false_suspicions: u64,
+    recoveries: u64,
+    /// EMA of recent stage makespans: the deterministic per-batch cost used
+    /// to price journal replay during recovery.
+    stage_ema_us: f64,
+    /// Cluster kills below this batch index already felled a previous
+    /// incarnation and must not re-fire (mirrors the inner supervisor's
+    /// durability-fault suppression).
+    suppress_kills_below: usize,
+    /// Per-worker DES schedules of the most recent priced batch, for
+    /// Perfetto export via [`gt_sim::cluster_to_traces`].
+    last_schedules: Vec<(usize, Schedule)>,
+}
+
+impl ClusterSupervisor {
+    /// Wrap the supervisor produced by `factory` in the cluster layer.
+    /// `factory` must be a pure constructor: every call yields a
+    /// supervisor with identical configuration (trainer settings, serve
+    /// config, fault plan), because recovery discards the current one and
+    /// replays the journal through a fresh instance.
+    pub fn new(factory: impl Fn() -> Supervisor + 'static, config: ClusterConfig) -> Self {
+        let n = config.spec.len();
+        let supervisor = factory();
+        ClusterSupervisor {
+            supervisor,
+            rebuild: Box::new(factory),
+            durability: None,
+            alive: vec![true; n],
+            owner: (0..n).collect(),
+            detectors: vec![PhiDetector::new(config.heartbeat.clone()); n],
+            stats: vec![WorkerStats::default(); n],
+            clock_us: 0.0,
+            collective_us: 0.0,
+            recovery_virtual_us: 0.0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            false_suspicions: 0,
+            recoveries: 0,
+            stage_ema_us: 0.0,
+            suppress_kills_below: 0,
+            last_schedules: Vec::new(),
+            config,
+        }
+    }
+
+    /// Turn on durability (journal + checkpoints under `cfg.dir`). Required
+    /// before serving: recovery is the whole point of the cluster layer.
+    pub fn make_durable(&mut self, cfg: DurabilityConfig) -> Result<(), GtError> {
+        self.supervisor.make_durable(cfg.clone())?;
+        self.durability = Some(cfg);
+        Ok(())
+    }
+
+    /// Liveness per worker.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Current owner of each partition.
+    pub fn owners(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// Per-worker DES schedules of the most recent priced batch (empty
+    /// until a batch trains). Feed to [`gt_sim::cluster_to_traces`] for
+    /// one Perfetto process per worker.
+    pub fn last_schedules(&self) -> &[(usize, Schedule)] {
+        &self.last_schedules
+    }
+
+    /// The worker that coordinates (and journal-tags) `batch_index`:
+    /// partitions rotate coordination round-robin, so journal records
+    /// interleave worker tags while staying strictly increasing per tag.
+    pub fn batch_owner(&self, batch_index: usize) -> usize {
+        self.owner[batch_index % self.owner.len()]
+    }
+
+    /// Deterministic modeled metrics so far.
+    pub fn summary(&self) -> ClusterSummary {
+        ClusterSummary {
+            workers: self.config.spec.len(),
+            batches: self.supervisor.batches_served(),
+            clock_us: self.clock_us,
+            collective_us: self.collective_us,
+            recovery_virtual_us: self.recovery_virtual_us,
+            hedges_launched: self.hedges_launched,
+            hedges_won: self.hedges_won,
+            false_suspicions: self.false_suspicions,
+            recoveries: self.recoveries,
+            worker_busy_us: self.stats.iter().map(|s| s.busy_us).collect(),
+            worker_idle_us: self.stats.iter().map(|s| s.idle_us).collect(),
+        }
+    }
+
+    /// Count `(launched, won)` hedges recorded in the journal — the
+    /// ground truth the in-memory counters must reconcile against.
+    pub fn hedge_journal_counts(&self) -> Result<(u64, u64), GtError> {
+        let cfg = self.durability.as_ref().ok_or_else(|| GtError::Io {
+            detail: "hedge_journal_counts before make_durable".to_string(),
+        })?;
+        let scan = journal::read_journal(cfg.journal_path())?;
+        let mut launched = 0;
+        let mut won = 0;
+        for rec in &scan.records {
+            if journal::record_type(rec) == Some("hedge") {
+                if let Some((_, _, backup_won)) = journal::hedge_fields(rec) {
+                    launched += 1;
+                    won += u64::from(backup_won);
+                }
+            }
+        }
+        Ok((launched, won))
+    }
+
+    /// Serve one batch across the cluster: detect kills, recover, serve
+    /// the numerics through the inner supervisor, price the distributed
+    /// schedule (partitions, hedging, collectives), and advance the
+    /// virtual clock.
+    ///
+    /// Returns `Ok(None)` when a crash hit *after* the batch committed:
+    /// recovery replayed the batch to completion, so it is already folded
+    /// into the serving state and must not be re-served. Drive loops by
+    /// [`Supervisor::batches_served`], not by counting calls.
+    pub fn serve_batch(
+        &mut self,
+        data: &GraphData,
+        batch: &[VId],
+    ) -> Result<Option<BatchReport>, GtError> {
+        let batch_index = self.supervisor.batches_served();
+        let active = if self.supervisor.plan.is_empty() {
+            ActiveFaults::default()
+        } else {
+            self.supervisor.plan.active(batch_index, 0)
+        };
+
+        self.heartbeat_round(&active);
+        self.handle_kills(data, batch_index, &active)?;
+
+        let coordinator = self.batch_owner(batch_index);
+        self.supervisor.set_worker_tag(Some(coordinator));
+        let report = self.serve_with_crash_recovery(data, batch, batch_index)?;
+
+        if let Some(report) = &report {
+            if report.outcome.trained() {
+                self.price_batch(batch_index, report, &active)?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// One virtual heartbeat round: every live worker beats once. Dropped
+    /// beats widen the observed gap; a live worker whose widened gap
+    /// crosses the phi threshold is a *false* suspicion (counted, never
+    /// acted on — the next beat exonerates it).
+    fn heartbeat_round(&mut self, active: &ActiveFaults) {
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        for w in 0..self.config.spec.len() {
+            if !self.alive[w] {
+                continue;
+            }
+            let dropped = active.heartbeat_drops(w);
+            let gap = self.config.heartbeat.interval_us * f64::from(1 + dropped);
+            if dropped > 0 && self.detectors[w].suspects(gap) {
+                self.false_suspicions += 1;
+                telemetry
+                    .counter(
+                        "gt_cluster_false_suspicions_total",
+                        "Live workers suspected dead from dropped heartbeats",
+                    )
+                    .inc();
+                telemetry.event(
+                    "cluster",
+                    "false_suspicion",
+                    &[("worker", &w), ("gap_us", &gap)],
+                );
+            }
+            self.detectors[w].observe(gap);
+        }
+    }
+
+    /// Apply active `WorkerKill` faults: mark victims dead, reassign their
+    /// partitions to the lowest-index survivor, charge the detector's
+    /// confirm delay plus modeled replay time, and rebuild the serving
+    /// state by deterministic journal replay.
+    fn handle_kills(
+        &mut self,
+        data: &GraphData,
+        batch_index: usize,
+        active: &ActiveFaults,
+    ) -> Result<(), GtError> {
+        if batch_index < self.suppress_kills_below {
+            return Ok(());
+        }
+        let n = self.config.spec.len();
+        let mut killed: Vec<usize> = active
+            .worker_kills()
+            .into_iter()
+            .map(|w| w % n)
+            .filter(|&w| self.alive[w])
+            .collect();
+        killed.sort_unstable();
+        killed.dedup();
+        if killed.is_empty() {
+            return Ok(());
+        }
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        let mut detect_us = 0.0f64;
+        for &w in &killed {
+            self.alive[w] = false;
+            detect_us = detect_us.max(self.detectors[w].confirm_delay_us());
+        }
+        if !self.alive.iter().any(|&a| a) {
+            // Total outage: the lowest-index worker restarts in place, as a
+            // real deployment's process manager would.
+            self.alive[0] = true;
+        }
+        let adopter = self.alive.iter().position(|&a| a).expect("one alive");
+        for p in 0..self.owner.len() {
+            if !self.alive[self.owner[p]] {
+                self.owner[p] = adopter;
+            }
+        }
+        for &w in &killed {
+            // A restarted incarnation's detector starts fresh.
+            self.detectors[w] = PhiDetector::new(self.config.heartbeat.clone());
+            telemetry.event(
+                "cluster",
+                "worker_killed",
+                &[
+                    ("worker", &w),
+                    ("batch", &batch_index),
+                    ("adopter", &adopter),
+                ],
+            );
+        }
+        let replayed = self.recover_now(data, batch_index)?;
+        if replayed != batch_index {
+            return Err(GtError::ReplayDiverged {
+                batch_index,
+                detail: format!(
+                    "kill recovery replayed {replayed} batches, expected {batch_index}"
+                ),
+            });
+        }
+        let replay_us = replayed as f64 * self.stage_ema_us;
+        self.recovery_virtual_us += detect_us + replay_us;
+        self.suppress_kills_below = batch_index + 1;
+        telemetry
+            .counter(
+                "gt_cluster_recovery_us_total",
+                "Virtual µs spent detecting failures and replaying partitions",
+            )
+            .add((detect_us + replay_us) as u64);
+        Ok(())
+    }
+
+    /// Discard the supervisor, rebuild it from the factory, and replay the
+    /// journal — the exact protocol a survivor follows when adopting a dead
+    /// worker's partition. Returns the number of batches replayed.
+    fn recover_now(&mut self, data: &GraphData, batch_index: usize) -> Result<usize, GtError> {
+        let cfg = self.durability.clone().ok_or_else(|| GtError::Io {
+            detail: "cluster recovery before make_durable".to_string(),
+        })?;
+        let mut fresh = (self.rebuild)();
+        let rec = fresh.recover(data, cfg)?;
+        self.supervisor = fresh;
+        self.recoveries += 1;
+        // The rebuilt counters are process-local state; the journal is the
+        // ground truth hedges are restored from.
+        let (launched, won) = self.hedge_journal_counts()?;
+        self.hedges_launched = launched;
+        self.hedges_won = won;
+        self.supervisor
+            .trainer
+            .telemetry
+            .counter(
+                "gt_cluster_recoveries_total",
+                "Supervisor rebuild-and-replay recoveries",
+            )
+            .inc();
+        self.supervisor.trainer.telemetry.event(
+            "cluster",
+            "recovered",
+            &[
+                ("batch", &batch_index),
+                ("batches_replayed", &rec.batches_replayed),
+            ],
+        );
+        Ok(rec.batches_replayed)
+    }
+
+    /// `serve_durable` with crash handling: an injected crash (or storage
+    /// fault) kills the owning worker's process mid-batch; the cluster
+    /// rebuilds and replays, then re-serves the batch unless the journal
+    /// shows it already committed (an after-commit crash).
+    fn serve_with_crash_recovery(
+        &mut self,
+        data: &GraphData,
+        batch: &[VId],
+        batch_index: usize,
+    ) -> Result<Option<BatchReport>, GtError> {
+        // Bounded: each recovery suppresses the fault that fired, so the
+        // loop can only iterate once per distinct durability rule.
+        for _ in 0..8 {
+            match self.supervisor.serve_durable(data, batch) {
+                Ok(report) => return Ok(Some(report)),
+                Err(GtError::InjectedCrash { .. }) | Err(GtError::Io { .. }) => {
+                    let replayed = self.recover_now(data, batch_index)?;
+                    let replay_us = replayed as f64 * self.stage_ema_us;
+                    let detect_us =
+                        self.detectors[self.batch_owner(batch_index)].confirm_delay_us();
+                    self.recovery_virtual_us += detect_us + replay_us;
+                    self.supervisor
+                        .trainer
+                        .telemetry
+                        .counter(
+                            "gt_cluster_recovery_us_total",
+                            "Virtual µs spent detecting failures and replaying partitions",
+                        )
+                        .add((detect_us + replay_us) as u64);
+                    if replayed == batch_index + 1 {
+                        // The crash hit after the journal committed: the
+                        // batch is durable and replay already trained it.
+                        // Re-serving would double-train.
+                        return Ok(None);
+                    }
+                    self.supervisor
+                        .set_worker_tag(Some(self.batch_owner(batch_index)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(GtError::Io {
+            detail: format!("batch {batch_index} could not commit after repeated crashes"),
+        })
+    }
+
+    /// Price one trained batch's distributed execution: per-worker DES
+    /// schedules over the partitioned work, straggler hedging, then ring
+    /// collectives. Pure virtual time — no numerics are touched.
+    fn price_batch(
+        &mut self,
+        batch_index: usize,
+        report: &BatchReport,
+        active: &ActiveFaults,
+    ) -> Result<(), GtError> {
+        let work = match self.supervisor.trainer.last_work.clone() {
+            Some(w) => w,
+            None => return Ok(()),
+        };
+        let telemetry = self.supervisor.trainer.telemetry.clone();
+        let spec = self.config.spec.clone();
+        let nparts = self.owner.len();
+        let alive: Vec<usize> = (0..spec.len()).filter(|&w| self.alive[w]).collect();
+        let p = alive.len();
+        let strategy = self.supervisor.trainer.prepro_strategy();
+
+        // Per-alive-worker stage time: local DES over the worker's owned
+        // partitions plus its share of the NAPA GPU work.
+        let mut stage: Vec<(usize, f64)> = Vec::with_capacity(p);
+        self.last_schedules.clear();
+        for &w in &alive {
+            let owned: Vec<usize> = (0..nparts).filter(|&q| self.owner[q] == w).collect();
+            let work_w = partition_work(&work, self.config.partition, &owned, nparts);
+            let gpu_share = report.gpu_us() * owned.len() as f64 / nparts as f64;
+            let schedule = price_worker(&work_w, &spec, w, strategy, gpu_share, active);
+            let busy: f64 = schedule.events.iter().map(|e| e.end_us - e.start_us).sum();
+            self.stats[w].busy_us += busy;
+            stage.push((w, schedule.makespan_us));
+            self.last_schedules.push((w, schedule));
+        }
+
+        // Straggler hedging: if the slowest stage exceeds hedge_factor ×
+        // median, re-execute the victim's partitions on the fastest peer;
+        // the first completion wins (ties go to the original — the backup
+        // must strictly improve).
+        if self.config.hedging && p >= 2 {
+            let mut times: Vec<f64> = stage.iter().map(|&(_, t)| t).collect();
+            times.sort_by(f64::total_cmp);
+            let median = if times.len() % 2 == 1 {
+                times[times.len() / 2]
+            } else {
+                0.5 * (times[times.len() / 2 - 1] + times[times.len() / 2])
+            };
+            let launch_at = self.config.hedge_factor * median;
+            let (vi, &(victim, victim_t)) = stage
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1).then(b.0.cmp(&a.0)))
+                .expect("p >= 2");
+            if victim_t > launch_at {
+                let &(backup, backup_own_t) = stage
+                    .iter()
+                    .filter(|&&(w, _)| w != victim)
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .expect("p >= 2");
+                let owned: Vec<usize> = (0..nparts).filter(|&q| self.owner[q] == victim).collect();
+                let work_v = partition_work(&work, self.config.partition, &owned, nparts);
+                let gpu_share = report.gpu_us() * owned.len() as f64 / nparts as f64;
+                let backup_run = price_worker(&work_v, &spec, backup, strategy, gpu_share, active);
+                let backup_finish = launch_at.max(backup_own_t) + backup_run.makespan_us;
+                let backup_won = backup_finish < victim_t;
+                self.supervisor
+                    .journal_hedge(batch_index, victim, backup, backup_won)?;
+                self.hedges_launched += 1;
+                telemetry
+                    .counter(
+                        "gt_cluster_hedges_launched_total",
+                        "Backup executions launched for straggling workers",
+                    )
+                    .inc();
+                if backup_won {
+                    self.hedges_won += 1;
+                    self.stats[backup].busy_us += backup_run
+                        .events
+                        .iter()
+                        .map(|e| e.end_us - e.start_us)
+                        .sum::<f64>();
+                    stage[vi].1 = backup_finish;
+                    telemetry
+                        .counter(
+                            "gt_cluster_hedges_won_total",
+                            "Hedged backups that beat the straggler",
+                        )
+                        .inc();
+                }
+                telemetry.event(
+                    "cluster",
+                    "hedge",
+                    &[
+                        ("batch", &batch_index),
+                        ("victim", &victim),
+                        ("backup", &backup),
+                        ("backup_won", &backup_won),
+                    ],
+                );
+            }
+        }
+
+        let max_stage = stage.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        for &(w, t) in &stage {
+            self.stats[w].idle_us += max_stage - t;
+        }
+        self.stage_ema_us = if self.stage_ema_us == 0.0 {
+            max_stage
+        } else {
+            0.8 * self.stage_ema_us + 0.2 * max_stage
+        };
+
+        // Ring collectives on the shared fabric, stretched by the worst
+        // active link degradation (the ring moves at its slowest hop).
+        let degrade = alive
+            .iter()
+            .filter_map(|&w| active.link_degrade(w))
+            .fold(1.0, f64::max);
+        let param_bytes: u64 = {
+            let params = self.supervisor.trainer.params();
+            let mut names: Vec<&str> = params.names().collect();
+            names.sort_unstable();
+            names.iter().map(|n| params.get(n).bytes()).sum()
+        };
+        let collective = degrade
+            * (spec.all_gather_us(work.total_feature_bytes as f64 / p as f64, p)
+                + spec.all_reduce_us(param_bytes as f64, p));
+        self.collective_us += collective;
+        self.clock_us += max_stage + collective;
+        telemetry
+            .counter(
+                "gt_cluster_collective_us_total",
+                "Virtual µs spent in all-gather/all-reduce collectives",
+            )
+            .add(collective as u64);
+        for &(w, _) in &stage {
+            telemetry
+                .counter(
+                    &format!("gt_cluster_worker{w}_busy_us_total"),
+                    "Virtual µs this worker spent executing subtasks",
+                )
+                .add(self.last_batch_busy(w) as u64);
+        }
+        Ok(())
+    }
+
+    /// Busy µs of worker `w` in the most recent priced batch.
+    fn last_batch_busy(&self, w: usize) -> f64 {
+        self.last_schedules
+            .iter()
+            .filter(|(worker, _)| *worker == w)
+            .flat_map(|(_, s)| s.events.iter())
+            .map(|e| e.end_us - e.start_us)
+            .sum()
+    }
+}
+
+/// Near-equal integer split: part `idx` of `total` over `parts`.
+fn split_u64(total: u64, parts: usize, idx: usize) -> u64 {
+    let parts = parts as u64;
+    let idx = idx as u64;
+    total / parts + u64::from(idx < total % parts)
+}
+
+/// Sum of the integer splits owned by `owned` — the adopter of a dead
+/// worker's partition gets exactly the dead worker's share on top of its
+/// own, so the total across workers is conserved to the unit.
+fn split_owned(total: u64, owned: &[usize], parts: usize) -> u64 {
+    owned.iter().map(|&i| split_u64(total, parts, i)).sum()
+}
+
+/// The slice of `work` a worker owning partitions `owned` executes.
+fn partition_work(
+    work: &PreproWork,
+    partition: Partition,
+    owned: &[usize],
+    parts: usize,
+) -> PreproWork {
+    let hops = work
+        .hops
+        .iter()
+        .map(|h| match partition {
+            Partition::VertexCut => HopWork {
+                sample_alg_ops: split_owned(h.sample_alg_ops, owned, parts),
+                sample_hash_ops: split_owned(h.sample_hash_ops, owned, parts),
+                reindex_ops: split_owned(h.reindex_ops, owned, parts),
+                nodes_added: split_owned(h.nodes_added, owned, parts),
+                edges: split_owned(h.edges, owned, parts),
+                structure_bytes: split_owned(h.structure_bytes, owned, parts),
+                feature_bytes: split_owned(h.feature_bytes, owned, parts),
+            },
+            // Feature-dim split: the feature matrix slices along the
+            // embedding dimension; structure work replicates in full.
+            Partition::FeatureDim => HopWork {
+                feature_bytes: split_owned(h.feature_bytes, owned, parts),
+                ..*h
+            },
+        })
+        .collect();
+    match partition {
+        Partition::VertexCut => PreproWork {
+            hops,
+            batch_nodes: split_owned(work.batch_nodes, owned, parts),
+            batch_feature_bytes: split_owned(work.batch_feature_bytes, owned, parts),
+            total_nodes: split_owned(work.total_nodes, owned, parts),
+            total_feature_bytes: split_owned(work.total_feature_bytes, owned, parts),
+        },
+        Partition::FeatureDim => PreproWork {
+            hops,
+            batch_feature_bytes: split_owned(work.batch_feature_bytes, owned, parts),
+            total_feature_bytes: split_owned(work.total_feature_bytes, owned, parts),
+            ..work.clone()
+        },
+    }
+}
+
+/// Price one worker's local schedule: its partition's S/R/K/T pipeline on
+/// its own cores/PCIe, a NAPA GPU task gated on preprocessing completion,
+/// under any straggler faults targeting this worker's cores (global core
+/// `c` maps to worker `c / cores`, local core `c % cores`).
+fn price_worker(
+    work_w: &PreproWork,
+    spec: &ClusterSpec,
+    w: usize,
+    strategy: crate::scheduler::PreproStrategy,
+    gpu_us: f64,
+    active: &ActiveFaults,
+) -> Schedule {
+    let sys = &spec.workers[w];
+    let mut sim = build_prepro_sim(work_w, sys, strategy);
+    if gpu_us > 0.0 {
+        let deps: Vec<usize> = (0..sim.len()).collect();
+        sim.add(TaskSpec::new("NAPA", Resource::Gpu, gpu_us, Phase::Aggregation).after(&deps));
+    }
+    let cores = sys.host.cores;
+    let local = ActiveFaults {
+        faults: active
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultKind::StragglerCore { core, factor } if core / cores == w => {
+                    Some(FaultKind::StragglerCore {
+                        core: core % cores,
+                        factor: *factor,
+                    })
+                }
+                _ => None,
+            })
+            .collect(),
+    };
+    sim.run_with_faults(&local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::PreproStrategy;
+
+    fn work() -> PreproWork {
+        PreproWork {
+            hops: vec![
+                HopWork {
+                    sample_alg_ops: 101,
+                    sample_hash_ops: 53,
+                    reindex_ops: 77,
+                    nodes_added: 31,
+                    edges: 97,
+                    structure_bytes: 1003,
+                    feature_bytes: 2001,
+                },
+                HopWork {
+                    sample_alg_ops: 11,
+                    sample_hash_ops: 7,
+                    reindex_ops: 13,
+                    nodes_added: 5,
+                    edges: 17,
+                    structure_bytes: 103,
+                    feature_bytes: 201,
+                },
+            ],
+            batch_nodes: 8,
+            batch_feature_bytes: 512,
+            total_nodes: 44,
+            total_feature_bytes: 2202,
+        }
+    }
+
+    fn hop_fields(h: &HopWork) -> [u64; 7] {
+        [
+            h.sample_alg_ops,
+            h.sample_hash_ops,
+            h.reindex_ops,
+            h.nodes_added,
+            h.edges,
+            h.structure_bytes,
+            h.feature_bytes,
+        ]
+    }
+
+    #[test]
+    fn vertex_cut_conserves_every_field_to_the_unit() {
+        let w = work();
+        let parts = 3;
+        let pieces: Vec<PreproWork> = (0..parts)
+            .map(|i| partition_work(&w, Partition::VertexCut, &[i], parts))
+            .collect();
+        for hop in 0..w.hops.len() {
+            let total = hop_fields(&w.hops[hop]);
+            let mut sum = [0u64; 7];
+            for p in &pieces {
+                for (s, f) in sum.iter_mut().zip(hop_fields(&p.hops[hop])) {
+                    *s += f;
+                }
+            }
+            assert_eq!(sum, total, "hop {hop} fields must be conserved");
+        }
+        assert_eq!(
+            pieces.iter().map(|p| p.total_nodes).sum::<u64>(),
+            w.total_nodes
+        );
+        assert_eq!(
+            pieces.iter().map(|p| p.total_feature_bytes).sum::<u64>(),
+            w.total_feature_bytes
+        );
+    }
+
+    #[test]
+    fn adopter_gets_exactly_the_dead_workers_share() {
+        let w = work();
+        let parts = 3;
+        let merged = partition_work(&w, Partition::VertexCut, &[0, 2], parts);
+        let p0 = partition_work(&w, Partition::VertexCut, &[0], parts);
+        let p2 = partition_work(&w, Partition::VertexCut, &[2], parts);
+        for hop in 0..w.hops.len() {
+            let a = hop_fields(&merged.hops[hop]);
+            let b = hop_fields(&p0.hops[hop]);
+            let c = hop_fields(&p2.hops[hop]);
+            for i in 0..7 {
+                assert_eq!(a[i], b[i] + c[i]);
+            }
+        }
+        assert_eq!(merged.total_nodes, p0.total_nodes + p2.total_nodes);
+    }
+
+    #[test]
+    fn feature_dim_splits_features_and_replicates_structure() {
+        let w = work();
+        let piece = partition_work(&w, Partition::FeatureDim, &[1], 4);
+        assert_eq!(piece.hops[0].structure_bytes, w.hops[0].structure_bytes);
+        assert_eq!(piece.hops[0].sample_alg_ops, w.hops[0].sample_alg_ops);
+        assert_eq!(piece.hops[0].edges, w.hops[0].edges);
+        assert_eq!(piece.total_nodes, w.total_nodes);
+        assert_eq!(piece.hops[0].feature_bytes, w.hops[0].feature_bytes / 4);
+        // Feature bytes are conserved across the four slices.
+        let total: u64 = (0..4)
+            .map(|i| partition_work(&w, Partition::FeatureDim, &[i], 4).total_feature_bytes)
+            .sum();
+        assert_eq!(total, w.total_feature_bytes);
+    }
+
+    #[test]
+    fn straggler_faults_map_onto_the_owning_workers_local_core() {
+        let spec = ClusterSpec::tiny(2);
+        let cores = spec.workers[0].host.cores;
+        let w = work();
+        // A straggler on worker 1's first core (global index `cores`).
+        let active = ActiveFaults {
+            faults: vec![FaultKind::StragglerCore {
+                core: cores,
+                factor: 16.0,
+            }],
+        };
+        let clean = price_worker(
+            &w,
+            &spec,
+            1,
+            PreproStrategy::Serial,
+            10.0,
+            &ActiveFaults::default(),
+        );
+        let slowed = price_worker(&w, &spec, 1, PreproStrategy::Serial, 10.0, &active);
+        assert!(
+            slowed.makespan_us > clean.makespan_us,
+            "straggler must stretch its worker: {} !> {}",
+            slowed.makespan_us,
+            clean.makespan_us
+        );
+        // Worker 0 never sees the fault.
+        let other = price_worker(&w, &spec, 0, PreproStrategy::Serial, 10.0, &active);
+        assert_eq!(other.makespan_us.to_bits(), clean.makespan_us.to_bits());
+    }
+
+    #[test]
+    fn near_equal_split_is_exhaustive_and_fair() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 4] {
+                let shares: Vec<u64> = (0..parts).map(|i| split_u64(total, parts, i)).collect();
+                assert_eq!(shares.iter().sum::<u64>(), total);
+                let max = *shares.iter().max().unwrap();
+                let min = *shares.iter().min().unwrap();
+                assert!(max - min <= 1, "{total}/{parts}: {shares:?}");
+            }
+        }
+    }
+}

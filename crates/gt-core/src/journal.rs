@@ -237,7 +237,21 @@ pub fn batch_record(
     outcome: &BatchOutcome,
     fanout: usize,
 ) -> Json {
-    obj([
+    batch_record_tagged(batch_index, batch, outcome, fanout, None)
+}
+
+/// [`batch_record`] with an optional owning-worker tag. The cluster
+/// supervisor tags every batch with the worker whose partition owned it,
+/// so recovery can enforce the per-worker batch-index ordering invariant;
+/// single-node journals omit the field (and old journals never had it).
+pub fn batch_record_tagged(
+    batch_index: usize,
+    batch: &[VId],
+    outcome: &BatchOutcome,
+    fanout: usize,
+    worker: Option<usize>,
+) -> Json {
+    let mut pairs = vec![
         ("type", "batch".into()),
         ("batch_index", batch_index.into()),
         (
@@ -246,6 +260,25 @@ pub fn batch_record(
         ),
         ("fanout", fanout.into()),
         ("outcome", outcome.to_json()),
+    ];
+    if let Some(w) = worker {
+        pairs.push(("worker", w.into()));
+    }
+    obj(pairs)
+}
+
+/// The record the cluster supervisor appends when a straggler hedge
+/// resolves: which batch was hedged, the slow worker, the backup that ran
+/// the duplicate, and which copy won. Replay skips these (they annotate
+/// the schedule, not the outcome stream), but the hedge counters must
+/// reconcile exactly against them.
+pub fn hedge_record(batch_index: usize, victim: usize, backup: usize, backup_won: bool) -> Json {
+    obj([
+        ("type", "hedge".into()),
+        ("batch_index", batch_index.into()),
+        ("victim", victim.into()),
+        ("backup", backup.into()),
+        ("backup_won", Json::Bool(backup_won)),
     ])
 }
 
@@ -292,6 +325,21 @@ pub fn record_fanout(rec: &Json) -> Option<usize> {
     rec.get("fanout")
         .and_then(|v| v.as_f64())
         .map(|f| f as usize)
+}
+
+/// A batch record's owning-worker tag (absent for single-node journals).
+pub fn record_worker(rec: &Json) -> Option<usize> {
+    rec.get("worker")
+        .and_then(|v| v.as_f64())
+        .map(|f| f as usize)
+}
+
+/// A hedge record's `(victim, backup, backup_won)` triple.
+pub fn hedge_fields(rec: &Json) -> Option<(usize, usize, bool)> {
+    let victim = rec.get("victim")?.as_f64()? as usize;
+    let backup = rec.get("backup")?.as_f64()? as usize;
+    let won = matches!(rec.get("backup_won")?, Json::Bool(true));
+    Some((victim, backup, won))
 }
 
 #[cfg(test)]
@@ -343,10 +391,39 @@ mod tests {
         assert_eq!(record_batch_index(&r), Some(7));
         assert_eq!(batch_ids(&r), Some(vec![10, 20]));
         assert_eq!(record_fanout(&r), Some(6));
+        assert_eq!(record_worker(&r), None, "untagged batch has no worker");
         let c = checkpoint_record(3, 42);
         assert_eq!(record_type(&c), Some("checkpoint"));
         assert_eq!(batch_ids(&c), None);
         assert_eq!(record_fanout(&c), None);
+    }
+
+    #[test]
+    fn worker_tagged_and_hedge_records_round_trip() {
+        let r = batch_record_tagged(5, &[8, 9], &BatchOutcome::Succeeded, 6, Some(2));
+        assert_eq!(record_type(&r), Some("batch"));
+        assert_eq!(record_worker(&r), Some(2));
+        assert_eq!(record_batch_index(&r), Some(5));
+        // The tag is additive: every untagged accessor still works.
+        assert_eq!(batch_ids(&r), Some(vec![8, 9]));
+        assert_eq!(record_fanout(&r), Some(6));
+
+        let h = hedge_record(5, 1, 3, true);
+        assert_eq!(record_type(&h), Some("hedge"));
+        assert_eq!(record_batch_index(&h), Some(5));
+        assert_eq!(hedge_fields(&h), Some((1, 3, true)));
+        assert_eq!(hedge_fields(&r), None);
+
+        // Both survive the framed on-disk round trip.
+        let dir = tmp_dir("tagged");
+        let path = dir.join("outcomes.gtj");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&r).unwrap();
+        j.append(&h).unwrap();
+        drop(j);
+        let s = read_journal(&path).unwrap();
+        assert_eq!(s.records, vec![r, h]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Truncate a journal at EVERY byte length: the scan must never panic,

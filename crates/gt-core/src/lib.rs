@@ -18,6 +18,7 @@
 //! compares like with like.
 
 pub mod cache;
+pub mod cluster;
 pub mod config;
 pub mod data;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod tracing;
 pub mod trainer;
 
 pub use cache::{CacheConfig, CacheLookup, CacheStats, ServingCaches};
+pub use cluster::{ClusterConfig, ClusterSummary, ClusterSupervisor, Partition, WorkerStats};
 pub use config::{EdgeWeighting, ModelConfig};
 pub use data::GraphData;
 pub use error::GtError;

@@ -168,6 +168,9 @@ pub struct Supervisor {
     strikes: usize,
     degraded_prepro: bool,
     durability: Option<DurabilityState>,
+    /// Cluster-worker tag stamped on journaled batch records (`None` for
+    /// single-node serving; set per batch by the cluster supervisor).
+    worker_tag: Option<usize>,
     /// Skew-exploiting serving caches; `None` (the default) keeps serving
     /// exactly as before caching existed.
     caches: Option<ServingCaches>,
@@ -190,8 +193,17 @@ impl Supervisor {
             strikes: 0,
             degraded_prepro: false,
             durability: None,
+            worker_tag: None,
             caches: None,
         }
+    }
+
+    /// Tag journaled batch records with the cluster worker that owns the
+    /// next batch's partition (`None` restores untagged single-node
+    /// records). Recovery enforces strictly increasing batch indices per
+    /// tag, so a reordered journal cannot replay silently.
+    pub fn set_worker_tag(&mut self, worker: Option<usize>) {
+        self.worker_tag = worker;
     }
 
     /// Batches served so far (the next batch's fault-plan coordinate).
@@ -613,11 +625,12 @@ impl Supervisor {
         // The record carries the fanout the batch was actually sampled
         // with: a gateway under load serves with reduced fanout, and a
         // replay at the configured fanout would diverge.
-        let rec = journal::batch_record(
+        let rec = journal::batch_record_tagged(
             batch_index,
             batch,
             &report.outcome,
             self.trainer.sampler.fanout,
+            self.worker_tag,
         );
         let qrec = match report.outcome {
             BatchOutcome::Quarantined { .. } => {
@@ -706,6 +719,37 @@ impl Supervisor {
         Ok(report)
     }
 
+    /// Journal a cluster-layer hedge decision (write-ahead, like
+    /// outcomes): which batch was hedged, the straggling worker, the
+    /// backup, and which copy won. The cluster supervisor's
+    /// `gt_cluster_hedges_*` counters must reconcile exactly against
+    /// these records.
+    pub fn journal_hedge(
+        &mut self,
+        batch_index: usize,
+        victim: usize,
+        backup: usize,
+        backup_won: bool,
+    ) -> Result<(), GtError> {
+        let d = self.durability.as_mut().ok_or_else(|| GtError::Io {
+            detail: "journal_hedge before make_durable/recover".to_string(),
+        })?;
+        d.journal.append(&journal::hedge_record(
+            batch_index,
+            victim,
+            backup,
+            backup_won,
+        ))?;
+        self.trainer
+            .telemetry
+            .counter(
+                "gt_journal_records_total",
+                "Records appended to the outcome journal",
+            )
+            .inc();
+        Ok(())
+    }
+
     /// Checkpoint the current parameters now (e.g. at end of serving),
     /// regardless of the periodic cadence.
     pub fn checkpoint_now(&mut self) -> Result<(), GtError> {
@@ -780,11 +824,42 @@ impl Supervisor {
         let mut replayed = 0usize;
         let mut quarantine_restored = 0usize;
         let mut checkpoints_verified = 0usize;
+        // Last replayed batch index per cluster-worker tag: the journal's
+        // ordering invariant. Outcome comparison alone cannot catch a
+        // reordered journal (most outcomes are plain "succeeded"), so the
+        // indices themselves are the cross-check.
+        let mut worker_last: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for rec in &scan.records {
             match journal::record_type(rec) {
                 Some("batch") => {
                     let idx = journal::record_batch_index(rec)
                         .ok_or_else(|| corrupt("batch record without batch_index"))?;
+                    if let Some(w) = journal::record_worker(rec) {
+                        if worker_last.get(&w).is_some_and(|&last| last >= idx) {
+                            return Err(GtError::ReplayDiverged {
+                                batch_index: idx,
+                                detail: format!(
+                                    "per-worker ordering violated: worker {w} already \
+                                     journaled batch {}, then batch {idx}",
+                                    worker_last[&w]
+                                ),
+                            });
+                        }
+                        worker_last.insert(w, idx);
+                    }
+                    // Batch records are appended with strictly sequential
+                    // indices; a gap or swap means the journal was
+                    // reordered and must not replay silently.
+                    if idx != replayed {
+                        return Err(GtError::ReplayDiverged {
+                            batch_index: idx,
+                            detail: format!(
+                                "batch records out of order: expected index {replayed}, \
+                                 found {idx}"
+                            ),
+                        });
+                    }
                     let ids = journal::batch_ids(rec)
                         .ok_or_else(|| corrupt("batch record without vertex ids"))?;
                     let recorded = rec
@@ -846,6 +921,15 @@ impl Supervisor {
                     if let Some(caches) = self.caches.as_mut() {
                         caches.bump_epoch();
                     }
+                }
+                Some("hedge") => {
+                    // Cluster-layer annotation of a straggler hedge: the
+                    // modeled schedule is not re-run during replay, so the
+                    // record is validated and skipped; the cluster
+                    // supervisor reconciles its hedge counters against
+                    // these records after recovery.
+                    journal::hedge_fields(rec)
+                        .ok_or_else(|| corrupt("hedge record with missing fields"))?;
                 }
                 other => {
                     return Err(corrupt(&format!("unknown record type {other:?}")));

@@ -74,6 +74,10 @@ pub struct GraphTensor {
     /// Overrides the variant's preprocessing strategy (the supervisor's
     /// pipelined→serialized degradation).
     pub prepro_override: Option<PreproStrategy>,
+    /// Measured preprocessing work of the most recent batch, kept for the
+    /// cluster supervisor: partitioning a batch across workers re-prices the
+    /// same measured work per partition instead of re-running preprocessing.
+    pub last_work: Option<crate::prepro::PreproWork>,
     /// Where spans, events, and metrics go. Defaults to the process-wide
     /// handle ([`gt_telemetry::global`], a null collector unless installed
     /// otherwise), so the uninstrumented path costs nothing; swap in
@@ -106,6 +110,7 @@ impl GraphTensor {
             fail_fast: false,
             injected: None,
             prepro_override: None,
+            last_work: None,
             telemetry: gt_telemetry::global(),
             params: ParamStore::new(),
             cost,
@@ -374,7 +379,10 @@ impl GraphTensor {
         self.drift_emitted = now;
     }
 
-    fn prepro_strategy(&self) -> PreproStrategy {
+    /// The preprocessing strategy in force (the override, if set, else the
+    /// variant's default). The cluster supervisor uses this to price each
+    /// worker's partition with the same scheduler the trainer ran.
+    pub fn prepro_strategy(&self) -> PreproStrategy {
         if let Some(s) = self.prepro_override {
             return s;
         }
@@ -448,6 +456,7 @@ impl GraphTensor {
             let _s = telemetry.span("train", "run_prepro").arg("phase", "prepro");
             run_prepro(data, batch, &cfg)
         };
+        self.last_work = Some(pr.work.clone());
 
         // The preprocessing schedule is a pure function of the measured
         // work, so it can run up front; with an empty fault set it is

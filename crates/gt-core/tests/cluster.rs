@@ -1,0 +1,440 @@
+//! End-to-end cluster robustness tests.
+//!
+//! The load-bearing property mirrors the single-node durability suite:
+//! **kill-any-worker-at-any-batch bit-identity**. A cluster run that loses
+//! a worker mid-serving must detect the death, re-replay the partition from
+//! the journal, resume at the exact batch index, and finish with byte-for-
+//! byte the parameters and outcome stream of a run that never lost anyone —
+//! at every worker count. Hedging must be pure virtual time (identical
+//! model bytes hedged or not) and its counters must reconcile exactly
+//! against the journal's hedge records.
+
+use gt_core::journal;
+use gt_core::{
+    ClusterConfig, ClusterSupervisor, DurabilityConfig, GraphData, GraphTensor, GtError, GtVariant,
+    ModelConfig, Partition, Supervisor,
+};
+use gt_graph::VId;
+use gt_sample::SamplerConfig;
+use gt_sim::{ClusterSpec, CrashSite, FaultPlan, HeartbeatConfig, SystemSpec};
+use gt_telemetry::ToJson;
+use gt_tensor::checkpoint;
+use std::path::{Path, PathBuf};
+
+fn data() -> GraphData {
+    GraphData::synthetic(300, 3000, 16, 4, 3)
+}
+
+fn trainer() -> GraphTensor {
+    let mut t = GraphTensor::new(
+        GtVariant::Dynamic,
+        ModelConfig::gcn(2, 16, 4),
+        SystemSpec::tiny(),
+    );
+    t.sampler = SamplerConfig {
+        fanout: 4,
+        layers: 2,
+        seed: 11,
+        ..Default::default()
+    };
+    t
+}
+
+/// Mostly clean batches plus one poison batch (duplicate ids) so the
+/// journal carries quarantine records through recovery too.
+fn batches(n: usize) -> Vec<Vec<VId>> {
+    (0..n)
+        .map(|i| {
+            if i == 2 {
+                vec![5, 5, 6]
+            } else {
+                ((i * 16) as VId..(i * 16 + 16) as VId).collect()
+            }
+        })
+        .collect()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gt_cluster_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cluster_config(workers: usize, hedging: bool) -> ClusterConfig {
+    ClusterConfig {
+        spec: ClusterSpec::tiny(workers),
+        partition: Partition::VertexCut,
+        heartbeat: HeartbeatConfig::default(),
+        hedging,
+        hedge_factor: 2.5,
+    }
+}
+
+/// Drive a cluster over the workload; returns the supervisor for
+/// inspection plus the journaled (index, outcome) stream — the canonical
+/// "outcome stream" the acceptance criteria compare.
+fn run_cluster(
+    workers: usize,
+    plan: FaultPlan,
+    hedging: bool,
+    dir: &Path,
+    n: usize,
+) -> (ClusterSupervisor, Vec<(usize, String)>) {
+    let factory_plan = plan.clone();
+    let mut cs = ClusterSupervisor::new(
+        move || Supervisor::new(trainer(), factory_plan.clone()),
+        cluster_config(workers, hedging),
+    );
+    cs.make_durable(DurabilityConfig {
+        dir: dir.to_path_buf(),
+        checkpoint_every: 2,
+    })
+    .unwrap();
+    let d = data();
+    let bs = batches(n);
+    // Drive by the serving index, not by call count: a crash recovered
+    // after commit folds its batch in during replay.
+    while cs.supervisor.batches_served() < n {
+        let i = cs.supervisor.batches_served();
+        cs.serve_batch(&d, &bs[i]).unwrap();
+    }
+    let stream = outcome_stream(dir);
+    (cs, stream)
+}
+
+/// The journaled batch outcome stream: (batch_index, outcome JSON).
+fn outcome_stream(dir: &Path) -> Vec<(usize, String)> {
+    let cfg = DurabilityConfig::new(dir);
+    let scan = journal::read_journal(cfg.journal_path()).unwrap();
+    scan.records
+        .iter()
+        .filter(|r| journal::record_type(r) == Some("batch"))
+        .map(|r| {
+            (
+                journal::record_batch_index(r).unwrap(),
+                r.get("outcome").unwrap().to_json_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fault_free_cluster_matches_single_node_numerics_at_every_worker_count() {
+    let n = 5;
+    // Single-node reference.
+    let d = data();
+    let mut single = Supervisor::new(trainer(), FaultPlan::new(42));
+    let mut ref_outcomes = Vec::new();
+    for b in batches(n) {
+        let r = single.serve_batch(&d, &b);
+        ref_outcomes.push(r.outcome.to_json().to_json_string());
+    }
+    let ref_params = checkpoint::to_bytes(single.trainer.params());
+
+    for workers in [1usize, 2, 4] {
+        let dir = tmp_dir(&format!("faultfree_w{workers}"));
+        let (cs, stream) = run_cluster(workers, FaultPlan::new(42), true, &dir, n);
+        assert_eq!(
+            checkpoint::to_bytes(cs.supervisor.trainer.params()),
+            ref_params,
+            "{workers} workers must not perturb the numerics"
+        );
+        let outcomes: Vec<String> = stream.into_iter().map(|(_, o)| o).collect();
+        assert_eq!(outcomes, ref_outcomes);
+        let s = cs.summary();
+        assert_eq!(s.recoveries, 0);
+        assert_eq!(s.hedges_launched, 0, "uniform workers must not hedge");
+        if workers == 1 {
+            assert_eq!(s.collective_us, 0.0, "a lone worker gathers nothing");
+        } else {
+            assert!(s.collective_us > 0.0);
+        }
+        assert!(s.clock_us > 0.0);
+    }
+}
+
+#[test]
+fn kill_any_worker_at_any_batch_recovers_bit_identically() {
+    let n = 5;
+    for workers in [1usize, 2, 4] {
+        let ref_dir = tmp_dir(&format!("killref_w{workers}"));
+        let (ref_cs, ref_stream) = run_cluster(workers, FaultPlan::new(42), false, &ref_dir, n);
+        let ref_params = checkpoint::to_bytes(ref_cs.supervisor.trainer.params());
+        for kill_batch in [1usize, 3] {
+            let victim = kill_batch % workers;
+            let dir = tmp_dir(&format!("kill_w{workers}_b{kill_batch}"));
+            let plan = FaultPlan::new(42).with_worker_kill(kill_batch, victim);
+            let (cs, stream) = run_cluster(workers, plan, false, &dir, n);
+            assert_eq!(
+                checkpoint::to_bytes(cs.supervisor.trainer.params()),
+                ref_params,
+                "kill worker {victim} at batch {kill_batch} ({workers} workers) \
+                 must recover to identical bytes"
+            );
+            assert_eq!(stream, ref_stream, "outcome stream must survive the kill");
+            let s = cs.summary();
+            assert_eq!(s.recoveries, 1);
+            assert!(
+                s.recovery_virtual_us > 0.0,
+                "detection latency must be charged"
+            );
+            // The victim's partition was adopted by a survivor (unless the
+            // cluster is a single worker, which restarts in place).
+            if workers > 1 {
+                assert!(!cs.alive()[victim]);
+                assert!(cs.owners().iter().all(|&o| o != victim));
+            } else {
+                assert!(cs.alive()[0], "sole worker restarts in place");
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_batch_is_recovered_by_the_cluster_layer() {
+    let n = 5;
+    let ref_dir = tmp_dir("crashref");
+    let (ref_cs, ref_stream) = run_cluster(2, FaultPlan::new(42), false, &ref_dir, n);
+    let ref_params = checkpoint::to_bytes(ref_cs.supervisor.trainer.params());
+    for site in [
+        CrashSite::MidJournal,
+        CrashSite::MidCheckpoint,
+        CrashSite::AfterCommit,
+    ] {
+        let dir = tmp_dir(&format!("crash_{}", site.label()));
+        let plan = FaultPlan::new(42).with_crash_at(3, site);
+        let (cs, stream) = run_cluster(2, plan, false, &dir, n);
+        assert_eq!(
+            checkpoint::to_bytes(cs.supervisor.trainer.params()),
+            ref_params,
+            "crash at {} must recover to identical bytes",
+            site.label()
+        );
+        assert_eq!(stream, ref_stream);
+        assert_eq!(cs.summary().recoveries, 1);
+    }
+}
+
+#[test]
+fn hedging_is_pure_virtual_time_and_reconciles_with_the_journal() {
+    let n = 5;
+    let cores = SystemSpec::tiny().host.cores;
+    // Worker 3's first core runs 64× slower: its stage time dwarfs the
+    // median every batch, so every trained batch hedges.
+    let plan = || FaultPlan::new(42).with_straggler(3 * cores, 64.0);
+
+    let hedged_dir = tmp_dir("hedged");
+    let (hedged, hedged_stream) = run_cluster(4, plan(), true, &hedged_dir, n);
+    let unhedged_dir = tmp_dir("unhedged");
+    let (unhedged, unhedged_stream) = run_cluster(4, plan(), false, &unhedged_dir, n);
+
+    assert_eq!(
+        checkpoint::to_bytes(hedged.supervisor.trainer.params()),
+        checkpoint::to_bytes(unhedged.supervisor.trainer.params()),
+        "hedging must never touch model bytes"
+    );
+    assert_eq!(hedged_stream, unhedged_stream);
+
+    let s = hedged.summary();
+    assert!(s.hedges_launched > 0, "the straggler must trigger hedges");
+    assert!(s.hedges_won > 0, "a 64× straggler must lose to its backup");
+    assert_eq!(unhedged.summary().hedges_launched, 0);
+
+    // The counters reconcile exactly against the journal's hedge records.
+    let (launched, won) = hedged.hedge_journal_counts().unwrap();
+    assert_eq!((s.hedges_launched, s.hedges_won), (launched, won));
+
+    // Hedging shortens the modeled clock: the backup finishes the
+    // straggler's partition earlier than the straggler would.
+    assert!(
+        hedged.summary().clock_us < unhedged.summary().clock_us,
+        "hedged {} !< unhedged {}",
+        hedged.summary().clock_us,
+        unhedged.summary().clock_us
+    );
+
+    // The hedge counters survive a kill-and-recover cycle: they are
+    // rebuilt from the journal, not from process memory.
+    let plan2 = plan().with_worker_kill(4, 1);
+    let dir2 = tmp_dir("hedged_killed");
+    let (recovered, _) = run_cluster(4, plan2, true, &dir2, n);
+    let (launched2, won2) = recovered.hedge_journal_counts().unwrap();
+    let s2 = recovered.summary();
+    assert_eq!((s2.hedges_launched, s2.hedges_won), (launched2, won2));
+    assert!(s2.recoveries >= 1);
+}
+
+#[test]
+fn interleaved_worker_tags_replay_cleanly() {
+    let n = 6;
+    let dir = tmp_dir("interleave");
+    let (_cs, _) = run_cluster(3, FaultPlan::new(42), false, &dir, n);
+    let cfg = DurabilityConfig::new(&dir);
+
+    // The journal interleaves all three worker tags, strictly increasing
+    // per tag.
+    let scan = journal::read_journal(cfg.journal_path()).unwrap();
+    let tags: Vec<(usize, usize)> = scan
+        .records
+        .iter()
+        .filter(|r| journal::record_type(r) == Some("batch"))
+        .map(|r| {
+            (
+                journal::record_worker(r).expect("cluster records are tagged"),
+                journal::record_batch_index(r).unwrap(),
+            )
+        })
+        .collect();
+    let distinct: std::collections::BTreeSet<usize> = tags.iter().map(|&(w, _)| w).collect();
+    assert_eq!(distinct.len(), 3, "all workers must appear: {tags:?}");
+    for w in &distinct {
+        let per: Vec<usize> = tags
+            .iter()
+            .filter(|&&(t, _)| t == *w)
+            .map(|&(_, i)| i)
+            .collect();
+        assert!(per.windows(2).all(|p| p[0] < p[1]), "worker {w}: {per:?}");
+    }
+
+    // A fresh supervisor replays the interleaved journal without
+    // complaint and lands on the same parameters.
+    let mut fresh = Supervisor::new(trainer(), FaultPlan::new(42));
+    let rec = fresh.recover(&data(), cfg).unwrap();
+    assert_eq!(rec.batches_replayed, n);
+}
+
+#[test]
+fn shuffled_journal_is_rejected_not_silently_reordered() {
+    let n = 4;
+    let dir = tmp_dir("shuffled");
+    let (_cs, _) = run_cluster(2, FaultPlan::new(42), false, &dir, n);
+    let cfg = DurabilityConfig::new(&dir);
+    let scan = journal::read_journal(cfg.journal_path()).unwrap();
+
+    // Swap the first two batch records and rewrite the journal.
+    let mut records = scan.records.clone();
+    let batch_pos: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| journal::record_type(r) == Some("batch"))
+        .map(|(i, _)| i)
+        .collect();
+    records.swap(batch_pos[0], batch_pos[1]);
+    rewrite(&cfg, &records);
+
+    let mut fresh = Supervisor::new(trainer(), FaultPlan::new(42));
+    match fresh.recover(&data(), cfg.clone()) {
+        Err(GtError::ReplayDiverged { detail, .. }) => {
+            assert!(
+                detail.contains("out of order"),
+                "unexpected detail: {detail}"
+            );
+        }
+        other => panic!("swapped journal must diverge, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_worker_record_trips_the_per_worker_invariant() {
+    let n = 4;
+    let dir = tmp_dir("dup_tag");
+    let (_cs, _) = run_cluster(2, FaultPlan::new(42), false, &dir, n);
+    let cfg = DurabilityConfig::new(&dir);
+    let scan = journal::read_journal(cfg.journal_path()).unwrap();
+
+    // Re-append a copy of the first tagged batch record at the tail: its
+    // worker has already journaled a later batch, so the per-worker
+    // ordering check must fire (before the global index check reads it as
+    // a mere gap).
+    let mut records = scan.records.clone();
+    let first_batch = records
+        .iter()
+        .find(|r| journal::record_type(r) == Some("batch"))
+        .unwrap()
+        .clone();
+    records.push(first_batch);
+    rewrite(&cfg, &records);
+
+    let mut fresh = Supervisor::new(trainer(), FaultPlan::new(42));
+    match fresh.recover(&data(), cfg.clone()) {
+        Err(GtError::ReplayDiverged { detail, .. }) => {
+            assert!(
+                detail.contains("per-worker ordering"),
+                "unexpected detail: {detail}"
+            );
+        }
+        other => panic!("duplicated record must diverge, got {other:?}"),
+    }
+}
+
+#[test]
+fn heartbeat_drops_raise_false_suspicions_but_never_recover() {
+    let n = 4;
+    let dir = tmp_dir("hb_drop");
+    // 9 dropped beats widen the gap to 10× the nominal interval — past the
+    // phi threshold of 8 — on a worker that is perfectly alive.
+    let plan = FaultPlan::new(42).with_heartbeat_drop(1, 1, 9);
+    let (cs, stream) = run_cluster(2, plan, false, &dir, n);
+    let s = cs.summary();
+    assert!(
+        s.false_suspicions > 0,
+        "the silence must cross the threshold"
+    );
+    assert_eq!(
+        s.recoveries, 0,
+        "a false suspicion must never trigger recovery"
+    );
+    assert!(cs.alive().iter().all(|&a| a));
+
+    // And the run is numerically indistinguishable from fault-free.
+    let ref_dir = tmp_dir("hb_ref");
+    let (ref_cs, ref_stream) = run_cluster(2, FaultPlan::new(42), false, &ref_dir, n);
+    assert_eq!(
+        checkpoint::to_bytes(cs.supervisor.trainer.params()),
+        checkpoint::to_bytes(ref_cs.supervisor.trainer.params())
+    );
+    assert_eq!(stream, ref_stream);
+}
+
+#[test]
+fn feature_dim_partition_serves_identically_to_vertex_cut() {
+    let n = 4;
+    let run = |partition: Partition, dir: &Path| {
+        let mut cs = ClusterSupervisor::new(
+            move || Supervisor::new(trainer(), FaultPlan::new(42)),
+            ClusterConfig {
+                partition,
+                ..cluster_config(2, true)
+            },
+        );
+        cs.make_durable(DurabilityConfig::new(dir)).unwrap();
+        let d = data();
+        let bs = batches(n);
+        while cs.supervisor.batches_served() < n {
+            let i = cs.supervisor.batches_served();
+            cs.serve_batch(&d, &bs[i]).unwrap();
+        }
+        cs
+    };
+    let vc_dir = tmp_dir("part_vc");
+    let fd_dir = tmp_dir("part_fd");
+    let vc = run(Partition::VertexCut, &vc_dir);
+    let fd = run(Partition::FeatureDim, &fd_dir);
+    // Numerics are partition-invariant; only the modeled schedule moves.
+    assert_eq!(
+        checkpoint::to_bytes(vc.supervisor.trainer.params()),
+        checkpoint::to_bytes(fd.supervisor.trainer.params())
+    );
+    // Feature-dim replicates structure work on every worker, so its
+    // stages are strictly longer than a vertex cut's.
+    assert!(fd.summary().clock_us > vc.summary().clock_us);
+}
+
+/// Rewrite the journal file from scratch with `records`.
+fn rewrite(cfg: &DurabilityConfig, records: &[gt_telemetry::Json]) {
+    let mut j = journal::Journal::create(cfg.journal_path()).unwrap();
+    for r in records {
+        j.append(r).unwrap();
+    }
+}

@@ -75,7 +75,7 @@ pub fn sample_plan(seed: u64, cfg: &ChaosConfig) -> FaultPlan {
     let mut plan = FaultPlan::new(seed);
     for _ in 0..n_faults {
         let b = rng.below(cfg.batches.max(1) as u64) as usize;
-        plan = match rng.below(8) {
+        plan = match rng.below(11) {
             0 => {
                 let site = match rng.below(3) {
                     0 => CrashSite::MidJournal,
@@ -153,7 +153,19 @@ pub fn sample_plan(seed: u64, cfg: &ChaosConfig) -> FaultPlan {
                     transient: false,
                 })
             }
-            _ => plan.with_delivery_delay(b, 1 + rng.below(3) as u32),
+            7 => plan.with_delivery_delay(b, 1 + rng.below(3) as u32),
+            // Cluster faults. Worker indices are sampled over a nominal
+            // 4-worker cluster; the cluster supervisor maps them modulo
+            // its actual worker count, and single-node campaigns ignore
+            // them entirely (they are inert outside the cluster layer).
+            8 => plan.with_worker_kill(b, rng.below(4) as usize),
+            9 => {
+                let worker = rng.below(4) as usize;
+                let factor = (1 + rng.below(4)) as f64 * 2.0;
+                let until = b + 1 + rng.below(3) as usize;
+                plan.with_link_degrade(worker, factor, b, Some(until))
+            }
+            _ => plan.with_heartbeat_drop(b, rng.below(4) as usize, 1 + rng.below(3) as u32),
         };
     }
     plan
@@ -217,6 +229,20 @@ fn kind_to_json(kind: &FaultKind) -> Json {
             ("kind", "delivery-delay".into()),
             ("slots", (*slots as u64).into()),
         ]),
+        FaultKind::WorkerKill { worker } => obj([
+            ("kind", "worker-kill".into()),
+            ("worker", (*worker as u64).into()),
+        ]),
+        FaultKind::LinkDegrade { worker, factor } => obj([
+            ("kind", "link-degrade".into()),
+            ("worker", (*worker as u64).into()),
+            ("factor", (*factor).into()),
+        ]),
+        FaultKind::HeartbeatDrop { worker, beats } => obj([
+            ("kind", "heartbeat-drop".into()),
+            ("worker", (*worker as u64).into()),
+            ("beats", (*beats as u64).into()),
+        ]),
     }
 }
 
@@ -275,6 +301,17 @@ fn kind_from_json(v: &Json) -> Result<FaultKind, String> {
         }
         "delivery-delay" => Ok(FaultKind::DeliveryDelay {
             slots: num("slots")? as u32,
+        }),
+        "worker-kill" => Ok(FaultKind::WorkerKill {
+            worker: num("worker")? as usize,
+        }),
+        "link-degrade" => Ok(FaultKind::LinkDegrade {
+            worker: num("worker")? as usize,
+            factor: num("factor")?,
+        }),
+        "heartbeat-drop" => Ok(FaultKind::HeartbeatDrop {
+            worker: num("worker")? as usize,
+            beats: num("beats")? as u32,
         }),
         other => Err(format!("unknown fault kind {other:?}")),
     }
@@ -413,6 +450,27 @@ fn weaker_kinds(kind: &FaultKind) -> Vec<FaultKind> {
         }
         FaultKind::DeliveryDelay { slots } if slots > 1 => {
             vec![FaultKind::DeliveryDelay { slots: slots / 2 }]
+        }
+        // A kill is the strongest cluster fault: try the faults that only
+        // *look* like one (a silent-but-alive worker, a slow link) first.
+        FaultKind::WorkerKill { worker } => vec![
+            FaultKind::HeartbeatDrop { worker, beats: 2 },
+            FaultKind::LinkDegrade {
+                worker,
+                factor: 2.0,
+            },
+        ],
+        FaultKind::LinkDegrade { worker, factor } if factor > 2.0 => {
+            vec![FaultKind::LinkDegrade {
+                worker,
+                factor: (factor / 2.0).max(2.0),
+            }]
+        }
+        FaultKind::HeartbeatDrop { worker, beats } if beats > 1 => {
+            vec![FaultKind::HeartbeatDrop {
+                worker,
+                beats: beats / 2,
+            }]
         }
         _ => vec![],
     }
@@ -555,6 +613,9 @@ mod tests {
         let mut seen_io = false;
         let mut seen_delay = false;
         let mut seen_schedule = false;
+        let mut seen_kill = false;
+        let mut seen_link = false;
+        let mut seen_beats = false;
         for seed in 0..256 {
             for r in sample_plan(seed, &cfg).rules() {
                 match r.kind {
@@ -565,11 +626,18 @@ mod tests {
                     | FaultKind::HashContention { .. }
                     | FaultKind::MemoryPressure { .. }
                     | FaultKind::TransferFailure => seen_schedule = true,
+                    FaultKind::WorkerKill { .. } => seen_kill = true,
+                    FaultKind::LinkDegrade { .. } => seen_link = true,
+                    FaultKind::HeartbeatDrop { .. } => seen_beats = true,
                     _ => {}
                 }
             }
         }
         assert!(seen_crash && seen_io && seen_delay && seen_schedule);
+        assert!(
+            seen_kill && seen_link && seen_beats,
+            "cluster fault kinds must be reachable from the sampler"
+        );
     }
 
     #[test]
@@ -582,6 +650,39 @@ mod tests {
             let back = plan_from_json(&parsed).expect("wire form rebuilds");
             assert_eq!(back, plan, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn cluster_rules_round_trip_through_json() {
+        let plan = FaultPlan::new(77)
+            .with_worker_kill(3, 2)
+            .with_link_degrade(1, 4.0, 2, Some(6))
+            .with_heartbeat_drop(5, 0, 3);
+        let text = plan_to_json(&plan).to_json_string();
+        let parsed = gt_telemetry::json::parse(&text).unwrap();
+        assert_eq!(plan_from_json(&parsed).unwrap(), plan);
+    }
+
+    #[test]
+    fn shrunk_worker_kill_repro_is_single_rule_and_replayable() {
+        // A noisy campaign plan whose only real trigger is the worker
+        // kill: the shrinker must isolate it, and the minimized plan must
+        // survive the JSON wire form (the exact bytes CI uploads and
+        // `repro --chaos-replay` consumes) still failing the oracle.
+        let plan = FaultPlan::new(41)
+            .with_transfer_stall(8.0, 1.0)
+            .with_worker_kill(6, 3)
+            .with_heartbeat_drop(2, 1, 2)
+            .with_delivery_delay(4, 2);
+        let fails = |p: &FaultPlan| (0..10).any(|b| !p.active(b, 0).worker_kills().is_empty());
+        let min = shrink(&plan, fails, 300);
+        assert_eq!(min.len(), 1, "{min:?}");
+        assert!(matches!(min.rules()[0].kind, FaultKind::WorkerKill { .. }));
+        assert_eq!(min.rules()[0].from_batch, 0, "rebased to batch 0");
+        let text = plan_to_json(&min).to_json_string();
+        let replayed = plan_from_json(&gt_telemetry::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(replayed, min);
+        assert!(fails(&replayed), "replayable repro still fails the oracle");
     }
 
     #[test]

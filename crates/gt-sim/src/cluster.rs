@@ -1,0 +1,304 @@
+//! Cluster topology: N workers, each a full [`SystemSpec`] (cores + PCIe
+//! link + GPU), connected by modeled network links over which collectives
+//! are priced.
+//!
+//! This generalizes the single-node resource model: the cluster supervisor
+//! (`gt-core::cluster`) partitions each batch's preprocessing work across
+//! workers, prices every worker's local S/R/K/T + NAPA schedule through its
+//! own DES instance, then charges ring all-gather/all-reduce collectives on
+//! the network link. Everything here is a pure function of the specs, so
+//! cluster schedules inherit the DES's bit-identity contract.
+//!
+//! The failure-detection side lives here too: [`HeartbeatConfig`] and the
+//! [`PhiDetector`], a deterministic phi-accrual-style detector running in
+//! virtual time — suspicion is a pure function of observed heartbeat gaps,
+//! never of wall-clock time.
+
+use crate::device::SystemSpec;
+
+/// A modeled full-duplex network link between cluster workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetLinkSpec {
+    /// Link bandwidth in gigabits per second (25 GbE by default).
+    pub bandwidth_gbps: f64,
+    /// One-way message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl NetLinkSpec {
+    /// A 25 GbE datacenter link, the common GNN-cluster fabric.
+    pub fn gbe25() -> Self {
+        NetLinkSpec {
+            bandwidth_gbps: 25.0,
+            latency_us: 15.0,
+        }
+    }
+
+    /// A deliberately slow link for tests (1 Gb/s, high latency) so
+    /// collective costs are visible at tiny scales.
+    pub fn tiny() -> Self {
+        NetLinkSpec {
+            bandwidth_gbps: 1.0,
+            latency_us: 50.0,
+        }
+    }
+
+    /// Link bandwidth in bytes per virtual microsecond.
+    pub fn bytes_per_us(&self) -> f64 {
+        // Gb/s → bytes/µs: divide by 8 bits, multiply by 1e9 / 1e6.
+        self.bandwidth_gbps / 8.0 * 1.0e3
+    }
+
+    /// Virtual time to move `bytes` point-to-point over this link.
+    pub fn transfer_us(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_us + bytes / self.bytes_per_us()
+    }
+}
+
+/// The cluster: per-worker system specs plus the fabric connecting them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// One full system per worker. A single entry degenerates to the
+    /// single-node model (collectives cost zero).
+    pub workers: Vec<SystemSpec>,
+    /// The network link every worker attaches to (uniform fabric).
+    pub link: NetLinkSpec,
+}
+
+impl ClusterSpec {
+    /// `n` identical workers of the given spec on one fabric.
+    pub fn uniform(n: usize, worker: SystemSpec, link: NetLinkSpec) -> Self {
+        assert!(n >= 1, "a cluster needs at least one worker");
+        ClusterSpec {
+            workers: vec![worker; n],
+            link,
+        }
+    }
+
+    /// `n` paper-testbed workers on 25 GbE.
+    pub fn paper_testbed(n: usize) -> Self {
+        ClusterSpec::uniform(n, SystemSpec::paper_testbed(), NetLinkSpec::gbe25())
+    }
+
+    /// `n` tiny workers on a tiny link, for fast tests.
+    pub fn tiny(n: usize) -> Self {
+        ClusterSpec::uniform(n, SystemSpec::tiny(), NetLinkSpec::tiny())
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True for the degenerate single-worker (or empty) cluster.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Ring all-gather over `p` participants, each contributing
+    /// `bytes_per_worker`: `p − 1` steps, each moving one worker-chunk over
+    /// the slowest link. Zero for `p ≤ 1` — a lone worker gathers nothing.
+    pub fn all_gather_us(&self, bytes_per_worker: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64 - 1.0) * self.link.transfer_us(bytes_per_worker)
+    }
+
+    /// Ring all-reduce of a `bytes`-sized tensor across `p` participants:
+    /// reduce-scatter then all-gather, `2(p − 1)` steps of `bytes / p`
+    /// each. Zero for `p ≤ 1`.
+    pub fn all_reduce_us(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        2.0 * (p as f64 - 1.0) * self.link.transfer_us(bytes / p as f64)
+    }
+}
+
+/// Virtual-time heartbeat protocol parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatConfig {
+    /// Interval between heartbeats, virtual microseconds.
+    pub interval_us: f64,
+    /// Suspicion threshold: a worker is suspected once the observed gap
+    /// exceeds `phi_threshold ×` its smoothed mean inter-arrival time.
+    pub phi_threshold: f64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval_us: 1_000.0,
+            phi_threshold: 8.0,
+        }
+    }
+}
+
+/// Deterministic phi-accrual-style failure detector for one worker.
+///
+/// Classic phi-accrual fits a distribution over inter-arrival times and
+/// reports `φ = −log₁₀ P(gap)`. In a simulated cluster the heartbeat
+/// interval is a modeled constant, so the detector reduces to its
+/// deterministic core: an exponentially-smoothed mean inter-arrival time
+/// and a suspicion score `phi = gap / mean`. The detector is a pure fold
+/// over observed gaps — no clocks, no randomness — so detection times are
+/// bit-identical across runs, worker counts, and `GT_THREADS` widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiDetector {
+    cfg: HeartbeatConfig,
+    /// Smoothed mean inter-arrival time, seeded with the nominal interval.
+    mean_us: f64,
+    /// Heartbeats observed so far.
+    observed: u64,
+}
+
+impl PhiDetector {
+    pub fn new(cfg: HeartbeatConfig) -> Self {
+        let mean_us = cfg.interval_us;
+        PhiDetector {
+            cfg,
+            mean_us,
+            observed: 0,
+        }
+    }
+
+    /// Record one heartbeat arriving `gap_us` after the previous one.
+    pub fn observe(&mut self, gap_us: f64) {
+        // EMA with a 0.2 step: recent gaps dominate after ~10 beats but a
+        // single outlier cannot drag the mean far.
+        self.mean_us = 0.8 * self.mean_us + 0.2 * gap_us;
+        self.observed += 1;
+    }
+
+    /// Suspicion score for a silence of `gap_us` since the last heartbeat.
+    pub fn phi(&self, gap_us: f64) -> f64 {
+        if self.mean_us <= 0.0 {
+            return f64::INFINITY;
+        }
+        gap_us / self.mean_us
+    }
+
+    /// Whether a silence of `gap_us` crosses the suspicion threshold.
+    pub fn suspects(&self, gap_us: f64) -> bool {
+        self.phi(gap_us) >= self.cfg.phi_threshold
+    }
+
+    /// Virtual time from a worker's last heartbeat to the detector
+    /// *confirming* it dead: the silence must reach `phi_threshold ×` the
+    /// smoothed mean before suspicion fires. This is the detection-latency
+    /// term of a kill's recovery cost.
+    pub fn confirm_delay_us(&self) -> f64 {
+        self.cfg.phi_threshold * self.mean_us
+    }
+
+    /// Smoothed mean inter-arrival time (exposed for telemetry).
+    pub fn mean_us(&self) -> f64 {
+        self.mean_us
+    }
+
+    /// Heartbeats observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_latency_plus_serialization() {
+        let link = NetLinkSpec::gbe25();
+        // 25 Gb/s = 3125 bytes/µs.
+        assert!((link.bytes_per_us() - 3125.0).abs() < 1e-9);
+        assert_eq!(link.transfer_us(0.0), 0.0);
+        let t = link.transfer_us(3_125_000.0);
+        assert!((t - (15.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_worker_collectives_are_free() {
+        let c = ClusterSpec::tiny(1);
+        assert_eq!(c.all_gather_us(1.0e6, 1), 0.0);
+        assert_eq!(c.all_reduce_us(1.0e6, 1), 0.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn collective_costs_grow_with_workers() {
+        let c4 = ClusterSpec::paper_testbed(4);
+        let c2 = ClusterSpec::paper_testbed(2);
+        let bytes = 1.0e6;
+        assert!(c4.all_gather_us(bytes, 4) > c2.all_gather_us(bytes, 2));
+        // All-reduce step size shrinks with p, but step count grows faster:
+        // 2(p−1)·(lat + b/p/bw) is increasing in p for fixed b.
+        assert!(c4.all_reduce_us(bytes, 4) > c2.all_reduce_us(bytes, 2));
+    }
+
+    #[test]
+    fn ring_all_reduce_matches_closed_form() {
+        let c = ClusterSpec::uniform(
+            4,
+            SystemSpec::tiny(),
+            NetLinkSpec {
+                bandwidth_gbps: 8.0,
+                latency_us: 10.0,
+            },
+        );
+        // 8 Gb/s = 1000 bytes/µs; 4000 bytes across 4 workers:
+        // 2·3 steps of (10 + 1000/1000) µs = 66 µs.
+        assert!((c.all_reduce_us(4000.0, 4) - 66.0).abs() < 1e-9);
+        // All-gather of 1000 bytes/worker: 3 steps of 11 µs = 33 µs.
+        assert!((c.all_gather_us(1000.0, 4) - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_is_calm_on_nominal_beats() {
+        let mut d = PhiDetector::new(HeartbeatConfig::default());
+        for _ in 0..50 {
+            d.observe(1_000.0);
+        }
+        assert!((d.mean_us() - 1_000.0).abs() < 1e-6);
+        assert!(!d.suspects(1_000.0));
+        assert!(!d.suspects(7_999.0));
+        assert!(d.suspects(8_000.0));
+        assert_eq!(d.observed(), 50);
+    }
+
+    #[test]
+    fn detector_adapts_to_slow_workers() {
+        let cfg = HeartbeatConfig {
+            interval_us: 1_000.0,
+            phi_threshold: 4.0,
+        };
+        let mut d = PhiDetector::new(cfg);
+        // A worker that consistently beats every 2 ms raises the mean, so
+        // the same absolute silence scores a lower phi.
+        let phi_before = d.phi(4_000.0);
+        for _ in 0..100 {
+            d.observe(2_000.0);
+        }
+        assert!(d.phi(4_000.0) < phi_before);
+        assert!(!d.suspects(4_000.0));
+        assert!((d.confirm_delay_us() - 4.0 * d.mean_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_is_deterministic() {
+        let mut a = PhiDetector::new(HeartbeatConfig::default());
+        let mut b = PhiDetector::new(HeartbeatConfig::default());
+        for gap in [1000.0, 1200.0, 900.0, 3000.0, 1000.0] {
+            a.observe(gap);
+            b.observe(gap);
+        }
+        assert_eq!(a, b);
+        assert_eq!(
+            a.confirm_delay_us().to_bits(),
+            b.confirm_delay_us().to_bits()
+        );
+    }
+}

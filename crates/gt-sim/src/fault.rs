@@ -54,6 +54,23 @@ pub enum FaultKind {
     /// delivery order from these rules before serving; inert everywhere
     /// else — the *workload order* changes, not the pipeline's behavior.
     DeliveryDelay { slots: u32 },
+    /// Cluster worker `worker` dies before processing the batch: its
+    /// in-memory state is lost and a survivor must adopt its partition by
+    /// re-replaying the journal. Consumed by the cluster supervisor
+    /// (`gt-core::cluster`); inert in the single-node DES and serving
+    /// layers. Worker indices are taken modulo the actual worker count.
+    WorkerKill { worker: usize },
+    /// Worker `worker`'s network link runs `factor`× slower. A ring
+    /// collective moves at the pace of its slowest link, so one degraded
+    /// worker stretches every collective it participates in. Consumed by
+    /// the cluster supervisor; inert elsewhere.
+    LinkDegrade { worker: usize, factor: f64 },
+    /// Worker `worker`'s next `beats` heartbeats are dropped in flight
+    /// (the worker is healthy — the network ate the beats). Exercises the
+    /// phi-style failure detector's false-suspicion path: a long enough
+    /// gap raises phi past the threshold without any worker actually
+    /// dying. Consumed by the cluster supervisor; inert elsewhere.
+    HeartbeatDrop { worker: usize, beats: u32 },
 }
 
 /// Which durable artifact an injected [`IoFault`] targets.
@@ -335,6 +352,50 @@ impl FaultPlan {
         })
     }
 
+    /// Kill cluster worker `worker` while batch `batch` is in flight
+    /// (fires exactly once, like [`FaultPlan::with_crash_at`]).
+    pub fn with_worker_kill(self, batch: usize, worker: usize) -> Self {
+        self.with_rule(FaultRule {
+            kind: FaultKind::WorkerKill { worker },
+            probability: 1.0,
+            from_batch: batch,
+            until_batch: Some(batch + 1),
+            transient: false,
+        })
+    }
+
+    /// Persistent network-link degradation on worker `worker` by `factor`
+    /// over batches `[from, until)`.
+    pub fn with_link_degrade(
+        self,
+        worker: usize,
+        factor: f64,
+        from: usize,
+        until: Option<usize>,
+    ) -> Self {
+        assert!(factor >= 1.0, "link degrade factor must be >= 1");
+        self.with_rule(FaultRule {
+            kind: FaultKind::LinkDegrade { worker, factor },
+            probability: 1.0,
+            from_batch: from,
+            until_batch: until,
+            transient: false,
+        })
+    }
+
+    /// Drop the next `beats` heartbeats from worker `worker` while batch
+    /// `batch` is in flight (fires exactly once).
+    pub fn with_heartbeat_drop(self, batch: usize, worker: usize, beats: u32) -> Self {
+        assert!(beats >= 1, "must drop at least one beat");
+        self.with_rule(FaultRule {
+            kind: FaultKind::HeartbeatDrop { worker, beats },
+            probability: 1.0,
+            from_batch: batch,
+            until_batch: Some(batch + 1),
+            transient: false,
+        })
+    }
+
     /// Transient hash-table contention spike by `factor` with probability `p`.
     pub fn with_contention_spike(self, factor: f64, p: f64) -> Self {
         assert!(factor >= 1.0, "contention factor must be >= 1");
@@ -357,24 +418,27 @@ impl FaultPlan {
         &self.rules
     }
 
-    /// The same plan with every durability-layer rule (crashes, IO faults)
-    /// neutralized: the fault-free reference a chaos campaign compares
-    /// recovered state against. Neutralized rules keep their slot with an
-    /// empty batch window instead of being removed, so the probability
-    /// rolls of every *other* rule — which hash the rule's index — are
-    /// bit-identical with and without the durability faults. Workload-
-    /// shaping rules (stalls, memory pressure, delivery delays) survive:
-    /// they are part of the workload, not of the crash surface under test.
+    /// The same plan with every durability-layer rule (crashes, IO faults,
+    /// worker kills) neutralized: the fault-free reference a chaos campaign
+    /// compares recovered state against. Neutralized rules keep their slot
+    /// with an empty batch window instead of being removed, so the
+    /// probability rolls of every *other* rule — which hash the rule's
+    /// index — are bit-identical with and without the durability faults.
+    /// Workload-shaping rules (stalls, memory pressure, delivery delays,
+    /// link degradation, heartbeat drops) survive: they are part of the
+    /// workload, not of the crash surface under test.
     pub fn without_durability_rules(&self) -> FaultPlan {
         let rules = self
             .rules
             .iter()
             .map(|r| match r.kind {
-                FaultKind::Crash { .. } | FaultKind::Io { .. } => FaultRule {
-                    from_batch: 0,
-                    until_batch: Some(0),
-                    ..r.clone()
-                },
+                FaultKind::Crash { .. } | FaultKind::Io { .. } | FaultKind::WorkerKill { .. } => {
+                    FaultRule {
+                        from_batch: 0,
+                        until_batch: Some(0),
+                        ..r.clone()
+                    }
+                }
                 _ => r.clone(),
             })
             .collect();
@@ -384,15 +448,17 @@ impl FaultPlan {
         }
     }
 
-    /// Count of durability-layer rules (crashes, IO faults) with a
-    /// non-empty window — the bound a chaos campaign's recovery-cycle
-    /// budget is derived from.
+    /// Count of durability-layer rules (crashes, IO faults, worker kills)
+    /// with a non-empty window — the bound a chaos campaign's
+    /// recovery-cycle budget is derived from.
     pub fn durability_rule_count(&self) -> usize {
         self.rules
             .iter()
             .filter(|r| {
-                matches!(r.kind, FaultKind::Crash { .. } | FaultKind::Io { .. })
-                    && r.until_batch != Some(r.from_batch)
+                matches!(
+                    r.kind,
+                    FaultKind::Crash { .. } | FaultKind::Io { .. } | FaultKind::WorkerKill { .. }
+                ) && r.until_batch != Some(r.from_batch)
             })
             .count()
     }
@@ -550,6 +616,47 @@ impl ActiveFaults {
             .collect()
     }
 
+    /// Cluster workers killed while this batch is in flight, in rule order
+    /// (raw indices — the cluster layer maps them modulo its worker count).
+    pub fn worker_kills(&self) -> Vec<usize> {
+        self.faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::WorkerKill { worker } => Some(*worker),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Combined network-link slowdown for worker `worker`, if any
+    /// [`FaultKind::LinkDegrade`] targets it (factors compound).
+    pub fn link_degrade(&self, worker: usize) -> Option<f64> {
+        let f: f64 = self
+            .faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::LinkDegrade { worker: w, factor } if *w == worker => Some(*factor),
+                _ => None,
+            })
+            .product();
+        if f == 1.0 {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// Total heartbeats dropped from worker `worker` for this batch.
+    pub fn heartbeat_drops(&self, worker: usize) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::HeartbeatDrop { worker: w, beats } if *w == worker => Some(*beats),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Total delivery delay for this batch in stream slots, if any
     /// [`FaultKind::DeliveryDelay`] is active (delays compound).
     pub fn delivery_delay(&self) -> Option<usize> {
@@ -569,10 +676,11 @@ impl ActiveFaults {
     }
 
     /// The subset of faults the DES engine consumes. Serving-layer faults
-    /// (crashes, serve stalls, storage faults, delivery delays) are
-    /// filtered out so a plan that only injects them still drives the DES
-    /// down the exact fault-free code path — preserving the bit-identity
-    /// the recovery protocol replays against.
+    /// (crashes, serve stalls, storage faults, delivery delays) and
+    /// cluster-layer faults (worker kills, link degradation, heartbeat
+    /// drops) are filtered out so a plan that only injects them still
+    /// drives the DES down the exact fault-free code path — preserving the
+    /// bit-identity the recovery protocol replays against.
     pub fn des_relevant(&self) -> ActiveFaults {
         ActiveFaults {
             faults: self
@@ -586,6 +694,9 @@ impl ActiveFaults {
                             | FaultKind::Crash { .. }
                             | FaultKind::Io { .. }
                             | FaultKind::DeliveryDelay { .. }
+                            | FaultKind::WorkerKill { .. }
+                            | FaultKind::LinkDegrade { .. }
+                            | FaultKind::HeartbeatDrop { .. }
                     )
                 })
                 .collect(),
@@ -835,6 +946,82 @@ mod tests {
                 assert_eq!(full.memory_fraction(), bare.memory_fraction());
                 assert_eq!(full.delivery_delay(), bare.delivery_delay());
             }
+        }
+    }
+
+    #[test]
+    fn cluster_faults_fire_on_window_and_stay_out_of_the_des() {
+        let plan = FaultPlan::new(13)
+            .with_worker_kill(3, 1)
+            .with_link_degrade(2, 4.0, 1, Some(5))
+            .with_heartbeat_drop(2, 0, 3);
+        for b in 0..8 {
+            let active = plan.active(b, 0);
+            assert_eq!(
+                active.worker_kills(),
+                if b == 3 { vec![1] } else { vec![] },
+                "batch {b}"
+            );
+            assert_eq!(
+                active.link_degrade(2),
+                (1..5).contains(&b).then_some(4.0),
+                "batch {b}"
+            );
+            assert_eq!(active.link_degrade(0), None);
+            assert_eq!(active.heartbeat_drops(0), if b == 2 { 3 } else { 0 });
+            assert_eq!(active.heartbeat_drops(1), 0);
+            // Cluster faults never reach the single-node DES or serving
+            // layers: the inner supervisor stays on the fault-free path.
+            assert!(active.des_relevant().is_empty(), "batch {b}");
+            assert!(!active.perturbs_schedule());
+            assert!(active.crash_site().is_none());
+        }
+    }
+
+    #[test]
+    fn link_degrade_factors_compound() {
+        let f = ActiveFaults {
+            faults: vec![
+                FaultKind::LinkDegrade {
+                    worker: 1,
+                    factor: 2.0,
+                },
+                FaultKind::LinkDegrade {
+                    worker: 1,
+                    factor: 3.0,
+                },
+                FaultKind::HeartbeatDrop {
+                    worker: 1,
+                    beats: 2,
+                },
+                FaultKind::HeartbeatDrop {
+                    worker: 1,
+                    beats: 1,
+                },
+            ],
+        };
+        assert_eq!(f.link_degrade(1), Some(6.0));
+        assert_eq!(f.heartbeat_drops(1), 3);
+    }
+
+    #[test]
+    fn worker_kill_counts_as_a_durability_rule() {
+        let plan = FaultPlan::new(8)
+            .with_worker_kill(4, 2)
+            .with_link_degrade(0, 2.0, 0, None)
+            .with_heartbeat_drop(1, 1, 2);
+        assert_eq!(plan.durability_rule_count(), 1);
+        let stripped = plan.without_durability_rules();
+        assert_eq!(stripped.durability_rule_count(), 0);
+        for b in 0..8 {
+            let bare = stripped.active(b, 0);
+            assert!(bare.worker_kills().is_empty(), "batch {b}");
+            // Workload-shaping cluster rules survive the strip.
+            assert_eq!(bare.link_degrade(0), plan.active(b, 0).link_degrade(0));
+            assert_eq!(
+                bare.heartbeat_drops(1),
+                plan.active(b, 0).heartbeat_drops(1)
+            );
         }
     }
 

@@ -13,6 +13,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod cluster;
 pub mod counters;
 pub mod des;
 pub mod device;
@@ -25,6 +26,7 @@ pub mod transfer;
 
 pub use cache::CacheSim;
 pub use chaos::{delivery_order, plan_from_json, plan_to_json, sample_plan, shrink, ChaosConfig};
+pub use cluster::{ClusterSpec, HeartbeatConfig, NetLinkSpec, PhiDetector};
 pub use counters::{KernelRecord, KernelStats, Phase, SimContext};
 pub use des::{Resource, Schedule, ScheduledEvent, Simulator, TaskId, TaskSpec};
 pub use device::{DeviceSpec, HostSpec, PcieSpec, SystemSpec};
@@ -32,5 +34,5 @@ pub use fault::{ActiveFaults, CrashSite, FaultKind, FaultPlan, FaultRule, IoFaul
 pub use lru::LruCacheSim;
 pub use memory::{MemoryTracker, OutOfMemory};
 pub use timeline::{Timeline, TimelineEvent};
-pub use trace::{resource_track, schedule_to_trace};
+pub use trace::{cluster_to_traces, resource_track, schedule_to_trace, worker_process};
 pub use transfer::TransferKind;

@@ -56,6 +56,22 @@ pub fn schedule_to_trace(schedule: &Schedule, process: &str) -> Trace {
     trace
 }
 
+/// Process name for cluster worker `worker`'s Perfetto track group.
+pub fn worker_process(worker: usize) -> String {
+    format!("worker {worker}")
+}
+
+/// Render one cluster batch as one Chrome-trace process per worker: each
+/// `(worker, schedule)` pair becomes a `worker N` process whose tracks are
+/// that worker's own cores/PCIe/GPU, so per-worker skew (and a hedged
+/// straggler's long tail) is visible side by side in Perfetto.
+pub fn cluster_to_traces(schedules: &[(usize, Schedule)]) -> Vec<Trace> {
+    schedules
+        .iter()
+        .map(|(worker, schedule)| schedule_to_trace(schedule, &worker_process(*worker)))
+        .collect()
+}
+
 fn rank(e: &ScheduledEvent) -> (u8, usize) {
     match e.resource {
         Resource::HostCore => (0, e.unit),
@@ -136,6 +152,20 @@ mod tests {
             .collect();
         assert_eq!(flagged.len(), schedule.failed.len());
         assert!(flagged.iter().all(|e| e.track == "PCIe"));
+    }
+
+    #[test]
+    fn cluster_traces_get_one_process_per_worker() {
+        let schedules: Vec<(usize, Schedule)> = vec![(0, mixed_schedule()), (2, mixed_schedule())];
+        let traces = cluster_to_traces(&schedules);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].process, "worker 0");
+        assert_eq!(traces[1].process, "worker 2");
+        // The multi-process export round-trips with both processes intact.
+        let text = write_chrome_json(&traces.iter().collect::<Vec<_>>());
+        let back = from_chrome_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.iter().any(|t| t.process == worker_process(2)));
     }
 
     #[test]
