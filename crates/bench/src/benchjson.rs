@@ -197,8 +197,13 @@ pub struct DiffReport {
     /// Metrics present in the baseline but missing from the candidate —
     /// a schema break, treated as a regression.
     pub missing: Vec<String>,
-    /// Metrics only the candidate has (informational).
+    /// Metrics only the candidate has. A schema break unless the
+    /// comparison allowed additive metrics (`--allow-new`); wall-clock
+    /// additions (`wall:` prefix) are always informational.
     pub added: Vec<String>,
+    /// Whether additive modeled metrics count as a schema break (the
+    /// default; `--allow-new` clears it).
+    pub new_fatal: bool,
     /// Incompatibility (schema version / experiment mismatch), if any.
     pub incompatible: Option<String>,
 }
@@ -209,6 +214,17 @@ impl DiffReport {
         self.incompatible.is_some()
             || !self.missing.is_empty()
             || self.lines.iter().any(|l| l.regressed)
+            || (self.new_fatal && !self.fatal_added().is_empty())
+    }
+
+    /// The additive metrics that gate when `new_fatal`: every added
+    /// modeled metric (wall-clock additions never gate).
+    pub fn fatal_added(&self) -> Vec<&str> {
+        self.added
+            .iter()
+            .filter(|n| !n.starts_with("wall:"))
+            .map(String::as_str)
+            .collect()
     }
 
     /// Multi-line failure summary enumerating EVERY failing metric with its
@@ -237,6 +253,14 @@ impl DiffReport {
         }
         for name in &self.missing {
             out.push_str(&format!("{name}: missing from candidate (schema break)\n"));
+        }
+        if self.new_fatal {
+            for name in self.fatal_added() {
+                out.push_str(&format!(
+                    "{name}: new in candidate (schema break; regenerate the \
+                     baseline or pass --allow-new)\n"
+                ));
+            }
         }
         out
     }
@@ -286,16 +310,22 @@ fn diff_pairs(
 /// Compare `cand` against `base` with a relative noise `tolerance`
 /// (e.g. `0.3` = ±30%). Modeled metrics always gate; wall-clock metrics
 /// gate only when `include_wall` (they still appear, unmarked, otherwise).
+/// Additive modeled metrics in the candidate are a schema break unless
+/// `allow_new` — a baseline that silently stops covering new metrics is
+/// as stale as one missing old ones. Vanished metrics stay fatal either
+/// way.
 pub fn compare(
     base: &BenchReport,
     cand: &BenchReport,
     tolerance: f64,
     include_wall: bool,
+    allow_new: bool,
 ) -> DiffReport {
     let mut out = DiffReport {
         lines: Vec::new(),
         missing: Vec::new(),
         added: Vec::new(),
+        new_fatal: !allow_new,
         incompatible: None,
     };
     if base.schema_version != cand.schema_version {
@@ -374,7 +404,7 @@ mod tests {
     #[test]
     fn identical_reports_do_not_regress() {
         let r = report();
-        let d = compare(&r, &r, 0.3, false);
+        let d = compare(&r, &r, 0.3, false, false);
         assert!(!d.regressed());
         assert!(d.missing.is_empty());
         assert_eq!(d.lines.len(), 4);
@@ -389,7 +419,7 @@ mod tests {
         let mut cand = report();
         // 2× latency on one metric: far outside a 30% tolerance.
         cand.metrics[1].1 *= 2.0;
-        let d = compare(&base, &cand, 0.3, false);
+        let d = compare(&base, &cand, 0.3, false, false);
         assert!(d.regressed());
         let line = d
             .lines
@@ -407,10 +437,10 @@ mod tests {
         let base = report();
         let mut slower = report();
         slower.metrics[2].1 *= 0.5;
-        assert!(compare(&base, &slower, 0.3, false).regressed());
+        assert!(compare(&base, &slower, 0.3, false, false).regressed());
         let mut faster = report();
         faster.metrics[2].1 *= 2.0;
-        assert!(!compare(&base, &faster, 0.3, false).regressed());
+        assert!(!compare(&base, &faster, 0.3, false, false).regressed());
     }
 
     #[test]
@@ -420,7 +450,7 @@ mod tests {
         for (_, v) in cand.metrics.iter_mut() {
             *v *= 1.2; // +20% on costs, +20% on throughput: both inside ±30%.
         }
-        assert!(!compare(&base, &cand, 0.3, false).regressed());
+        assert!(!compare(&base, &cand, 0.3, false, false).regressed());
     }
 
     #[test]
@@ -428,8 +458,8 @@ mod tests {
         let base = report();
         let mut cand = report();
         cand.wall[0].1 *= 10.0;
-        assert!(!compare(&base, &cand, 0.3, false).regressed());
-        assert!(compare(&base, &cand, 0.3, true).regressed());
+        assert!(!compare(&base, &cand, 0.3, false, false).regressed());
+        assert!(compare(&base, &cand, 0.3, true, false).regressed());
     }
 
     #[test]
@@ -437,7 +467,7 @@ mod tests {
         let base = report();
         let mut cand = report();
         cand.metrics.remove(0);
-        let d = compare(&base, &cand, 0.3, false);
+        let d = compare(&base, &cand, 0.3, false, false);
         assert_eq!(d.missing, vec!["batch_e2e_us_p50".to_string()]);
         assert!(d.regressed());
     }
@@ -449,7 +479,7 @@ mod tests {
         cand.metrics[0].1 *= 3.0; // p50 latency 3×
         cand.metrics[2].1 *= 0.1; // throughput collapses
         cand.metrics.remove(1); // p99 vanishes
-        let d = compare(&base, &cand, 0.3, false);
+        let d = compare(&base, &cand, 0.3, false, false);
         assert!(d.regressed());
         let summary = d.failure_summary();
         let lines: Vec<&str> = summary.lines().collect();
@@ -467,9 +497,42 @@ mod tests {
             "{summary}"
         );
         // A clean comparison yields an empty summary.
-        assert!(compare(&base, &base, 0.3, false)
+        assert!(compare(&base, &base, 0.3, false, false)
             .failure_summary()
             .is_empty());
+    }
+
+    #[test]
+    fn new_metrics_gate_unless_allowed() {
+        let base = report();
+        let mut cand = report();
+        cand.metrics.push(("fleet_busy_imbalance".into(), 1.2));
+        // Default: an additive modeled metric is a schema break.
+        let strict = compare(&base, &cand, 0.3, false, false);
+        assert!(strict.regressed());
+        assert_eq!(strict.fatal_added(), vec!["fleet_busy_imbalance"]);
+        assert!(
+            strict
+                .failure_summary()
+                .contains("fleet_busy_imbalance: new in candidate"),
+            "{}",
+            strict.failure_summary()
+        );
+        // --allow-new: the addition is listed but does not gate.
+        let relaxed = compare(&base, &cand, 0.3, false, true);
+        assert!(!relaxed.regressed());
+        assert_eq!(relaxed.added, vec!["fleet_busy_imbalance".to_string()]);
+        assert!(relaxed.failure_summary().is_empty());
+        // Vanished metrics stay fatal even with --allow-new.
+        let fewer = compare(&cand, &base, 0.3, false, true);
+        assert!(fewer.regressed());
+        assert_eq!(fewer.missing, vec!["fleet_busy_imbalance".to_string()]);
+        // Wall-clock additions never gate, allowed or not.
+        let mut wall_cand = report();
+        wall_cand.wall.push(("wall_extra_us".into(), 1.0));
+        let d = compare(&base, &wall_cand, 0.3, false, false);
+        assert!(!d.regressed());
+        assert_eq!(d.added, vec!["wall:wall_extra_us".to_string()]);
     }
 
     #[test]
@@ -477,9 +540,9 @@ mod tests {
         let base = report();
         let mut v = report();
         v.schema_version += 1;
-        assert!(compare(&base, &v, 0.3, false).incompatible.is_some());
+        assert!(compare(&base, &v, 0.3, false, false).incompatible.is_some());
         let mut e = report();
         e.experiment = "fig16".into();
-        assert!(compare(&base, &e, 0.3, false).incompatible.is_some());
+        assert!(compare(&base, &e, 0.3, false, false).incompatible.is_some());
     }
 }

@@ -2,20 +2,24 @@
 //! regressions.
 //!
 //! ```text
-//! benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall]
+//! benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall] [--allow-new]
 //! ```
 //!
 //! Modeled metrics always gate; `--wall` additionally gates the
 //! wall-clock family (off by default — those are machine-dependent).
 //! `--tolerance` is a relative noise band, default `0.3` (±30%).
+//! Modeled metrics only the candidate has are a schema break by default
+//! (a stale baseline silently stops covering them); `--allow-new`
+//! downgrades them to a warning — vanished metrics stay fatal either way.
 //!
 //! Exit codes: `0` no regression, `1` regression (or schema break:
-//! version/experiment mismatch, vanished metric), `2` usage or I/O error.
+//! version/experiment mismatch, vanished or — without `--allow-new` —
+//! added metric), `2` usage or I/O error.
 
 use gt_bench::benchjson::{compare, BenchReport};
 
 fn usage() -> ! {
-    eprintln!("usage: benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall]");
+    eprintln!("usage: benchdiff BASELINE CANDIDATE [--tolerance FRACTION] [--wall] [--allow-new]");
     std::process::exit(2);
 }
 
@@ -35,6 +39,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut tolerance = 0.3;
     let mut wall = false;
+    let mut allow_new = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,6 +51,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--wall" => wall = true,
+            "--allow-new" => allow_new = true,
             p if !p.starts_with("--") => paths.push(p.to_string()),
             _ => usage(),
         }
@@ -57,7 +63,7 @@ fn main() {
 
     let base = load(base_path);
     let cand = load(cand_path);
-    let diff = compare(&base, &cand, tolerance, wall);
+    let diff = compare(&base, &cand, tolerance, wall, allow_new);
 
     if let Some(why) = &diff.incompatible {
         eprintln!("benchdiff: {why}");
@@ -95,11 +101,25 @@ fn main() {
         println!("  {name:<28} MISSING from candidate (schema break)");
     }
     for name in &diff.added {
-        println!("  {name:<28} new in candidate (not gated)");
+        let fatal = diff.new_fatal && !name.starts_with("wall:");
+        println!(
+            "  {name:<28} new in candidate ({})",
+            if fatal {
+                "schema break; pass --allow-new to accept"
+            } else {
+                "not gated"
+            }
+        );
     }
 
     if diff.regressed() {
-        let n = diff.lines.iter().filter(|l| l.regressed).count() + diff.missing.len();
+        let n = diff.lines.iter().filter(|l| l.regressed).count()
+            + diff.missing.len()
+            + if diff.new_fatal {
+                diff.fatal_added().len()
+            } else {
+                0
+            };
         // Every failing metric with both values, not just a count: a CI
         // log must show the whole damage in one run.
         for line in diff.failure_summary().lines() {

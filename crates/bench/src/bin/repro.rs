@@ -64,9 +64,17 @@
 //! fault-free reference, else the process exits 4. `--kill-worker W
 //! --kill-at N` runs one directed kill instead, persisting its durable
 //! state into `--checkpoint-dir`. With `--bench-out` it writes
-//! `BENCH_cluster.json` — per-worker busy/idle, collective time, modeled
-//! recovery time, hedge counters, all in virtual time — which is the
-//! `cluster-smoke` CI gate's workload. See `docs/distributed.md`.
+//! `BENCH_cluster.json` — per-worker busy/idle/link time, collective
+//! time, modeled recovery time, hedge counters, and the fleet skew
+//! figures (busy/stage imbalance, straggler attribution), all in
+//! virtual time — which is the `cluster-smoke` CI gate's workload. For
+//! `cluster`, `--trace-out` writes the *cross-worker* Perfetto trace
+//! (the coordinator plus one process per worker, flow-linked, all
+//! virtual time) instead of the wall-clock span tree; `--fleet-out`
+//! writes the fleet health report (the `/fleetz` page body), and
+//! `--serve-metrics PORT` serves `/metrics`, `/healthz`, and `/fleetz`
+//! after the campaign, self-scrapes each page, and shuts down (port 0
+//! binds an ephemeral port). See `docs/distributed.md`.
 //!
 //! The `serving` experiment runs the million-user scenario: a seeded
 //! open-loop diurnal workload (hot-key skew, flash crowds, three
@@ -90,7 +98,8 @@ fn usage() -> ! {
          [--experiment NAME] [--seeds N] [--seeds-file PATH] \
          [--chaos-replay FILE] [--chaos-out PATH] [--flight-out PATH] [--slo] \
          [--workers N] [--partition vertex-cut|feature-dim] \
-         [--kill-worker W] [--kill-at N]\n\
+         [--kill-worker W] [--kill-at N] [--fleet-out PATH] \
+         [--serve-metrics PORT]\n\
          experiments: fig6 fig8 fig11b fig12 fig14 fig15 fig16 fig17 fig18 \
          fig19 fig20 table1 table2 table3 scalability ablation threads \
          durability chaos cluster slo serving smoke"
@@ -245,6 +254,18 @@ fn main() {
                         .unwrap_or_else(usage_v),
                 );
             }
+            "--fleet-out" => {
+                i += 1;
+                cluster_opts.fleet_out = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
+            }
+            "--serve-metrics" => {
+                i += 1;
+                cluster_opts.serve_metrics = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(usage_v),
+                );
+            }
             "--chaos-replay" => {
                 i += 1;
                 chaos_opts.replay = Some(args.get(i).cloned().unwrap_or_else(usage_v).into());
@@ -280,7 +301,14 @@ fn main() {
     serving_opts.dir = durability_opts.dir.clone();
     cluster_opts.dir = durability_opts.dir.clone();
 
-    if trace_out.is_some() {
+    // The cluster experiment owns `--trace-out`: it writes the
+    // cross-worker virtual-time trace itself, so the generic wall-clock
+    // span-tree writer below must not overwrite it.
+    if exp == "cluster" {
+        cluster_opts.trace_out = trace_out.take().map(Into::into);
+    }
+
+    if trace_out.is_some() || cluster_opts.serve_metrics.is_some() {
         gt_telemetry::set_global(gt_telemetry::Telemetry::recording());
     }
 

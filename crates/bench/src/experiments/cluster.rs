@@ -13,11 +13,20 @@
 //!
 //! With `--bench-out` the experiment distills the fault-free run (plus
 //! one canonical kill) into a schema-stable `BENCH_cluster.json`:
-//! per-worker busy/idle, collective time, modeled recovery time, hedge
-//! launch/win counters. All metrics are DES virtual time, bit-identical
-//! at every `GT_THREADS` width and worker count sweep, so CI gates them
+//! per-worker busy/idle/link time, collective time, modeled recovery
+//! time, hedge launch/win counters, and the [`FleetReport`]'s skew
+//! figures (busy imbalance, worst stage imbalance, straggler
+//! attribution). All metrics are DES virtual time, bit-identical at
+//! every `GT_THREADS` width and worker count sweep, so CI gates them
 //! with `benchdiff` against a committed baseline.
+//!
+//! Every run also records the cross-worker Perfetto trace
+//! (`--trace-out`) and the rendered fleet health text (`--fleet-out`,
+//! also mounted at `/fleetz` with `--serve-metrics`); both are pure
+//! virtual-time artifacts CI `cmp`s across thread widths.
 
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -28,9 +37,12 @@ use gt_core::config::ModelConfig;
 use gt_core::error::GtError;
 use gt_core::journal;
 use gt_core::serve::{DurabilityConfig, Supervisor};
+use gt_core::tracing::TracerConfig;
 use gt_core::trainer::GtVariant;
 use gt_core::{ClusterConfig, ClusterSummary, ClusterSupervisor, Partition};
+use gt_profile::{fleet, FleetObserver, FleetReport, FleetTotals};
 use gt_sim::{ClusterSpec, FaultPlan, SystemSpec};
+use gt_telemetry::http::MetricsServer;
 
 /// Campaign knobs (separate from the `Copy` [`ExpConfig`]).
 #[derive(Debug, Clone)]
@@ -58,6 +70,21 @@ pub struct ClusterOpts {
     /// recovered checkpoint) here so CI can `cmp` checkpoints across
     /// worker counts and `GT_THREADS` widths.
     pub dir: Option<PathBuf>,
+    /// Arm the request tracer on every run: cross-worker trace spans
+    /// accumulate and cluster events (recoveries, hedge wins) freeze
+    /// flight dumps. Purely observational — on by default, and the
+    /// oracle holds with it on or off.
+    pub tracing: bool,
+    /// Write the fault-free reference's rendered fleet health report
+    /// (the `/fleetz` page) here.
+    pub fleet_out: Option<PathBuf>,
+    /// Write the fault-free reference's cross-worker Perfetto trace
+    /// (coordinator + one process per worker, flow-linked) here.
+    pub trace_out: Option<PathBuf>,
+    /// Serve `/metrics`, `/healthz`, and the fleet report at `/fleetz`
+    /// on this port after the campaign, self-scrape both pages, and
+    /// shut down (port 0 binds an ephemeral port).
+    pub serve_metrics: Option<u16>,
 }
 
 impl Default for ClusterOpts {
@@ -72,6 +99,10 @@ impl Default for ClusterOpts {
             seeds_file: None,
             seeds: 8,
             dir: None,
+            tracing: true,
+            fleet_out: None,
+            trace_out: None,
+            serve_metrics: None,
         }
     }
 }
@@ -85,6 +116,16 @@ pub struct Run {
     pub params: Vec<u8>,
     /// Journaled `(batch_index, outcome JSON)` stream.
     pub stream: Vec<(usize, String)>,
+    /// Distilled fleet health (per-worker utilization, stage imbalance,
+    /// straggler attribution).
+    pub fleet: FleetReport,
+    /// Serialized cross-worker Perfetto trace (virtual time only).
+    pub trace_json: String,
+    /// Flight-dump reasons frozen during the run (`cluster-recovery:*`,
+    /// `hedge-won:*`); empty when tracing is off. Dumps frozen before a
+    /// rebuild-and-replay recovery die with the old supervisor, exactly
+    /// as a real process death loses its in-memory ring.
+    pub dump_reasons: Vec<String>,
 }
 
 /// One campaign's totals.
@@ -98,6 +139,11 @@ pub struct CampaignSummary {
     pub violation: Option<(u64, String)>,
     /// The fault-free reference run's modeled summary.
     pub reference: ClusterSummary,
+    /// The reference run's rendered fleet health report (the `/fleetz`
+    /// page body).
+    pub fleet_text: String,
+    /// The reference run's cross-worker Perfetto trace JSON.
+    pub trace_json: String,
 }
 
 fn fresh_dir(tag: &str) -> PathBuf {
@@ -153,6 +199,9 @@ fn run_once(
     cluster_cfg.hedging = opts.hedging;
     let mut cs = ClusterSupervisor::new(factory, cluster_cfg);
     cs.make_durable(DurabilityConfig::new(dir))?;
+    if opts.tracing {
+        cs.enable_tracing(TracerConfig::default());
+    }
 
     let n = cfg.batch.min(data.num_vertices());
     let (nv, seed) = (data.num_vertices(), cfg.seed);
@@ -163,6 +212,7 @@ fn run_once(
 
     // Drive by the serving index, not call count: a crash recovered
     // after journal commit folds its batch in during replay.
+    let mut observer = FleetObserver::new();
     let mut spins = 0usize;
     while cs.supervisor.batches_served() < opts.batches {
         spins += 1;
@@ -177,9 +227,39 @@ fn run_once(
             });
         }
         let i = cs.supervisor.batches_served();
-        cs.serve_batch(&data, &stream[i])?;
+        let report = cs.serve_batch(&data, &stream[i])?;
+        // Fold the batch into the fleet observer only when this call
+        // priced it: a trained batch leaves its per-worker schedules in
+        // `last_schedules`; replay-folded or untrained batches don't.
+        let priced =
+            cs.supervisor.batches_served() == i + 1 && report.is_some_and(|r| r.outcome.trained());
+        if priced {
+            observer.observe_batch(i, cs.last_schedules());
+        }
     }
     cs.supervisor.checkpoint_now()?;
+
+    let summary = cs.summary();
+    let totals = FleetTotals {
+        clock_us: summary.clock_us,
+        collective_us: summary.collective_us,
+        recovery_virtual_us: summary.recovery_virtual_us,
+        hedges_launched: summary.hedges_launched,
+        hedges_won: summary.hedges_won,
+        false_suspicions: summary.false_suspicions,
+        recoveries: summary.recoveries,
+        worker_busy_us: summary.worker_busy_us.clone(),
+        worker_idle_us: summary.worker_idle_us.clone(),
+        worker_link_us: summary.worker_link_us.clone(),
+    };
+    let fleet = FleetReport::build(&observer, &totals);
+    let trace_json = gt_telemetry::write_chrome_json(&cs.cluster_traces());
+    let dump_reasons = cs
+        .supervisor
+        .tracer
+        .as_ref()
+        .map(|t| t.dumps().iter().map(|d| d.reason.clone()).collect())
+        .unwrap_or_default();
 
     let durability = DurabilityConfig::new(dir);
     let scan = journal::read_journal(durability.journal_path())?;
@@ -197,9 +277,12 @@ fn run_once(
         })
         .collect();
     Ok(Run {
-        summary: cs.summary(),
+        summary,
         params: std::fs::read(durability.checkpoint_path())?,
         stream,
+        fleet,
+        trace_json,
+        dump_reasons,
     })
 }
 
@@ -281,6 +364,8 @@ pub fn run_campaign(cfg: &ExpConfig, opts: &ClusterOpts) -> Result<CampaignSumma
         clean: 0,
         violation: None,
         reference: reference.summary.clone(),
+        fleet_text: fleet::render(&reference.fleet),
+        trace_json: reference.trace_json.clone(),
     };
     if let (Some(worker), Some(kill_at)) = (opts.kill_worker, opts.kill_at) {
         // Directed single kill (`--kill-worker W --kill-at N`).
@@ -350,10 +435,23 @@ pub fn report(cfg: &ExpConfig, opts: &ClusterOpts) -> BenchReport {
         ("false_suspicions_total".into(), s.false_suspicions as f64),
         ("recovery_virtual_us".into(), killed.recovery_virtual_us),
         ("recoveries_total".into(), killed.recoveries as f64),
+        (
+            "fleet_busy_imbalance".into(),
+            reference.fleet.busy_imbalance,
+        ),
+        (
+            "fleet_worst_stage_imbalance".into(),
+            reference.fleet.worst_imbalance.map_or(0.0, |(_, r)| r),
+        ),
+        (
+            "fleet_straggler_batches".into(),
+            reference.fleet.attribution.first().map_or(0, |a| a.2) as f64,
+        ),
     ];
     for w in 0..s.workers {
         metrics.push((format!("worker{w}_busy_us"), s.worker_busy_us[w]));
         metrics.push((format!("worker{w}_idle_us"), s.worker_idle_us[w]));
+        metrics.push((format!("worker{w}_link_us"), s.worker_link_us[w]));
     }
 
     let sys = SystemSpec::paper_testbed();
@@ -426,10 +524,87 @@ pub fn print(cfg: &ExpConfig, opts: &ClusterOpts) {
             dir.display()
         );
     }
+    println!("fleet health (reference run):");
+    for line in summary.fleet_text.lines() {
+        println!("  {line}");
+    }
+    if let Some(path) = &opts.fleet_out {
+        match std::fs::write(path, &summary.fleet_text) {
+            Ok(()) => println!("  wrote fleet report to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write fleet report to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match std::fs::write(path, &summary.trace_json) {
+            Ok(()) => println!(
+                "  wrote cross-worker trace to {} (open at https://ui.perfetto.dev)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write cluster trace to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(port) = opts.serve_metrics {
+        serve_and_scrape(port, &summary.fleet_text);
+    }
     if let Some((seed, detail)) = &summary.violation {
         println!("  seed {seed} VIOLATED the oracle: {detail}");
         std::process::exit(4);
     }
+}
+
+/// Mount the fleet report at `/fleetz` next to `/metrics`, self-scrape
+/// both pages, and shut down — the CI fleet-smoke job's proof that the
+/// labeled exposition and the fleet page actually render over HTTP.
+fn serve_and_scrape(port: u16, fleet_text: &str) {
+    let server = MetricsServer::start(port, gt_telemetry::global())
+        .unwrap_or_else(|e| panic!("failed to bind metrics server on port {port}: {e}"));
+    server.set_page("/fleetz", fleet_text);
+    let addr = server.addr();
+    for path in ["/metrics", "/fleetz"] {
+        let body = scrape(server.port(), path);
+        println!(
+            "  self-scrape {path}: 200 OK ({} bytes) at {addr}",
+            body.len()
+        );
+    }
+    let metrics = scrape(server.port(), "/metrics");
+    assert!(
+        metrics.contains("gt_build_info{"),
+        "labeled series must render in the exposition:\n{metrics}"
+    );
+    println!("  labeled series render in /metrics (gt_build_info)");
+    let fleetz = scrape(server.port(), "/fleetz");
+    assert_eq!(fleetz, fleet_text, "/fleetz must serve the fleet report");
+    println!("  /fleetz serves the fleet report byte-for-byte");
+    server.shutdown();
+}
+
+/// Minimal HTTP GET against the local metrics server; panics unless the
+/// response is a 200 and returns the body.
+fn scrape(port: u16, path: &str) -> String {
+    let mut conn = TcpStream::connect(("127.0.0.1", port))
+        .unwrap_or_else(|e| panic!("connect 127.0.0.1:{port}: {e}"));
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response for {path}: {response}"));
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "GET {path} must answer 200, got: {head}"
+    );
+    body.to_string()
 }
 
 #[cfg(test)]
@@ -472,6 +647,92 @@ mod tests {
         let summary = run_campaign(&cfg, &o).unwrap();
         assert_eq!(summary.runs, 1);
         assert_eq!(summary.violation, None);
+    }
+
+    /// Tracing is purely observational: a traced and an untraced
+    /// reference produce byte-identical parameters and journal streams,
+    /// and a traced kill freezes a `cluster-recovery:<w>` flight dump
+    /// while still matching the fault-free reference bit-for-bit.
+    #[test]
+    fn flight_dumps_do_not_perturb_the_oracle() {
+        let cfg = ExpConfig::test();
+        // 3 workers so the base straggler plan actually hedges (a
+        // 2-worker cluster never can) and the hedge-won dump fires.
+        let o = opts(3);
+        let traced = reference_run(&cfg, &o).unwrap();
+        let mut quiet = o.clone();
+        quiet.tracing = false;
+        let untraced = reference_run(&cfg, &quiet).unwrap();
+        assert_eq!(
+            traced.params, untraced.params,
+            "tracing perturbed the checkpoint bytes"
+        );
+        assert_eq!(
+            traced.stream, untraced.stream,
+            "tracing perturbed the journal stream"
+        );
+        assert!(untraced.dump_reasons.is_empty());
+        // The fault-free reference hedges (base plan straggler), so its
+        // dumps are exactly the hedge wins — never a recovery.
+        assert!(
+            !traced.dump_reasons.is_empty()
+                && traced
+                    .dump_reasons
+                    .iter()
+                    .all(|r| r.starts_with("hedge-won:")),
+            "unexpected fault-free dumps: {:?}",
+            traced.dump_reasons
+        );
+
+        let spec = ClusterSpec::paper_testbed(o.workers);
+        let plan = base_plan(&cfg, &o, &spec).with_worker_kill(2, 1);
+        let dir = fresh_dir("dumps");
+        let _cleanup = DirCleanup(dir.clone());
+        let killed = run_once(&cfg, &o, plan, &dir).unwrap();
+        assert_eq!(
+            killed.params, traced.params,
+            "dump froze mid-recovery state"
+        );
+        assert_eq!(killed.stream, traced.stream);
+        assert!(
+            killed
+                .dump_reasons
+                .iter()
+                .any(|r| r.starts_with("cluster-recovery:")),
+            "kill must freeze a recovery dump: {:?}",
+            killed.dump_reasons
+        );
+    }
+
+    /// The reference run's fleet report and cross-worker trace are
+    /// deterministic, observe every trained batch, and span one Perfetto
+    /// process per worker plus the coordinator, flow-linked.
+    #[test]
+    fn fleet_report_and_cluster_trace_are_deterministic() {
+        let cfg = ExpConfig::test();
+        // 3 workers: the smallest fleet whose median makespan the base
+        // straggler can exceed — a 2-worker cluster can never hedge.
+        let o = opts(3);
+        let a = reference_run(&cfg, &o).unwrap();
+        let b = reference_run(&cfg, &o).unwrap();
+        assert_eq!(fleet::render(&a.fleet), fleet::render(&b.fleet));
+        assert_eq!(a.trace_json, b.trace_json);
+        assert_eq!(a.fleet.batches, o.batches, "every trained batch observed");
+        assert_eq!(a.fleet.workers.len(), o.workers);
+        assert!(
+            a.fleet.totals.hedges_launched > 0,
+            "the base straggler plan must exercise hedging"
+        );
+        for process in ["\"cluster\"", "\"worker 0\"", "\"worker 1\""] {
+            assert!(
+                a.trace_json.contains(process),
+                "trace missing process {process}"
+            );
+        }
+        assert!(
+            a.trace_json.contains("\"ph\":\"s\"") && a.trace_json.contains("\"ph\":\"f\""),
+            "trace must contain cross-process flow arrows"
+        );
     }
 
     /// The bench report is deterministic and survives a JSON round-trip

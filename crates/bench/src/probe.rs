@@ -204,7 +204,7 @@ mod tests {
         // Modeled metrics are bit-identical run to run; wall-clock ones
         // are not, which is exactly why they are gated separately.
         assert_eq!(a.metrics, b.metrics);
-        assert!(!compare(&a, &b, 0.0, false).regressed());
+        assert!(!compare(&a, &b, 0.0, false, false).regressed());
 
         let back: BenchReport = a.to_json_string().parse().unwrap();
         assert_eq!(back, a);

@@ -126,15 +126,19 @@ fn run_scenario(tag: &str) -> String {
         "journaled batch indices must be contiguous from 0"
     );
 
-    // Per-tenant counters ↔ completions: submitted counters sum to
-    // `submitted()`, and served + shed partition each tenant's stream.
+    // Per-tenant labeled counters ↔ completions: each
+    // `gt_gateway_tenant_*_total{tenant="t"}` series matches that
+    // tenant's completions, and served + shed partition each tenant's
+    // stream.
     let snapshot = telemetry.snapshot();
     let tenants = wl.tenant_weights.len();
     let mut submitted_sum = 0u64;
     for t in 0..tenants {
-        let submitted = snapshot.counter(&format!("gt_gateway_tenant{t}_submitted_total"));
-        let served = snapshot.counter(&format!("gt_gateway_tenant{t}_served_total"));
-        let shed = snapshot.counter(&format!("gt_gateway_tenant{t}_shed_total"));
+        let tenant = t.to_string();
+        let labels = [("tenant", tenant.as_str())];
+        let submitted = snapshot.counter_with("gt_gateway_tenant_submitted_total", &labels);
+        let served = snapshot.counter_with("gt_gateway_tenant_served_total", &labels);
+        let shed = snapshot.counter_with("gt_gateway_tenant_shed_total", &labels);
         submitted_sum += submitted;
         assert_eq!(
             submitted,
@@ -151,6 +155,15 @@ fn run_scenario(tag: &str) -> String {
         submitted_sum,
         g.submitted() as u64,
         "per-tenant submitted counters must sum to the gateway total"
+    );
+    // Label-migration compatibility: summing a family over its label
+    // values (what `MetricsSnapshot::counter` does) must equal what the
+    // retired per-name counters (`gt_gateway_tenant{t}_submitted_total`)
+    // summed to — dashboards aggregating the family see the same total.
+    assert_eq!(
+        snapshot.counter("gt_gateway_tenant_submitted_total"),
+        submitted_sum,
+        "family sum across tenant= labels must equal the per-name total"
     );
 
     // The scenario must actually exercise the machinery it reconciles.

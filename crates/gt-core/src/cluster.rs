@@ -21,6 +21,16 @@
 //!   by deterministic journal replay ([`Supervisor::recover`]), resuming at
 //!   the exact batch index the kill interrupted.
 //!
+//! Everything above is traced: every batch becomes a root span on a
+//! `cluster` coordinator process linked by flow arrows to per-worker
+//! envelope spans (one Perfetto process per worker, wrapping that worker's
+//! own S/R/K/T + NAPA subtask slices), hedge executions, heartbeat
+//! suspicions, and recovery re-replays — see
+//! [`ClusterSupervisor::cluster_traces`]. With
+//! [`ClusterSupervisor::enable_tracing`] armed, recoveries and hedge wins
+//! also freeze flight-recorder dumps (`cluster-recovery:<worker>`,
+//! `hedge-won:<batch>`).
+//!
 //! **The bit-identity contract.** Numerics (parameters, journal records,
 //! checkpoints) flow through exactly one inner [`Supervisor`] regardless of
 //! worker count: partitioning, collectives, heartbeats, hedges, and
@@ -36,11 +46,18 @@ use crate::journal;
 use crate::prepro::{HopWork, PreproWork};
 use crate::scheduler::build_prepro_sim;
 use crate::serve::{DurabilityConfig, Supervisor};
+use crate::tracing::TracerConfig;
 use gt_graph::VId;
 use gt_sim::{
-    ActiveFaults, ClusterSpec, FaultKind, HeartbeatConfig, Phase, PhiDetector, Resource, Schedule,
-    TaskSpec,
+    schedule_to_trace, worker_process, ActiveFaults, ClusterSpec, FaultKind, HeartbeatConfig,
+    Phase, PhiDetector, Resource, Schedule, TaskSpec,
 };
+use gt_telemetry::{Json, Trace, TraceContext};
+
+/// Seed all cluster trace/span identities derive from (hash input, not
+/// RNG): batch root spans, per-worker flow arrows, hedge and recovery
+/// flows are all pure functions of `(CLUSTER_TRACE_SEED, batch_index)`.
+const CLUSTER_TRACE_SEED: u64 = 0x6774_636c; // "gtcl"
 
 /// How a batch's preprocessing work is split across workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +128,10 @@ pub struct WorkerStats {
     pub busy_us: f64,
     /// Virtual µs the worker idled waiting at the collective barrier.
     pub idle_us: f64,
+    /// Virtual µs the worker's network link was occupied by ring
+    /// collectives (every member's link is held for the whole collective —
+    /// the ring moves at its slowest hop).
+    pub link_us: f64,
 }
 
 /// Deterministic modeled metrics of a cluster run.
@@ -138,6 +159,8 @@ pub struct ClusterSummary {
     pub worker_busy_us: Vec<f64>,
     /// Per-worker idle time, µs.
     pub worker_idle_us: Vec<f64>,
+    /// Per-worker link occupancy in collectives, µs.
+    pub worker_link_us: Vec<f64>,
 }
 
 /// Distributed serving supervisor: partitions batches across a simulated
@@ -178,6 +201,17 @@ pub struct ClusterSupervisor {
     /// Per-worker DES schedules of the most recent priced batch, for
     /// Perfetto export via [`gt_sim::cluster_to_traces`].
     last_schedules: Vec<(usize, Schedule)>,
+    /// Accumulated coordinator-process trace: batch root spans, collective
+    /// slices, hedge/suspicion/recovery events, and the origin of every
+    /// cross-process flow arrow.
+    coordinator_trace: Trace,
+    /// Accumulated per-worker process traces: batch envelope spans (flow
+    /// destinations), the worker's own DES subtask slices offset onto the
+    /// cluster clock, hedge executions, and lifecycle instants.
+    worker_traces: Vec<Trace>,
+    /// Tracer config re-armed on the fresh supervisor after every rebuild
+    /// (the factory constructs untraced supervisors).
+    tracer_config: Option<TracerConfig>,
 }
 
 impl ClusterSupervisor {
@@ -207,8 +241,22 @@ impl ClusterSupervisor {
             stage_ema_us: 0.0,
             suppress_kills_below: 0,
             last_schedules: Vec::new(),
+            coordinator_trace: Trace::new("cluster"),
+            worker_traces: (0..n).map(|w| Trace::new(worker_process(w))).collect(),
+            tracer_config: None,
             config,
         }
+    }
+
+    /// Arm the inner supervisor's request tracer (and re-arm it with the
+    /// same config after every rebuild-and-replay recovery, since the
+    /// factory constructs untraced supervisors). From now on cluster
+    /// events freeze flight dumps: `cluster-recovery:<worker>` when a
+    /// worker's partition is re-replayed, `hedge-won:<batch>` when a
+    /// hedged backup beats its straggler.
+    pub fn enable_tracing(&mut self, config: TracerConfig) {
+        self.supervisor.enable_tracing(config.clone(), None);
+        self.tracer_config = Some(config);
     }
 
     /// Turn on durability (journal + checkpoints under `cfg.dir`). Required
@@ -236,6 +284,20 @@ impl ClusterSupervisor {
         &self.last_schedules
     }
 
+    /// The accumulated cross-worker Perfetto trace: the `cluster`
+    /// coordinator process first, then one process per worker. Every
+    /// batch's root span on the coordinator is linked by flow arrows to
+    /// the per-worker executions it fanned out to (and to hedge backups
+    /// and recovery re-replays), so skew is visible across processes.
+    /// Feed to [`gt_telemetry::write_chrome_json`]; bit-identical across
+    /// `GT_THREADS` widths because every timestamp is virtual.
+    pub fn cluster_traces(&self) -> Vec<&Trace> {
+        let mut out = Vec::with_capacity(1 + self.worker_traces.len());
+        out.push(&self.coordinator_trace);
+        out.extend(self.worker_traces.iter());
+        out
+    }
+
     /// The worker that coordinates (and journal-tags) `batch_index`:
     /// partitions rotate coordination round-robin, so journal records
     /// interleave worker tags while staying strictly increasing per tag.
@@ -257,6 +319,7 @@ impl ClusterSupervisor {
             recoveries: self.recoveries,
             worker_busy_us: self.stats.iter().map(|s| s.busy_us).collect(),
             worker_idle_us: self.stats.iter().map(|s| s.idle_us).collect(),
+            worker_link_us: self.stats.iter().map(|s| s.link_us).collect(),
         }
     }
 
@@ -341,6 +404,16 @@ impl ClusterSupervisor {
                     "false_suspicion",
                     &[("worker", &w), ("gap_us", &gap)],
                 );
+                self.coordinator_trace.instant(
+                    "heartbeats",
+                    format!("suspect worker {w}"),
+                    "cluster",
+                    self.clock_us,
+                    vec![
+                        ("worker".to_string(), Json::from(w)),
+                        ("gap_us".to_string(), Json::from(gap)),
+                    ],
+                );
             }
             self.detectors[w].observe(gap);
         }
@@ -400,6 +473,16 @@ impl ClusterSupervisor {
                     ("adopter", &adopter),
                 ],
             );
+            self.worker_traces[w].instant(
+                "lifecycle",
+                "killed",
+                "cluster",
+                self.clock_us,
+                vec![
+                    ("batch".to_string(), Json::from(batch_index)),
+                    ("adopter".to_string(), Json::from(adopter)),
+                ],
+            );
         }
         let replayed = self.recover_now(data, batch_index)?;
         if replayed != batch_index {
@@ -419,6 +502,41 @@ impl ClusterSupervisor {
                 "Virtual µs spent detecting failures and replaying partitions",
             )
             .add((detect_us + replay_us) as u64);
+        // The re-replay is a child of this batch in the cross-worker trace:
+        // a recovery slice on the coordinator, flow-linked to the adopter's
+        // process, one flow per killed worker.
+        let ctx = TraceContext::for_request(CLUSTER_TRACE_SEED, batch_index);
+        let n2 = 2 * self.config.spec.len();
+        self.coordinator_trace.duration(
+            "recovery",
+            format!("re-replay batch #{batch_index}"),
+            "cluster",
+            self.clock_us,
+            detect_us + replay_us,
+            vec![
+                ("killed".to_string(), Json::from(format!("{killed:?}"))),
+                ("adopter".to_string(), Json::from(adopter)),
+                ("batches_replayed".to_string(), Json::from(replayed)),
+                ("detect_us".to_string(), Json::from(detect_us)),
+                ("replay_us".to_string(), Json::from(replay_us)),
+            ],
+        );
+        for &w in &killed {
+            let flow_id = ctx.span_id(n2 + w);
+            self.coordinator_trace
+                .flow_start("recovery", "re-replay", self.clock_us, flow_id);
+            self.worker_traces[adopter].flow_finish(
+                "lifecycle",
+                "re-replay",
+                self.clock_us,
+                flow_id,
+            );
+        }
+        for &w in &killed {
+            if let Some(tracer) = self.supervisor.tracer.as_mut() {
+                tracer.dump_now(&format!("cluster-recovery:{w}"));
+            }
+        }
         Ok(())
     }
 
@@ -430,6 +548,9 @@ impl ClusterSupervisor {
             detail: "cluster recovery before make_durable".to_string(),
         })?;
         let mut fresh = (self.rebuild)();
+        if let Some(tc) = &self.tracer_config {
+            fresh.enable_tracing(tc.clone(), None);
+        }
         let rec = fresh.recover(data, cfg)?;
         self.supervisor = fresh;
         self.recoveries += 1;
@@ -473,10 +594,10 @@ impl ClusterSupervisor {
             match self.supervisor.serve_durable(data, batch) {
                 Ok(report) => return Ok(Some(report)),
                 Err(GtError::InjectedCrash { .. }) | Err(GtError::Io { .. }) => {
+                    let owner = self.batch_owner(batch_index);
                     let replayed = self.recover_now(data, batch_index)?;
                     let replay_us = replayed as f64 * self.stage_ema_us;
-                    let detect_us =
-                        self.detectors[self.batch_owner(batch_index)].confirm_delay_us();
+                    let detect_us = self.detectors[owner].confirm_delay_us();
                     self.recovery_virtual_us += detect_us + replay_us;
                     self.supervisor
                         .trainer
@@ -486,6 +607,35 @@ impl ClusterSupervisor {
                             "Virtual µs spent detecting failures and replaying partitions",
                         )
                         .add((detect_us + replay_us) as u64);
+                    let ctx = TraceContext::for_request(CLUSTER_TRACE_SEED, batch_index);
+                    let n3 = 3 * self.config.spec.len();
+                    self.coordinator_trace.duration(
+                        "recovery",
+                        format!("re-replay batch #{batch_index} (crash)"),
+                        "cluster",
+                        self.clock_us,
+                        detect_us + replay_us,
+                        vec![
+                            ("worker".to_string(), Json::from(owner)),
+                            ("batches_replayed".to_string(), Json::from(replayed)),
+                        ],
+                    );
+                    let flow_id = ctx.span_id(n3 + owner);
+                    self.coordinator_trace.flow_start(
+                        "recovery",
+                        "re-replay",
+                        self.clock_us,
+                        flow_id,
+                    );
+                    self.worker_traces[owner].flow_finish(
+                        "lifecycle",
+                        "re-replay",
+                        self.clock_us,
+                        flow_id,
+                    );
+                    if let Some(tracer) = self.supervisor.tracer.as_mut() {
+                        tracer.dump_now(&format!("cluster-recovery:{owner}"));
+                    }
                     if replayed == batch_index + 1 {
                         // The crash hit after the journal committed: the
                         // batch is durable and replay already trained it.
@@ -522,6 +672,7 @@ impl ClusterSupervisor {
         let alive: Vec<usize> = (0..spec.len()).filter(|&w| self.alive[w]).collect();
         let p = alive.len();
         let strategy = self.supervisor.trainer.prepro_strategy();
+        let batch_start = self.clock_us;
 
         // Per-alive-worker stage time: local DES over the worker's owned
         // partitions plus its share of the NAPA GPU work.
@@ -542,6 +693,9 @@ impl ClusterSupervisor {
         // median, re-execute the victim's partitions on the fastest peer;
         // the first completion wins (ties go to the original — the backup
         // must strictly improve).
+        // `(victim, backup, start_us, dur_us, won)` of this batch's hedge,
+        // if one launched — folded into the cross-worker trace below.
+        let mut hedge_slice: Option<(usize, usize, f64, f64, bool)> = None;
         if self.config.hedging && p >= 2 {
             let mut times: Vec<f64> = stage.iter().map(|&(_, t)| t).collect();
             times.sort_by(f64::total_cmp);
@@ -568,6 +722,13 @@ impl ClusterSupervisor {
                 let backup_run = price_worker(&work_v, &spec, backup, strategy, gpu_share, active);
                 let backup_finish = launch_at.max(backup_own_t) + backup_run.makespan_us;
                 let backup_won = backup_finish < victim_t;
+                hedge_slice = Some((
+                    victim,
+                    backup,
+                    batch_start + launch_at.max(backup_own_t),
+                    backup_run.makespan_us,
+                    backup_won,
+                ));
                 self.supervisor
                     .journal_hedge(batch_index, victim, backup, backup_won)?;
                 self.hedges_launched += 1;
@@ -631,6 +792,9 @@ impl ClusterSupervisor {
             * (spec.all_gather_us(work.total_feature_bytes as f64 / p as f64, p)
                 + spec.all_reduce_us(param_bytes as f64, p));
         self.collective_us += collective;
+        for &w in &alive {
+            self.stats[w].link_us += collective;
+        }
         self.clock_us += max_stage + collective;
         telemetry
             .counter(
@@ -640,11 +804,93 @@ impl ClusterSupervisor {
             .add(collective as u64);
         for &(w, _) in &stage {
             telemetry
-                .counter(
-                    &format!("gt_cluster_worker{w}_busy_us_total"),
-                    "Virtual µs this worker spent executing subtasks",
+                .counter_with(
+                    "gt_cluster_worker_busy_us_total",
+                    "Virtual µs spent executing subtasks, by worker",
+                    &[("worker", &w.to_string())],
                 )
                 .add(self.last_batch_busy(w) as u64);
+        }
+
+        // Fold the batch into the cross-worker trace: a root span on the
+        // coordinator, one flow-linked envelope per worker wrapping that
+        // worker's own S/R/K/T + NAPA subtask slices (offset onto the
+        // cluster clock), the collective tail, and any hedge execution.
+        // Span/flow identities derive from (seed, batch_index) only.
+        let ctx = TraceContext::for_request(CLUSTER_TRACE_SEED, batch_index);
+        let n = spec.len();
+        self.coordinator_trace.duration(
+            "batches",
+            format!("batch #{batch_index}"),
+            "cluster",
+            batch_start,
+            max_stage + collective,
+            vec![
+                (
+                    "trace_id".to_string(),
+                    Json::from(format!("{:016x}", ctx.trace_id)),
+                ),
+                ("workers".to_string(), Json::from(p)),
+                ("stage_us".to_string(), Json::from(max_stage)),
+                ("collective_us".to_string(), Json::from(collective)),
+            ],
+        );
+        self.coordinator_trace.duration(
+            "batches",
+            "collective",
+            "cluster",
+            batch_start + max_stage,
+            collective,
+            vec![("degrade".to_string(), Json::from(degrade))],
+        );
+        for (w, schedule) in &self.last_schedules {
+            let flow_id = ctx.span_id(*w);
+            self.coordinator_trace
+                .flow_start("batches", "partition", batch_start, flow_id);
+            let wt = &mut self.worker_traces[*w];
+            wt.flow_finish("batch", "partition", batch_start, flow_id);
+            wt.duration(
+                "batch",
+                format!("batch #{batch_index}"),
+                "cluster",
+                batch_start,
+                schedule.makespan_us,
+                vec![
+                    ("batch".to_string(), Json::from(batch_index)),
+                    (
+                        "parts".to_string(),
+                        Json::from(owned_parts(&self.owner, *w)),
+                    ),
+                ],
+            );
+            let local = schedule_to_trace(schedule, &worker_process(*w));
+            for mut e in local.events {
+                e.ts_us += batch_start;
+                wt.events.push(e);
+            }
+        }
+        if let Some((victim, backup, start_us, dur_us, won)) = hedge_slice {
+            let flow_id = ctx.span_id(n + victim);
+            self.coordinator_trace
+                .flow_start("batches", "hedge", start_us, flow_id);
+            let wt = &mut self.worker_traces[backup];
+            wt.flow_finish("hedge", "hedge", start_us, flow_id);
+            wt.duration(
+                "hedge",
+                format!("hedge batch #{batch_index} (for worker {victim})"),
+                "cluster",
+                start_us,
+                dur_us,
+                vec![
+                    ("victim".to_string(), Json::from(victim)),
+                    ("backup_won".to_string(), Json::from(won)),
+                ],
+            );
+            if won {
+                if let Some(tracer) = self.supervisor.tracer.as_mut() {
+                    tracer.dump_now(&format!("hedge-won:{batch_index}"));
+                }
+            }
         }
         Ok(())
     }
@@ -658,6 +904,18 @@ impl ClusterSupervisor {
             .map(|e| e.end_us - e.start_us)
             .sum()
     }
+}
+
+/// The partition indices worker `w` currently owns, as a stable
+/// comma-joined string for trace args.
+fn owned_parts(owner: &[usize], w: usize) -> String {
+    let parts: Vec<String> = owner
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o == w)
+        .map(|(q, _)| q.to_string())
+        .collect();
+    parts.join(",")
 }
 
 /// Near-equal integer split: part `idx` of `total` over `parts`.

@@ -41,9 +41,9 @@
 //! Every resolution — served, degraded, or shed — produces exactly one
 //! [`Completion`] and one structured telemetry event on the `gateway`
 //! track, so an exported trace reconciles 1:1 against the outcomes the
-//! caller saw. With tenancy enabled, per-tenant
-//! `gt_gateway_tenant{t}_{submitted,served,shed,degraded}_total` counters
-//! break the same stream down by tenant.
+//! caller saw. With tenancy enabled, labeled per-tenant
+//! `gt_gateway_tenant_{submitted,served,shed,degraded}_total{tenant="t"}`
+//! series break the same stream down by tenant.
 //!
 //! Service time for a batch is its overlapped end-to-end latency
 //! ([`BatchReport::e2e_us`]) plus any injected
@@ -260,9 +260,10 @@ impl Gateway {
         let telemetry = self.supervisor.trainer.telemetry.clone();
         if self.tenancy.is_some() {
             telemetry
-                .counter(
-                    &format!("gt_gateway_tenant{tenant}_submitted_total"),
-                    "Requests submitted by this tenant",
+                .counter_with(
+                    "gt_gateway_tenant_submitted_total",
+                    "Requests submitted, by tenant",
+                    &[("tenant", &tenant.to_string())],
                 )
                 .inc();
         }
@@ -348,9 +349,10 @@ impl Gateway {
             .inc();
         if self.tenancy.is_some() {
             telemetry
-                .counter(
-                    &format!("gt_gateway_tenant{tenant}_shed_total"),
-                    "Requests shed for this tenant",
+                .counter_with(
+                    "gt_gateway_tenant_shed_total",
+                    "Requests shed, by tenant",
+                    &[("tenant", &tenant.to_string())],
                 )
                 .inc();
         }
@@ -472,9 +474,10 @@ impl Gateway {
                     .inc();
                 if self.tenancy.is_some() {
                     telemetry
-                        .counter(
-                            &format!("gt_gateway_tenant{t}_shed_total"),
-                            "Requests shed for this tenant",
+                        .counter_with(
+                            "gt_gateway_tenant_shed_total",
+                            "Requests shed, by tenant",
+                            &[("tenant", &t.to_string())],
                         )
                         .inc();
                 }
@@ -515,16 +518,18 @@ impl Gateway {
             self.after_dequeue(t, Some(cost));
             if self.tenancy.is_some() {
                 telemetry
-                    .counter(
-                        &format!("gt_gateway_tenant{t}_served_total"),
-                        "Requests served for this tenant",
+                    .counter_with(
+                        "gt_gateway_tenant_served_total",
+                        "Requests served, by tenant",
+                        &[("tenant", &t.to_string())],
                     )
                     .inc();
                 if matches!(outcome, BatchOutcome::Degraded { .. }) {
                     telemetry
-                        .counter(
-                            &format!("gt_gateway_tenant{t}_degraded_total"),
-                            "Requests served degraded for this tenant",
+                        .counter_with(
+                            "gt_gateway_tenant_degraded_total",
+                            "Requests served degraded, by tenant",
+                            &[("tenant", &t.to_string())],
                         )
                         .inc();
                 }
@@ -1046,18 +1051,23 @@ mod tests {
                 .iter()
                 .filter(|c| c.tenant == t && matches!(c.outcome, BatchOutcome::Shed { .. }))
                 .count() as u64;
+            let tenant = t.to_string();
             assert_eq!(
-                tm.counter(&format!("gt_gateway_tenant{t}_submitted_total"), "")
-                    .get(),
+                tm.counter_with(
+                    "gt_gateway_tenant_submitted_total",
+                    "",
+                    &[("tenant", &tenant)]
+                )
+                .get(),
                 submitted
             );
             assert_eq!(
-                tm.counter(&format!("gt_gateway_tenant{t}_shed_total"), "")
+                tm.counter_with("gt_gateway_tenant_shed_total", "", &[("tenant", &tenant)])
                     .get(),
                 shed
             );
             assert_eq!(
-                tm.counter(&format!("gt_gateway_tenant{t}_served_total"), "")
+                tm.counter_with("gt_gateway_tenant_served_total", "", &[("tenant", &tenant)])
                     .get(),
                 submitted - shed
             );

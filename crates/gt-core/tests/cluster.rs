@@ -398,6 +398,48 @@ fn heartbeat_drops_raise_false_suspicions_but_never_recover() {
 }
 
 #[test]
+fn false_suspicion_counter_reconciles_exactly_with_injected_drops() {
+    let n = 6;
+    for workers in [2usize, 4] {
+        // Two loud silences (9 dropped beats widen the gap to 10× the
+        // smoothed mean, past the phi threshold of 8) on distinct live
+        // workers, plus one quiet drop (2× the mean, far under it):
+        // exactly two false suspicions at every worker count.
+        let plan = FaultPlan::new(42)
+            .with_heartbeat_drop(1, 0, 9)
+            .with_heartbeat_drop(3, 1, 9)
+            .with_heartbeat_drop(4, 0, 1);
+        let factory_plan = plan.clone();
+        let mut cs = ClusterSupervisor::new(
+            move || Supervisor::new(trainer(), factory_plan.clone()),
+            cluster_config(workers, false),
+        );
+        // The trainer's handle defaults to the (null) global; record so
+        // the counter is observable.
+        cs.supervisor.trainer.telemetry = gt_telemetry::Telemetry::recording();
+        let dir = tmp_dir(&format!("hb_sweep_w{workers}"));
+        cs.make_durable(DurabilityConfig::new(&dir)).unwrap();
+        let d = data();
+        let bs = batches(n);
+        while cs.supervisor.batches_served() < n {
+            let i = cs.supervisor.batches_served();
+            cs.serve_batch(&d, &bs[i]).unwrap();
+        }
+        let s = cs.summary();
+        assert_eq!(s.false_suspicions, 2, "{workers} workers");
+        assert_eq!(s.recoveries, 0, "{workers} workers: drops never recover");
+        assert!(cs.alive().iter().all(|&a| a), "{workers} workers");
+        let snapshot = cs.supervisor.trainer.telemetry.snapshot();
+        assert_eq!(
+            snapshot.counter("gt_cluster_false_suspicions_total"),
+            s.false_suspicions,
+            "{workers} workers: the counter must reconcile exactly \
+             against the injected drops"
+        );
+    }
+}
+
+#[test]
 fn feature_dim_partition_serves_identically_to_vertex_cut() {
     let n = 4;
     let run = |partition: Partition, dir: &Path| {

@@ -16,6 +16,10 @@
 //!   makespan; `dag_path ≤ makespan ≤ total busy` is property-tested.
 //! - [`WhatIf`]: headroom per stage — the makespan delta when a stage's
 //!   durations are zeroed and the same deterministic list scheduler re-runs.
+//! - [`FleetReport`]: fleet health for distributed runs — per-worker
+//!   busy/idle/link utilization, stage-level imbalance ratios, per-batch
+//!   straggler attribution, hedge effectiveness (the text page the cluster
+//!   bench serves at `/fleetz`).
 //! - [`report::render`]: a text report; [`trace::profile_to_trace`] /
 //!   [`trace::append_profile_tracks`]: extra Perfetto tracks (critical
 //!   path, bubbles, what-if markers) that compose with
@@ -27,6 +31,7 @@
 pub mod breakdown;
 pub mod bubble;
 pub mod critical;
+pub mod fleet;
 pub mod profile;
 pub mod report;
 pub mod stage;
@@ -36,6 +41,7 @@ pub mod whatif;
 pub use breakdown::StageBreakdown;
 pub use bubble::{BubbleReport, UnitUtilization};
 pub use critical::{critical_path, Binding, ChainLink, CriticalPath};
+pub use fleet::{FleetObserver, FleetReport, FleetTotals, StragglerSample, WorkerHealth};
 pub use profile::{profile_schedule, ScheduleProfile};
 pub use stage::{classify_kernel, classify_span, classify_spec, classify_task, Stage};
 pub use trace::{append_profile_tracks, profile_to_trace};

@@ -1,17 +1,20 @@
 //! A zero-dependency metrics endpoint: `GET /metrics` renders the
 //! Prometheus exposition of a [`Telemetry`] registry, `GET /healthz`
-//! answers `ok` plus uptime and the last SLO state. Built directly on
-//! `std::net::TcpListener` because the workspace builds offline — no
-//! hyper, no tokio, one accept thread.
+//! answers `ok` plus uptime and the last SLO state, and callers can
+//! publish extra plain-text pages (the cluster bench mounts its fleet
+//! health report at `/fleetz` via [`MetricsServer::set_page`]). Built
+//! directly on `std::net::TcpListener` because the workspace builds
+//! offline — no hyper, no tokio, one accept thread.
 //!
 //! The server is deliberately minimal: it parses only the request line
 //! (method + path), answers one request per connection, and closes. That
 //! is all a Prometheus scraper or a load-balancer health check needs.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -26,6 +29,7 @@ pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    pages: Arc<Mutex<BTreeMap<String, String>>>,
 }
 
 impl MetricsServer {
@@ -37,16 +41,20 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
-        // What-am-I-scraping beacon: value 1, identity in the HELP text
-        // (the registry has no label support; see docs/telemetry.md).
+        let pages: Arc<Mutex<BTreeMap<String, String>>> = Arc::default();
+        let thread_pages = Arc::clone(&pages);
+        // What-am-I-scraping beacon: value 1, identity on labels (the
+        // conventional Prometheus `*_info` shape; see docs/telemetry.md
+        // §Labels).
         telemetry
-            .gauge(
+            .gauge_with(
                 "gt_build_info",
-                concat!(
-                    "crate ",
-                    env!("CARGO_PKG_VERSION"),
-                    ", flight schema 1, exposition 0.0.4"
-                ),
+                "Build identity beacon (constant 1)",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("flight_schema", "1"),
+                    ("exposition", "0.0.4"),
+                ],
             )
             .set(1.0);
         let started = std::time::Instant::now();
@@ -62,7 +70,7 @@ impl MetricsServer {
                         // serve_one additionally enforces an overall
                         // deadline across reads.
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = serve_one(stream, &telemetry, started);
+                        let _ = serve_one(stream, &telemetry, started, &thread_pages);
                     }
                 }
             })?;
@@ -70,7 +78,18 @@ impl MetricsServer {
             addr,
             stop,
             handle: Some(handle),
+            pages,
         })
+    }
+
+    /// Publish (or replace) a plain-text page at `path` (must start with
+    /// `/`). The cluster bench mounts its fleet health report at
+    /// `/fleetz`; any path not shadowed by `/metrics` or `/healthz` works.
+    pub fn set_page(&self, path: impl Into<String>, body: impl Into<String>) {
+        self.pages
+            .lock()
+            .expect("pages lock")
+            .insert(path.into(), body.into());
     }
 
     /// The bound address (resolves the actual port when started with 0).
@@ -118,6 +137,7 @@ fn serve_one(
     mut stream: TcpStream,
     telemetry: &Telemetry,
     started: std::time::Instant,
+    pages: &Mutex<BTreeMap<String, String>>,
 ) -> std::io::Result<()> {
     // Read until the header terminator: one read() can return a partial
     // request (the client may write in several syscalls), and answering a
@@ -184,11 +204,14 @@ fn serve_one(
             let body = format!("ok\nuptime_s {}\nslo {slo}\n", started.elapsed().as_secs());
             ("200 OK", "text/plain; charset=utf-8", body)
         }
-        ("GET", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+        ("GET", p) => match pages.lock().expect("pages lock").get(p) {
+            Some(body) => ("200 OK", "text/plain; charset=utf-8", body.clone()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        },
         _ => (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
@@ -231,9 +254,13 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
         assert!(head.contains("version=0.0.4"), "{head}");
         assert!(body.contains("gt_http_smoke_total 7"), "{body}");
-        // The build-info beacon is registered at server start.
-        assert!(body.contains("gt_build_info 1"), "{body}");
-        assert!(body.contains("# HELP gt_build_info crate "), "{body}");
+        // The build-info beacon is registered at server start, identity on
+        // labels in the conventional `*_info` shape.
+        assert!(body.contains("# TYPE gt_build_info gauge"), "{body}");
+        assert!(
+            body.contains("gt_build_info{exposition=\"0.0.4\",flight_schema=\"1\",version="),
+            "{body}"
+        );
 
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
@@ -244,6 +271,15 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Published pages are served (and replaceable) at their path.
+        server.set_page("/fleetz", "fleet health: 4 workers\n");
+        let (head, body) = get(addr, "/fleetz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "fleet health: 4 workers\n");
+        server.set_page("/fleetz", "fleet health: 2 workers\n");
+        let (_, body) = get(addr, "/fleetz");
+        assert_eq!(body, "fleet health: 2 workers\n");
 
         server.shutdown();
         // The port is released: a fresh connection must fail (or be

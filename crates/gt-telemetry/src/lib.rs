@@ -38,8 +38,8 @@ use std::sync::{Arc, OnceLock};
 pub use context::{RequestTrace, SegmentKind, TraceContext, TraceSpan};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsSnapshot,
-    Registry,
+    label_set, Counter, Gauge, Histogram, HistogramSnapshot, LabelSet, MetricSnapshot, MetricValue,
+    MetricsSnapshot, Registry,
 };
 pub use ring::{dump_outcomes, FlightRecorder, FLIGHT_SCHEMA_VERSION};
 pub use slo::{BurnRule, SloAlert, SloEngine, SloSpec};
@@ -133,14 +133,29 @@ impl Telemetry {
         self.registry.counter(name, help)
     }
 
+    /// Get or register one labeled counter series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry.counter_with(name, help, labels)
+    }
+
     /// Get or register a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
         self.registry.gauge(name, help)
     }
 
+    /// Get or register one labeled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry.gauge_with(name, help, labels)
+    }
+
     /// Get or register a histogram with default µs latency buckets.
     pub fn histogram_us(&self, name: &str, help: &str) -> Histogram {
         self.registry.histogram_us(name, help)
+    }
+
+    /// Get or register one labeled µs-latency histogram series.
+    pub fn histogram_us_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry.histogram_us_with(name, help, labels)
     }
 
     /// The underlying registry (for custom-bucket histograms).

@@ -234,11 +234,32 @@ pub enum MetricValue {
     Histogram(HistogramSnapshot),
 }
 
-/// One named metric in a snapshot.
+/// A sorted `key=value` label set identifying one series within a metric
+/// family. Always key-sorted, so equal sets compare equal regardless of the
+/// order call sites supplied them in.
+pub type LabelSet = Vec<(String, String)>;
+
+/// Normalize a label slice into a key-sorted [`LabelSet`]. Duplicate keys
+/// are rejected — a series with `tenant="a",tenant="b"` is meaningless.
+pub fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    for w in set.windows(2) {
+        assert!(w[0].0 != w[1].0, "duplicate label key {:?}", w[0].0);
+    }
+    set
+}
+
+/// One named metric series in a snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSnapshot {
     /// Metric name (e.g. `gt_serve_retries_total`).
     pub name: String,
+    /// Sorted `key=value` labels; empty for plain unlabeled metrics.
+    pub labels: LabelSet,
     /// Help text supplied at registration.
     pub help: String,
     /// The frozen value.
@@ -253,20 +274,48 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Look up a metric by name.
+    /// Look up a metric's *unlabeled* series by name. Labeled series are
+    /// reached through [`Self::get_with`] or [`Self::series`].
     pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
-        self.metrics.iter().find(|m| m.name == name)
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels.is_empty())
     }
 
-    /// Counter value by name (0 when absent — counters start at zero).
+    /// Look up one labeled series exactly (label order does not matter).
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        let want = label_set(labels);
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == want)
+    }
+
+    /// All series of a metric family, label-sorted.
+    pub fn series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a MetricSnapshot> {
+        self.metrics.iter().filter(move |m| m.name == name)
+    }
+
+    /// Counter value summed across every series of `name` (0 when absent —
+    /// counters start at zero). For an unlabeled counter this is simply its
+    /// value; for a labeled family it is the family total.
     pub fn counter(&self, name: &str) -> u64 {
-        match self.get(name).map(|m| &m.value) {
+        self.series(name)
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// One labeled counter series' value (0 when absent).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get_with(name, labels).map(|m| &m.value) {
             Some(MetricValue::Counter(v)) => *v,
             _ => 0,
         }
     }
 
-    /// Gauge value by name, `None` when absent.
+    /// Unlabeled gauge value by name, `None` when absent.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         match self.get(name).map(|m| &m.value) {
             Some(MetricValue::Gauge(v)) => Some(*v),
@@ -274,9 +323,29 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Histogram snapshot by name, `None` when absent.
+    /// One labeled gauge series' value, `None` when absent.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.get_with(name, labels).map(|m| &m.value) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unlabeled histogram snapshot by name, `None` when absent.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         match self.get(name).map(|m| &m.value) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// One labeled histogram series, `None` when absent.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        match self.get_with(name, labels).map(|m| &m.value) {
             Some(MetricValue::Histogram(h)) => Some(h),
             _ => None,
         }
@@ -290,17 +359,29 @@ enum Entry {
     Histogram(Histogram),
 }
 
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// All series sharing one metric name: a single help text and kind, one
+/// [`Entry`] per label set (the empty set is the plain unlabeled series).
 #[derive(Debug)]
-struct Registered {
+struct Family {
     help: String,
-    entry: Entry,
+    series: BTreeMap<LabelSet, Entry>,
 }
 
 /// Named metric registry. Get-or-register returns a shared handle, so two
-/// call sites asking for the same name update the same metric.
+/// call sites asking for the same name and labels update the same series.
 #[derive(Debug, Default)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<String, Registered>>,
+    metrics: Mutex<BTreeMap<String, Family>>,
 }
 
 impl Registry {
@@ -309,30 +390,49 @@ impl Registry {
         Registry::default()
     }
 
+    /// Get or register a series, enforcing one kind per family. Panics if
+    /// `name` already holds a different metric kind (Prometheus families
+    /// have exactly one TYPE).
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], make: Entry) -> Entry {
+        let set = label_set(labels);
+        let mut map = self.metrics.lock().unwrap();
+        let family = map.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        if let Some(existing) = family.series.values().next() {
+            assert!(
+                existing.kind() == make.kind(),
+                "metric {name:?} already registered with a different kind"
+            );
+        }
+        family.series.entry(set).or_insert(make).clone()
+    }
+
     /// Get or register a counter. Panics if `name` is already registered as
     /// a different metric kind.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
-        let mut map = self.metrics.lock().unwrap();
-        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
-            help: help.to_string(),
-            entry: Entry::Counter(Counter::default()),
-        });
-        match &reg.entry {
-            Entry::Counter(c) => c.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or register one labeled counter series of the family `name`.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, Entry::Counter(Counter::default())) {
+            Entry::Counter(c) => c,
+            _ => unreachable!(),
         }
     }
 
     /// Get or register a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        let mut map = self.metrics.lock().unwrap();
-        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
-            help: help.to_string(),
-            entry: Entry::Gauge(Gauge::default()),
-        });
-        match &reg.entry {
-            Entry::Gauge(g) => g.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or register one labeled gauge series of the family `name`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, Entry::Gauge(Gauge::default())) {
+            Entry::Gauge(g) => g,
+            _ => unreachable!(),
         }
     }
 
@@ -341,33 +441,61 @@ impl Registry {
         self.histogram(name, help, Histogram::latency_us)
     }
 
-    /// Get or register a histogram, building it with `make` on first use.
-    pub fn histogram(&self, name: &str, help: &str, make: impl FnOnce() -> Histogram) -> Histogram {
-        let mut map = self.metrics.lock().unwrap();
-        let reg = map.entry(name.to_string()).or_insert_with(|| Registered {
-            help: help.to_string(),
-            entry: Entry::Histogram(make()),
-        });
-        match &reg.entry {
-            Entry::Histogram(h) => h.clone(),
-            _ => panic!("metric {name:?} already registered with a different kind"),
+    /// Get or register one labeled latency histogram series of `name`.
+    pub fn histogram_us_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(
+            name,
+            help,
+            labels,
+            Entry::Histogram(Histogram::latency_us()),
+        ) {
+            Entry::Histogram(h) => h,
+            _ => unreachable!(),
         }
     }
 
-    /// Freeze every registered metric.
+    /// Get or register a histogram, building it with `make` on first use.
+    pub fn histogram(&self, name: &str, help: &str, make: impl FnOnce() -> Histogram) -> Histogram {
+        // `make` must only run when the series is absent, so this cannot go
+        // through `register` (which demands an eagerly built entry).
+        let mut map = self.metrics.lock().unwrap();
+        let family = map.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        if let Some(existing) = family.series.values().next() {
+            assert!(
+                matches!(existing, Entry::Histogram(_)),
+                "metric {name:?} already registered with a different kind"
+            );
+        }
+        let entry = family
+            .series
+            .entry(LabelSet::new())
+            .or_insert_with(|| Entry::Histogram(make()));
+        match entry {
+            Entry::Histogram(h) => h.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Freeze every registered series, name-sorted then label-sorted.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let map = self.metrics.lock().unwrap();
         MetricsSnapshot {
             metrics: map
                 .iter()
-                .map(|(name, reg)| MetricSnapshot {
-                    name: name.clone(),
-                    help: reg.help.clone(),
-                    value: match &reg.entry {
-                        Entry::Counter(c) => MetricValue::Counter(c.get()),
-                        Entry::Gauge(g) => MetricValue::Gauge(g.get()),
-                        Entry::Histogram(h) => MetricValue::Histogram(h.snapshot()),
-                    },
+                .flat_map(|(name, family)| {
+                    family.series.iter().map(|(labels, entry)| MetricSnapshot {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        help: family.help.clone(),
+                        value: match entry {
+                            Entry::Counter(c) => MetricValue::Counter(c.get()),
+                            Entry::Gauge(g) => MetricValue::Gauge(g.get()),
+                            Entry::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                        },
+                    })
                 })
                 .collect(),
         }
@@ -400,12 +528,24 @@ impl ToJson for MetricSnapshot {
             MetricValue::Gauge(v) => ("gauge", Json::from(*v)),
             MetricValue::Histogram(h) => ("histogram", h.to_json()),
         };
-        obj([
-            ("name", self.name.as_str().into()),
+        let mut fields = vec![("name", Json::from(self.name.as_str()))];
+        if !self.labels.is_empty() {
+            // Emitted only for labeled series, so unlabeled snapshots stay
+            // byte-identical to the pre-label JSON schema.
+            fields.push((
+                "labels",
+                obj(self
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), Json::from(v.as_str())))),
+            ));
+        }
+        fields.extend([
             ("help", self.help.as_str().into()),
             ("kind", kind.into()),
             ("value", value),
-        ])
+        ]);
+        obj(fields)
     }
 }
 
@@ -569,6 +709,99 @@ mod tests {
         let reg = Registry::new();
         let _ = reg.counter("gt_x", "");
         let _ = reg.gauge("gt_x", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_across_label_sets_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter_with("gt_x", "", &[("tenant", "a")]);
+        let _ = reg.gauge_with("gt_x", "", &[("tenant", "b")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label key")]
+    fn duplicate_label_keys_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter_with("gt_x", "", &[("tenant", "a"), ("tenant", "b")]);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_order_insensitive() {
+        let reg = Registry::new();
+        reg.counter_with("gt_req_total", "requests", &[("tenant", "a"), ("op", "r")])
+            .add(3);
+        // Same labels in a different supplied order: the same series.
+        reg.counter_with("gt_req_total", "requests", &[("op", "r"), ("tenant", "a")])
+            .add(4);
+        reg.counter_with("gt_req_total", "requests", &[("tenant", "b"), ("op", "r")])
+            .inc();
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_with("gt_req_total", &[("op", "r"), ("tenant", "a")]),
+            7
+        );
+        assert_eq!(
+            snap.counter_with("gt_req_total", &[("tenant", "b"), ("op", "r")]),
+            1
+        );
+        // The family total sums every series.
+        assert_eq!(snap.counter("gt_req_total"), 8);
+        // `get` only sees the unlabeled series, which does not exist here.
+        assert!(snap.get("gt_req_total").is_none());
+        assert_eq!(snap.series("gt_req_total").count(), 2);
+    }
+
+    #[test]
+    fn labeled_and_unlabeled_series_coexist() {
+        let reg = Registry::new();
+        reg.counter("gt_mix_total", "").add(5);
+        reg.counter_with("gt_mix_total", "", &[("worker", "0")])
+            .inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_with("gt_mix_total", &[]), 5);
+        assert_eq!(snap.counter("gt_mix_total"), 6);
+        // The unlabeled series sorts first (empty label set is least).
+        assert!(snap.get("gt_mix_total").unwrap().labels.is_empty());
+    }
+
+    #[test]
+    fn labeled_gauges_and_histograms_round_trip() {
+        let reg = Registry::new();
+        reg.gauge_with("gt_link_util", "", &[("link", "w0")])
+            .set(0.5);
+        reg.histogram_us_with("gt_stage_us", "", &[("worker", "1")])
+            .observe(42.0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauge_with("gt_link_util", &[("link", "w0")]),
+            Some(0.5)
+        );
+        assert_eq!(snap.gauge("gt_link_util"), None);
+        let h = snap
+            .histogram_with("gt_stage_us", &[("worker", "1")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert!(snap.histogram("gt_stage_us").is_none());
+    }
+
+    #[test]
+    fn labeled_json_carries_labels_and_unlabeled_stays_stable() {
+        let reg = Registry::new();
+        reg.counter("gt_plain_total", "p").inc();
+        reg.counter_with("gt_lab_total", "l", &[("tenant", "7")])
+            .inc();
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_json_string();
+        assert!(text.contains("\"labels\":{\"tenant\":\"7\"}"));
+        // Unlabeled metrics carry no labels key at all (schema stability).
+        let plain = snap
+            .get("gt_plain_total")
+            .unwrap()
+            .to_json()
+            .to_json_string();
+        assert!(!plain.contains("labels"));
     }
 
     #[test]

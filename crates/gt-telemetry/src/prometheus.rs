@@ -4,27 +4,36 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::metrics::{LabelSet, MetricValue, MetricsSnapshot};
 
-/// Render the snapshot as Prometheus exposition text.
+/// Render the snapshot as Prometheus exposition text. Series of one family
+/// (same name, different label sets) share a single HELP/TYPE header; each
+/// series renders as `name{k="v",...} value` with escaped label values.
 pub fn render(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut last_name: Option<&str> = None;
     for m in &snapshot.metrics {
         let kind = match &m.value {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram(_) => "histogram",
         };
-        if !m.help.is_empty() {
-            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+        // The snapshot is name-sorted, so a family's series are adjacent:
+        // emit the header only on the first.
+        if last_name != Some(m.name.as_str()) {
+            if !m.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            last_name = Some(m.name.as_str());
         }
-        let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+        let labels = label_block(&m.labels);
         match &m.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "{} {}", m.name, v);
+                let _ = writeln!(out, "{}{} {}", m.name, labels, v);
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "{} {}", m.name, fmt_f64(*v));
+                let _ = writeln!(out, "{}{} {}", m.name, labels, fmt_f64(*v));
             }
             MetricValue::Histogram(h) => {
                 let mut cumulative = 0u64;
@@ -32,19 +41,48 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
                     cumulative += h.counts[i];
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"{}\"}} {}",
+                        "{}_bucket{} {}",
                         m.name,
-                        fmt_f64(*bound),
+                        bucket_block(&m.labels, &fmt_f64(*bound)),
                         cumulative
                     );
                 }
-                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count);
-                let _ = writeln!(out, "{}_sum {}", m.name, fmt_f64(h.sum));
-                let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    m.name,
+                    bucket_block(&m.labels, "+Inf"),
+                    h.count
+                );
+                let _ = writeln!(out, "{}_sum{} {}", m.name, labels, fmt_f64(h.sum));
+                let _ = writeln!(out, "{}_count{} {}", m.name, labels, h.count);
             }
         }
     }
     out
+}
+
+/// `{k1="v1",k2="v2"}` with escaped values; empty string for no labels.
+fn label_block(labels: &LabelSet) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// The label block for a histogram bucket line: the series labels with the
+/// cumulative `le` bound appended last.
+fn bucket_block(labels: &LabelSet, le: &str) -> String {
+    let mut inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    inner.push(format!("le=\"{le}\""));
+    format!("{{{}}}", inner.join(","))
 }
 
 /// Escape HELP text per the exposition format: backslash and newline only.
@@ -110,6 +148,41 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(render(&Registry::new().snapshot()), "");
+    }
+
+    /// Labeled families: one HELP/TYPE header per name, one series line per
+    /// label set, label values escaped, histogram buckets merge `le` last.
+    #[test]
+    fn labeled_series_render_as_one_family() {
+        let reg = Registry::new();
+        reg.counter_with("gt_req_total", "Requests", &[("tenant", "a")])
+            .add(2);
+        reg.counter_with("gt_req_total", "Requests", &[("tenant", "b\"x")])
+            .add(3);
+        reg.gauge_with("gt_link_util", "", &[("link", "w0"), ("dir", "tx")])
+            .set(0.5);
+        let h = reg.histogram("gt_stage_us", "", || Histogram::with_bounds(vec![100.0]));
+        h.observe(50.0);
+
+        let text = render(&reg.snapshot());
+        assert_eq!(
+            text.matches("# TYPE gt_req_total counter").count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("gt_req_total{tenant=\"a\"} 2"));
+        assert!(text.contains("gt_req_total{tenant=\"b\\\"x\"} 3"));
+        // Labels render key-sorted regardless of registration order.
+        assert!(text.contains("gt_link_util{dir=\"tx\",link=\"w0\"} 0.5"));
+        assert!(text.contains("gt_stage_us_bucket{le=\"100\"} 1"));
+
+        let hl = reg.histogram_us_with("gt_lat_us", "", &[("worker", "1")]);
+        hl.observe(15.0);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("gt_lat_us_bucket{worker=\"1\",le=\"20\"} 1"));
+        assert!(text.contains("gt_lat_us_bucket{worker=\"1\",le=\"+Inf\"} 1"));
+        assert!(text.contains("gt_lat_us_sum{worker=\"1\"} 15"));
+        assert!(text.contains("gt_lat_us_count{worker=\"1\"} 1"));
     }
 
     /// Exposition-format conformance: HELP escapes `\` and newline; label

@@ -8,13 +8,20 @@ use std::fmt::Write as _;
 use crate::metrics::{MetricValue, MetricsSnapshot};
 use crate::span::SpanRecord;
 
-/// Render the snapshot as an aligned plain-text table.
+/// Render the snapshot as an aligned plain-text table. Labeled series show
+/// as `name{k=v,...}` rows.
 pub fn render(snapshot: &MetricsSnapshot) -> String {
     let mut rows: Vec<(String, String)> = Vec::new();
     for m in &snapshot.metrics {
+        let key = if m.labels.is_empty() {
+            m.name.clone()
+        } else {
+            let inner: Vec<String> = m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}{{{}}}", m.name, inner.join(","))
+        };
         match &m.value {
-            MetricValue::Counter(v) => rows.push((m.name.clone(), v.to_string())),
-            MetricValue::Gauge(v) => rows.push((m.name.clone(), format!("{v:.4}"))),
+            MetricValue::Counter(v) => rows.push((key, v.to_string())),
+            MetricValue::Gauge(v) => rows.push((key, format!("{v:.4}"))),
             MetricValue::Histogram(h) => {
                 let cell = if h.count == 0 {
                     "count=0".to_string()
@@ -29,7 +36,7 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
                         h.max,
                     )
                 };
-                rows.push((m.name.clone(), cell));
+                rows.push((key, cell));
             }
         }
     }
@@ -109,6 +116,18 @@ mod tests {
         assert!(text.contains("gt_serve_retries_total"));
         assert!(text.contains("count=3"));
         assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn labeled_series_render_with_label_blocks() {
+        let reg = Registry::new();
+        reg.counter_with("gt_req_total", "", &[("tenant", "a")])
+            .inc();
+        reg.counter_with("gt_req_total", "", &[("tenant", "b")])
+            .add(2);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("gt_req_total{tenant=a}"));
+        assert!(text.contains("gt_req_total{tenant=b}"));
     }
 
     #[test]
